@@ -1,0 +1,21 @@
+"""Ablation A — fitting-method stability (paper §3.1's MLE motivation)."""
+
+from conftest import run_and_report
+
+from repro.experiments.ablations import run_ablation_fitting
+
+
+def bench_ablation_fitting(benchmark, config, results_dir):
+    table = run_and_report(
+        benchmark, run_ablation_fitting, config, results_dir
+    )
+    mle_bias, mle_std, mle_fail = table.data["profile MLE"]
+    lsq_bias, lsq_std, lsq_fail = table.data["LSQ curve fit"]
+    # The paper's claim: curve fitting is less stable than the MLE at
+    # small m — larger spread and/or more failures.
+    assert lsq_std + lsq_fail >= mle_std * 0.9
+    assert mle_fail <= 0.05
+
+
+def test_ablation_fitting(benchmark, config, results_dir):
+    bench_ablation_fitting(benchmark, config, results_dir)

@@ -1,0 +1,26 @@
+"""Ablation D — maximum power across equivalent technology mappings."""
+
+from conftest import run_and_report
+
+from repro.experiments.ablations import run_ablation_mapping
+
+
+def bench_ablation_mapping(benchmark, config, results_dir):
+    table = run_and_report(
+        benchmark, run_ablation_mapping, config, results_dir
+    )
+    raw = table.data
+    native_gates, native_max, _ = raw["native XOR tree"]
+    nand_gates, nand_max, _ = raw["NAND-expanded (C1355 style)"]
+    # The NAND mapping has ~4x the gates and strictly more switched
+    # capacitance available — its maximum power must exceed the native
+    # tree's.
+    assert nand_gates > native_gates
+    assert nand_max > native_max
+    # The estimator tracks each implementation within a broad band.
+    for _, (gates, actual, result) in raw.items():
+        assert abs(result.relative_error(actual)) < 0.30
+
+
+def test_ablation_mapping(benchmark, config, results_dir):
+    bench_ablation_mapping(benchmark, config, results_dir)

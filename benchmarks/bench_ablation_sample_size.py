@@ -1,0 +1,21 @@
+"""Ablation B — block-size sensitivity (why the paper fixes n = 30)."""
+
+from conftest import run_and_report
+
+from repro.experiments.ablations import run_ablation_sample_size
+
+
+def bench_ablation_sample_size(benchmark, config, results_dir):
+    table = run_and_report(
+        benchmark, run_ablation_sample_size, config, results_dir
+    )
+    data = table.data
+    # Estimator spread must not grow with block size; tiny blocks are
+    # the worst (the Weibull limit has not kicked in at n = 2).
+    smallest_n = min(data)
+    largest_n = max(data)
+    assert data[largest_n][1] <= data[smallest_n][1] + 0.05
+
+
+def test_ablation_sample_size(benchmark, config, results_dir):
+    bench_ablation_sample_size(benchmark, config, results_dir)

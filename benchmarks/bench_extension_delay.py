@@ -1,0 +1,22 @@
+"""Extension (paper §V) — statistical maximum dynamic delay."""
+
+from conftest import run_and_report
+
+from repro.experiments.extension_delay import run_extension_delay
+
+
+def bench_extension_delay(benchmark, config, results_dir):
+    table = run_and_report(
+        benchmark, run_extension_delay, config, results_dir, probe_pairs=60
+    )
+    for label, (result, sta, probe_best) in table.data.items():
+        # Certificate ordering: probe <= statistical estimate <= STA.
+        assert probe_best <= sta + 1e-9
+        assert result.estimate <= sta + 1e-9
+        assert result.estimate >= probe_best * 0.75
+    # The carry-lookahead adder is faster than the ripple adder.
+    assert table.data["cla8"][1] < table.data["rca8"][1]
+
+
+def test_extension_delay(benchmark, config, results_dir):
+    bench_extension_delay(benchmark, config, results_dir)

@@ -1,0 +1,20 @@
+"""Extension — block-maxima vs peaks-over-threshold shoot-out."""
+
+import numpy as np
+from conftest import run_and_report
+
+from repro.experiments.extension_pot import run_extension_pot
+
+
+def bench_extension_pot(benchmark, config, results_dir):
+    table = run_and_report(benchmark, run_extension_pot, config, results_dir)
+    for circuit, data in table.data.items():
+        # Both statistical routes must produce finite, plausible errors.
+        assert np.isfinite(data["bm_errors"]).all()
+        assert np.isfinite(data["pot_errors"]).all()
+        assert data["bm_units"].min() >= 2 * config.n * config.m
+        assert data["pot_units"].min() >= 2 * config.n * config.m
+
+
+def test_extension_pot(benchmark, config, results_dir):
+    bench_extension_pot(benchmark, config, results_dir)

@@ -1,0 +1,25 @@
+"""Figure 2 — normality of the MLE maximum-power estimate.
+
+Regenerates the paper's Figure 2 study: the distribution of the
+hyper-sample estimate over 100 repetitions for m = 10 and m = 50, with
+its least-squares normal fit.
+"""
+
+from conftest import run_and_report
+
+from repro.experiments.figure2 import run_figure2
+
+
+def bench_figure2(benchmark, config, results_dir):
+    table = run_and_report(benchmark, run_figure2, config, results_dir)
+    series = table.data["series"]
+    by_m = {s.m: s for s in series}
+    # Theorem 3 shape: spread shrinks as m grows; estimates center near
+    # the true maximum.
+    assert by_m[50].estimates.std() < by_m[10].estimates.std()
+    actual = table.data["actual_max"]
+    assert abs(by_m[10].estimates.mean() / actual - 1.0) < 0.25
+
+
+def test_figure2(benchmark, config, results_dir):
+    bench_figure2(benchmark, config, results_dir)

@@ -1,0 +1,50 @@
+"""Simulator throughput — what makes 2500-unit estimation cheap.
+
+Measures pairs/second of the three power-simulation paths on one suite
+circuit.  The bit-parallel paths are what let the experiment harness
+simulate 10^5-pair populations in seconds; the event-driven path is the
+reference semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generators import build_circuit
+from repro.sim.power import PowerAnalyzer
+
+CIRCUIT = "c880"
+PAIRS_FAST = 4096
+PAIRS_EVENT = 32
+
+
+@pytest.fixture(scope="module")
+def workload():
+    circuit = build_circuit(CIRCUIT)
+    rng = np.random.default_rng(7)
+    v1 = rng.integers(0, 2, size=(PAIRS_FAST, circuit.num_inputs), dtype=np.uint8)
+    v2 = rng.integers(0, 2, size=(PAIRS_FAST, circuit.num_inputs), dtype=np.uint8)
+    return circuit, v1, v2
+
+
+def test_throughput_zero_delay(benchmark, workload):
+    circuit, v1, v2 = workload
+    analyzer = PowerAnalyzer(circuit, mode="zero")
+    powers = benchmark(analyzer.powers_for_pairs, v1, v2)
+    assert powers.shape == (PAIRS_FAST,)
+    assert (powers > 0).any()
+
+
+def test_throughput_unit_delay(benchmark, workload):
+    circuit, v1, v2 = workload
+    analyzer = PowerAnalyzer(circuit, mode="unit")
+    powers = benchmark(analyzer.powers_for_pairs, v1, v2)
+    assert powers.shape == (PAIRS_FAST,)
+
+
+def test_throughput_event_driven(benchmark, workload):
+    circuit, v1, v2 = workload
+    analyzer = PowerAnalyzer(circuit, mode="event")
+    powers = benchmark(
+        analyzer.powers_for_pairs, v1[:PAIRS_EVENT], v2[:PAIRS_EVENT]
+    )
+    assert powers.shape == (PAIRS_EVENT,)

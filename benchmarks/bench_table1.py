@@ -1,0 +1,26 @@
+"""Table 1 — efficiency comparison, unconstrained input sequences.
+
+Regenerates the paper's Table 1: per circuit, the qualified-unit
+portion Y, our approach's unit cost (MAX/MIN/AVE over repeated runs),
+the theoretical SRS cost at the same (5 %, 90 %) target, and our error
+band.
+"""
+
+from conftest import run_and_report
+
+from repro.experiments.table1 import run_table1
+
+
+def bench_table1(benchmark, config, results_dir):
+    table = run_and_report(benchmark, run_table1, config, results_dir)
+    for row in table.data["rows"]:
+        # Shape of the paper's claim: both cost columns are meaningful
+        # and our minimum cost is the 2-hyper-sample floor of 600 units.
+        assert row.units_min >= 2 * config.n * config.m
+        assert row.units_avg <= row.units_max
+        assert 0 < row.qualified_portion < 0.2
+        assert row.srs_avg > 0
+
+
+def test_table1(benchmark, config, results_dir):
+    bench_table1(benchmark, config, results_dir)

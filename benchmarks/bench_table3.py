@@ -1,0 +1,21 @@
+"""Table 3 — efficiency under the high-activity constraint (t = 0.7).
+
+Regenerates the paper's Table 3: the same efficiency columns as Table 1
+on populations whose input lines each toggle with probability 0.7
+(category I.2).
+"""
+
+from conftest import run_and_report
+
+from repro.experiments.table3 import run_table3
+
+
+def bench_table3(benchmark, config, results_dir):
+    table = run_and_report(benchmark, run_table3, config, results_dir)
+    for row in table.data["rows"]:
+        assert row.units_min >= 2 * config.n * config.m
+        assert row.qualified_portion > 0
+
+
+def test_table3(benchmark, config, results_dir):
+    bench_table3(benchmark, config, results_dir)

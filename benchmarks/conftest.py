@@ -1,0 +1,53 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artifact (table/figure) or ablation
+and prints the resulting table, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces every row/series the paper reports.  Scale is controlled by
+``REPRO_SCALE``:
+
+* unset / ``smoke`` — seconds per artifact (3 circuits, tiny pools);
+* ``ci``            — minutes (9 circuits, 20k/10k pools, 20 runs);
+* ``paper``         — the full published setup (160k/80k pools, 100
+  runs) — expect a long run on the first (uncached) invocation.
+
+Populations are cached under ``REPRO_CACHE`` (default ``.repro_cache``)
+so repeated benchmark runs only pay the estimation cost.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, default_config
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Experiment configuration for the benchmark session."""
+    if "REPRO_SCALE" not in os.environ:
+        os.environ["REPRO_SCALE"] = "smoke"
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    out = Path(os.environ.get("REPRO_RESULTS", "benchmarks/results"))
+    out.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def run_and_report(benchmark, runner, config, results_dir, **kwargs):
+    """Run one experiment under pytest-benchmark and save its table."""
+    table = benchmark.pedantic(
+        lambda: runner(config, **kwargs), iterations=1, rounds=1
+    )
+    table.save(results_dir)
+    print()
+    print(table.render())
+    return table

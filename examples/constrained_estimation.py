@@ -1,0 +1,82 @@
+"""Constrained maximum power (category I.2): transition-probability specs.
+
+The paper's second problem class: the input space is restricted by a
+per-line transition-probability specification.  This example estimates
+the maximum power of the c880-like ALU under three input environments —
+a hot bus (t = 0.7), a quiet bus (t = 0.3), and a spatially correlated
+bus (neighbouring lines toggle together) — and shows how the attainable
+maximum and the estimation cost change with the constraint.
+
+Run:  python examples/constrained_estimation.py
+"""
+
+import numpy as np
+
+from repro import (
+    FinitePopulation,
+    MaxPowerEstimator,
+    PowerAnalyzer,
+    build_circuit,
+    markov_transition_vector_pairs,
+    transition_prob_vector_pairs,
+)
+from repro.vectors import mean_activity
+
+
+def build_pool(circuit, analyzer, name, generator, size=10_000, seed=7):
+    pop = FinitePopulation.build(
+        generator, analyzer.powers_for_pairs, num_pairs=size, seed=seed,
+        name=name,
+    )
+    activity = mean_activity(pop.v1, pop.v2)
+    print(
+        f"{name:22} |V|={pop.size}  avg input activity={activity:.2f}  "
+        f"true max={pop.actual_max_power * 1e3:7.3f} mW  "
+        f"Y={pop.qualified_portion():.2e}"
+    )
+    return pop
+
+
+def main() -> None:
+    circuit = build_circuit("c880")
+    analyzer = PowerAnalyzer(circuit, mode="zero")
+    ni = circuit.num_inputs
+    print(f"circuit: {circuit.stats()}\n")
+
+    pools = {
+        "high activity (0.7)": build_pool(
+            circuit, analyzer, "high activity (0.7)",
+            lambda n, rng: transition_prob_vector_pairs(n, ni, 0.7, rng=rng),
+        ),
+        "low activity (0.3)": build_pool(
+            circuit, analyzer, "low activity (0.3)",
+            lambda n, rng: transition_prob_vector_pairs(n, ni, 0.3, rng=rng),
+        ),
+        "correlated (0.5/0.9)": build_pool(
+            circuit, analyzer, "correlated (0.5/0.9)",
+            lambda n, rng: markov_transition_vector_pairs(
+                n, ni, base_prob=0.5, correlation=0.9, rng=rng
+            ),
+        ),
+    }
+
+    print("\nestimating maximum power per environment (eps=5%, l=90%):")
+    rng = np.random.default_rng(11)
+    for name, pop in pools.items():
+        result = MaxPowerEstimator(pop).run(rng=rng)
+        err = result.relative_error(pop.actual_max_power)
+        print(
+            f"{name:22} est={result.estimate * 1e3:7.3f} mW  "
+            f"units={result.units_used:5d}  true err={err:+.2%}  "
+            f"{'converged' if result.converged else 'NOT converged'}"
+        )
+
+    print(
+        "\nnote: lower-activity constraints thin the qualified tail (smaller"
+        " Y), which is exactly why the paper's Table 4 needs more units than"
+        " Table 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Bring your own netlist: ISCAS85 .bench and structural Verilog I/O.
+
+Shows the interchange path a real user takes: author (or drop in) an
+ISCAS85-format ``.bench`` netlist, load it, analyze it, estimate its
+maximum power, and export it as structural Verilog for other tools.
+If you have the authentic ISCAS85 benchmark files, point ``load_bench``
+at them and every experiment in this package runs on the real circuits.
+
+Run:  python examples/custom_netlist.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    FinitePopulation,
+    MaxPowerEstimator,
+    PowerAnalyzer,
+    load_bench,
+    random_vector_pairs,
+    write_verilog,
+)
+from repro.analysis import expected_power
+
+# The classic c17 netlist, verbatim in ISCAS85 .bench format.
+C17_BENCH = """
+# c17 — smallest ISCAS85 benchmark
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        bench_path = Path(tmp) / "c17.bench"
+        bench_path.write_text(C17_BENCH)
+
+        circuit = load_bench(bench_path)
+        print(f"loaded: {circuit.stats()}")
+
+        # Exhaustive truth check is feasible at 5 inputs: enumerate all
+        # 1024 vector pairs — the "population" is literally complete.
+        analyzer = PowerAnalyzer(circuit, mode="unit")
+        import itertools
+
+        import numpy as np
+
+        vectors = np.array(
+            list(itertools.product([0, 1], repeat=circuit.num_inputs)),
+            dtype=np.uint8,
+        )
+        pairs = np.array(
+            list(itertools.product(range(len(vectors)), repeat=2))
+        )
+        v1, v2 = vectors[pairs[:, 0]], vectors[pairs[:, 1]]
+        powers = analyzer.powers_for_pairs(v1, v2)
+        true_max = powers.max()
+        print(
+            f"exhaustive: {len(powers)} vector pairs, "
+            f"true max power = {true_max * 1e6:.2f} uW"
+        )
+
+        pop = FinitePopulation(
+            powers, v1, v2, name="c17-exhaustive"
+        )
+        result = MaxPowerEstimator(pop, n=16, m=5).run(rng=4)
+        print(result.summary())
+        print(
+            f"estimate vs exhaustive truth: "
+            f"{result.relative_error(true_max):+.2%}"
+        )
+
+        # Analytical average power via probability propagation.
+        p_avg = expected_power(
+            circuit,
+            {net: 0.5 for net in circuit.inputs},
+            {net: 0.5 for net in circuit.inputs},
+        )
+        print(
+            f"analytical expected power @ p=0.5/t=0.5: {p_avg * 1e6:.2f} uW "
+            f"(simulated mean {powers.mean() * 1e6:.2f} uW)"
+        )
+
+        # Export for other flows.
+        verilog = write_verilog(circuit)
+        print("\nstructural Verilog export:\n")
+        print(verilog)
+
+
+if __name__ == "__main__":
+    main()

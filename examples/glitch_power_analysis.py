@@ -1,0 +1,92 @@
+"""Delay models, glitches, and the max-delay extension (paper §V).
+
+The paper's method is simulation-based precisely so it is not limited to
+simple delay models.  This example makes that concrete on an 8x8 array
+multiplier (the famously glitchy C6288 topology):
+
+1. one vector pair simulated under zero-delay, unit-delay and
+   library-delay (event-driven) models — the glitch power gap;
+2. population-level comparison of zero- vs unit-delay maximum power;
+3. the §V extension: statistical estimation of the maximum *dynamic
+   delay*, compared with the static-timing upper bound.
+
+Run:  python examples/glitch_power_analysis.py
+"""
+
+import numpy as np
+
+from repro import (
+    EventDrivenSimulator,
+    FinitePopulation,
+    LibraryDelay,
+    MaxDelayEstimator,
+    MaxPowerEstimator,
+    PowerAnalyzer,
+    UnitDelay,
+    random_vector_pairs,
+)
+from repro.netlist.generators import array_multiplier
+
+
+def main() -> None:
+    circuit = array_multiplier(8)
+    print(f"circuit: {circuit.stats()}\n")
+
+    rng = np.random.default_rng(9)
+    v1, v2 = random_vector_pairs(1, circuit.num_inputs, rng)
+    v1, v2 = v1[0], v2[0]
+
+    print("one vector pair under three delay models:")
+    for mode, label in (("zero", "zero-delay (no glitches)"),
+                        ("unit", "unit-delay (vectorized)")):
+        analyzer = PowerAnalyzer(circuit, mode=mode)
+        bd = analyzer.pair_power(v1, v2)
+        print(f"  {label:28}: {bd.power_mw:7.3f} mW")
+    analyzer_ev = PowerAnalyzer(circuit, mode="event")
+    bd_ev = analyzer_ev.pair_power(v1, v2)
+    print(
+        f"  {'library-delay event-driven':28}: {bd_ev.power_mw:7.3f} mW "
+        f"(settles at {bd_ev.settle_time:.0f} ps)"
+    )
+    sim = EventDrivenSimulator(circuit, UnitDelay())
+    res = sim.simulate_pair(v1, v2)
+    print(
+        f"  unit-delay transitions: {res.total_toggles()} "
+        f"({res.glitch_count(circuit)} are hazard/glitch activity)\n"
+    )
+
+    print("population maxima, zero- vs unit-delay (4000 pairs):")
+    for mode in ("zero", "unit"):
+        analyzer = PowerAnalyzer(circuit, mode=mode)
+        pop = FinitePopulation.build(
+            lambda n, g: random_vector_pairs(n, circuit.num_inputs, g),
+            analyzer.powers_for_pairs,
+            num_pairs=4_000,
+            seed=17,
+            name=f"mult8-{mode}",
+        )
+        result = MaxPowerEstimator(pop).run(rng=3)
+        print(
+            f"  {mode:5}: true max {pop.actual_max_power*1e3:7.3f} mW, "
+            f"estimated {result.estimate*1e3:7.3f} mW "
+            f"({result.units_used} units)"
+        )
+    print("  -> glitching raises both the maximum and the estimate;")
+    print("     the estimator is oblivious to the delay model, as claimed.\n")
+
+    print("max dynamic delay (paper §V extension), library delay model:")
+    estimator = MaxDelayEstimator(
+        circuit, LibraryDelay(), n=20, m=5, max_hyper_samples=8
+    )
+    delay_result = estimator.run(rng=23)
+    static = estimator.static_bound()
+    print(f"  statistical estimate: {delay_result.estimate:8.0f} ps "
+          f"(units={delay_result.units_used})")
+    print(f"  static timing bound : {static:8.0f} ps")
+    print("  -> STA is a hard upper bound (the estimator clips to it); the")
+    print("     statistical estimate tracks the input-reachable (dynamic)")
+    print("     critical delay from below.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Sequential peak power: the paper's machinery on a state machine.
+
+The DAC-1998 method targets combinational circuits, but its reference
+[4] (Manne et al.) asks the sequential question: what is the maximum
+power of any *cycle* — any (state, input) transition — of a state
+machine?  With the sequential substrate in this package the same
+statistical estimator answers it:
+
+1. build a sequential circuit (an 8-bit loadable counter/accumulator);
+2. sample cycles by running many random input streams from random
+   states on the vectorized multi-cycle simulator;
+3. feed the per-cycle switched-capacitance values to the
+   extreme-order-statistics estimator;
+4. cross-check via time-frame unrolling: a k-cycle window of the
+   machine is just a combinational circuit, so the combinational
+   pipeline applies verbatim.
+
+Run:  python examples/sequential_peak_power.py
+"""
+
+import numpy as np
+
+from repro import FinitePopulation, MaxPowerEstimator, default_library
+from repro.netlist.gates import GateType
+from repro.netlist.sequential import SequentialCircuit
+
+
+def build_accumulator(width: int = 8) -> SequentialCircuit:
+    """Accumulator: state += input when en, else hold."""
+    s = SequentialCircuit(f"acc{width}")
+    for i in range(width):
+        s.add_input(f"in{i}")
+    s.add_input("en")
+    for i in range(width):
+        s.add_flop(f"q{i}", d=f"d{i}")
+    carry = None
+    for i in range(width):
+        a, b = f"q{i}", f"in{i}"
+        s.add_gate(f"x{i}", GateType.XOR, [a, b])
+        if carry is None:
+            s.add_gate(f"sum{i}", GateType.BUF, [f"x{i}"])
+            s.add_gate(f"c{i}", GateType.AND, [a, b])
+        else:
+            s.add_gate(f"sum{i}", GateType.XOR, [f"x{i}", carry])
+            s.add_gate(f"ab{i}", GateType.AND, [a, b])
+            s.add_gate(f"xc{i}", GateType.AND, [f"x{i}", carry])
+            s.add_gate(f"c{i}", GateType.OR, [f"ab{i}", f"xc{i}"])
+        carry = f"c{i}"
+        # d = en ? sum : q
+        s.add_gate(f"d{i}", GateType.MUX, ["en", f"q{i}", f"sum{i}"])
+    s.set_outputs([f"q{i}" for i in range(width)])
+    s.finalize()
+    return s
+
+
+def main() -> None:
+    acc = build_accumulator(8)
+    print(f"machine: {acc}")
+
+    lib = default_library()
+    caps_ff = lib.all_net_capacitances(acc.core)
+    from repro.sim.bitsim import BitParallelSimulator
+
+    order = BitParallelSimulator(acc.core).net_order
+    caps_f = np.array([caps_ff[n] * 1e-15 for n in order])
+    freq = 50e6
+    scale = 0.5 * lib.vdd ** 2 * freq
+
+    # Sample the cycle space: 256 lanes x 80 cycles of random inputs
+    # from random initial states = ~20k cycle transitions.
+    rng = np.random.default_rng(7)
+    lanes, cycles = 256, 81
+    stream = rng.integers(0, 2, size=(cycles, lanes, 9)).astype(np.uint8)
+    init = rng.integers(0, 2, size=(lanes, 8)).astype(np.uint8)
+    _, _, energies = acc.simulate(stream, initial_state=init, net_caps=caps_f)
+    cycle_powers = (energies[1:] * scale).ravel()  # skip the warm-up frame
+    print(
+        f"sampled {cycle_powers.size} cycles: mean "
+        f"{cycle_powers.mean() * 1e3:.3f} mW, observed max "
+        f"{cycle_powers.max() * 1e3:.3f} mW"
+    )
+
+    pop = FinitePopulation(cycle_powers, name="acc8-cycles")
+    result = MaxPowerEstimator(pop, error=0.05, confidence=0.90).run(rng=3)
+    print(result.summary())
+    print(
+        f"estimate vs pool max: "
+        f"{result.relative_error(pop.actual_max_power):+.2%}\n"
+    )
+
+    # Cross-check: a 3-cycle window as pure combinational logic.
+    window = acc.unroll(3)
+    print(
+        f"3-cycle unrolled window: {window.num_inputs} inputs, "
+        f"{window.num_gates} gates — any combinational tool applies:"
+    )
+    from repro import PowerAnalyzer, high_activity_vector_pairs
+
+    analyzer = PowerAnalyzer(window, mode="zero")
+    wpop = FinitePopulation.build(
+        lambda n, g: high_activity_vector_pairs(n, window.num_inputs, rng=g),
+        analyzer.powers_for_pairs,
+        num_pairs=8000,
+        seed=11,
+        name="acc8-window3",
+    )
+    wresult = MaxPowerEstimator(wpop).run(rng=13)
+    print(wresult.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works on environments
+without the ``wheel`` package (PEP 517 editable installs need it).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

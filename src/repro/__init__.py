@@ -1,0 +1,153 @@
+"""repro — statistical maximum power estimation for VLSI circuits.
+
+Reproduction of Qiu, Wu & Pedram, *"Maximum Power Estimation Using the
+Limiting Distributions of Extreme Order Statistics"* (DAC 1998), as a
+full library: gate-level netlists and simulators, cycle power models,
+vector-pair populations, the extreme-value estimation core, baselines,
+and the paper's complete experiment suite.
+
+Quick start::
+
+    from repro import (
+        build_circuit, PowerAnalyzer, FinitePopulation,
+        high_activity_vector_pairs, MaxPowerEstimator,
+    )
+
+    circuit = build_circuit("c432")
+    analyzer = PowerAnalyzer(circuit)          # unit-delay glitch power
+    pop = FinitePopulation.build(
+        lambda n, rng: high_activity_vector_pairs(n, circuit.num_inputs, rng=rng),
+        analyzer.powers_for_pairs,
+        num_pairs=20_000, seed=1, name="c432-unconstrained",
+    )
+    result = MaxPowerEstimator(pop, error=0.05, confidence=0.90).run(rng=0)
+    print(result.summary())
+"""
+
+from .errors import (
+    ConfigError,
+    EstimationError,
+    FitError,
+    NetlistError,
+    ParseError,
+    PopulationError,
+    ReproError,
+    SimulationError,
+)
+from .estimation import (
+    EstimationResult,
+    GeneticMaxPowerSearch,
+    HighQuantileEstimator,
+    MaxDelayEstimator,
+    MaxPowerEstimator,
+    SimpleRandomSampling,
+    UncertaintyBound,
+    srs_required_units,
+)
+from .evt import (
+    Frechet,
+    GeneralizedWeibull,
+    Gumbel,
+    WeibullFit,
+    block_maxima,
+    classify_domain,
+    fit_weibull_lsq,
+    fit_weibull_mle,
+    fit_weibull_moments,
+    t_mean_interval,
+)
+from .netlist import (
+    CellLibrary,
+    Circuit,
+    GateType,
+    default_library,
+    load_bench,
+    load_verilog,
+    parse_bench,
+    parse_verilog,
+    write_bench,
+    write_verilog,
+)
+from .netlist.generators import available_circuits, build_circuit
+from .sim import (
+    BitParallelSimulator,
+    EventDrivenSimulator,
+    LibraryDelay,
+    PowerAnalyzer,
+    StaticTimingAnalyzer,
+    UnitDelay,
+    ZeroDelay,
+)
+from .vectors import (
+    FinitePopulation,
+    PowerPopulation,
+    StreamingPopulation,
+    high_activity_vector_pairs,
+    markov_transition_vector_pairs,
+    random_vector_pairs,
+    transition_prob_vector_pairs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "NetlistError",
+    "ParseError",
+    "SimulationError",
+    "PopulationError",
+    "EstimationError",
+    "FitError",
+    "ConfigError",
+    # netlist
+    "Circuit",
+    "GateType",
+    "CellLibrary",
+    "default_library",
+    "parse_bench",
+    "load_bench",
+    "write_bench",
+    "parse_verilog",
+    "load_verilog",
+    "write_verilog",
+    "build_circuit",
+    "available_circuits",
+    # sim
+    "BitParallelSimulator",
+    "EventDrivenSimulator",
+    "PowerAnalyzer",
+    "StaticTimingAnalyzer",
+    "ZeroDelay",
+    "UnitDelay",
+    "LibraryDelay",
+    # vectors
+    "PowerPopulation",
+    "FinitePopulation",
+    "StreamingPopulation",
+    "random_vector_pairs",
+    "high_activity_vector_pairs",
+    "transition_prob_vector_pairs",
+    "markov_transition_vector_pairs",
+    # evt
+    "GeneralizedWeibull",
+    "Gumbel",
+    "Frechet",
+    "WeibullFit",
+    "fit_weibull_mle",
+    "fit_weibull_lsq",
+    "fit_weibull_moments",
+    "block_maxima",
+    "classify_domain",
+    "t_mean_interval",
+    # estimation
+    "MaxPowerEstimator",
+    "EstimationResult",
+    "SimpleRandomSampling",
+    "srs_required_units",
+    "HighQuantileEstimator",
+    "GeneticMaxPowerSearch",
+    "UncertaintyBound",
+    "MaxDelayEstimator",
+]

@@ -1,0 +1,21 @@
+"""Analytical (non-simulation) power analysis."""
+
+from .report import NetPowerRecord, PowerReport, power_report
+from .signal_prob import (
+    expected_power,
+    expected_switched_capacitance,
+    pair_probabilities,
+    signal_probabilities,
+    transition_probabilities,
+)
+
+__all__ = [
+    "signal_probabilities",
+    "pair_probabilities",
+    "transition_probabilities",
+    "expected_switched_capacitance",
+    "expected_power",
+    "power_report",
+    "PowerReport",
+    "NetPowerRecord",
+]

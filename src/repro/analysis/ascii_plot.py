@@ -1,0 +1,116 @@
+"""Dependency-free ASCII line plots.
+
+The figure experiments reproduce the paper's *curves* (empirical vs
+fitted CDFs), not just their summary numbers; this module renders those
+series directly in a terminal so ``repro-power experiment figure1``
+shows an actual figure without any plotting dependency.  The exported
+CSV series remain the way to make publication plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["line_plot"]
+
+_MARKERS = "*+ox#@%&"
+
+
+def line_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one shared-axis character grid.
+
+    Parameters
+    ----------
+    series:
+        Mapping label -> (x values, y values); each series gets its own
+        marker, later series overwrite earlier ones on collisions.
+    width, height:
+        Plot area size in characters (axes add a margin).
+    x_label, y_label:
+        Optional axis captions.
+
+    Returns
+    -------
+    str
+        The plot plus a legend, ready to print.
+    """
+    if not series:
+        raise ConfigError("need at least one series")
+    if width < 8 or height < 4:
+        raise ConfigError("width must be >= 8 and height >= 4")
+    if len(series) > len(_MARKERS):
+        raise ConfigError(f"at most {len(_MARKERS)} series supported")
+
+    all_x: List[float] = []
+    all_y: List[float] = []
+    cleaned: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for label, (xs, ys) in series.items():
+        xa = np.asarray(xs, dtype=np.float64)
+        ya = np.asarray(ys, dtype=np.float64)
+        if xa.shape != ya.shape or xa.ndim != 1 or xa.size == 0:
+            raise ConfigError(f"series {label!r} must be equal 1-D arrays")
+        keep = np.isfinite(xa) & np.isfinite(ya)
+        xa, ya = xa[keep], ya[keep]
+        if xa.size == 0:
+            raise ConfigError(f"series {label!r} has no finite points")
+        cleaned[label] = (xa, ya)
+        all_x.extend(xa)
+        all_y.extend(ya)
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, (xa, ya)) in zip(_MARKERS, cleaned.items()):
+        cols = np.clip(
+            ((xa - x_lo) / x_span * (width - 1)).round().astype(int),
+            0,
+            width - 1,
+        )
+        rows = np.clip(
+            ((ya - y_lo) / y_span * (height - 1)).round().astype(int),
+            0,
+            height - 1,
+        )
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    y_hi_txt = f"{y_hi:.3g}"
+    y_lo_txt = f"{y_lo:.3g}"
+    margin = max(len(y_hi_txt), len(y_lo_txt)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_txt.rjust(margin)
+        elif i == height - 1:
+            prefix = y_lo_txt.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(
+            " " * (margin + 1)
+            + (f"x: {x_label}  " if x_label else "")
+            + (f"y: {y_label}" if y_label else "")
+        )
+    legend = "   ".join(
+        f"{marker} {label}"
+        for marker, label in zip(_MARKERS, cleaned)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

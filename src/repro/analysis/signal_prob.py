@@ -1,0 +1,256 @@
+"""Probabilistic signal and transition analysis.
+
+Classic probabilistic power analysis substrate (Najm-style): propagate
+per-net probabilities through the gate DAG under the spatial
+independence assumption.
+
+Two propagation modes:
+
+* :func:`signal_probabilities` — static ``P(net = 1)``.
+* :func:`pair_probabilities` — joint probabilities of a net's value in
+  the two half-cycles of a vector pair, ``(P00, P01, P10, P11)``.  A
+  gate's output joint distribution is computed *exactly* from its input
+  joints (given independence), so per-net transition probabilities
+  ``P01 + P10`` — and from them the expected switched capacitance — come
+  out in one topological pass.
+
+This is the analytical engine behind the continuous-optimization
+baseline (paper reference [7], COSMOS) in
+:mod:`repro.estimation.gradient`, and a useful average-power estimator
+in its own right.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..netlist.circuit import Circuit
+from ..netlist.gates import GateType
+from ..netlist.library import CellLibrary, default_library
+
+__all__ = [
+    "signal_probabilities",
+    "pair_probabilities",
+    "transition_probabilities",
+    "expected_switched_capacitance",
+    "expected_power",
+    "PairProb",
+]
+
+#: Joint distribution of one net over the two half-cycles:
+#: ``(P00, P01, P10, P11)`` with P01 = P(val1=0, val2=1) etc.
+PairProb = Tuple[float, float, float, float]
+
+
+def _check_prob(p: float, what: str) -> float:
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ConfigError(f"{what} must be in [0, 1], got {p}")
+    return p
+
+
+# ----------------------------------------------------------------------
+# static signal probability
+# ----------------------------------------------------------------------
+def _combine_static(gtype: GateType, probs: Sequence[float]) -> float:
+    if gtype is GateType.AND:
+        return float(np.prod(probs))
+    if gtype is GateType.NAND:
+        return 1.0 - float(np.prod(probs))
+    if gtype is GateType.OR:
+        return 1.0 - float(np.prod([1.0 - p for p in probs]))
+    if gtype is GateType.NOR:
+        return float(np.prod([1.0 - p for p in probs]))
+    if gtype in (GateType.XOR, GateType.XNOR):
+        acc = probs[0]
+        for p in probs[1:]:
+            acc = acc * (1.0 - p) + p * (1.0 - acc)
+        return acc if gtype is GateType.XOR else 1.0 - acc
+    if gtype is GateType.NOT:
+        return 1.0 - probs[0]
+    if gtype is GateType.BUF:
+        return probs[0]
+    if gtype is GateType.MUX:
+        ps, p0, p1 = probs
+        return (1.0 - ps) * p0 + ps * p1
+    if gtype is GateType.CONST0:
+        return 0.0
+    if gtype is GateType.CONST1:
+        return 1.0
+    raise ConfigError(f"cannot propagate through {gtype}")
+
+
+def signal_probabilities(
+    circuit: Circuit, input_probs: Mapping[str, float]
+) -> Dict[str, float]:
+    """``P(net = 1)`` for every net under input independence.
+
+    ``input_probs`` maps every primary input to its 1-probability.
+    Accuracy degrades with reconvergent fanout (the classical
+    limitation); exactness on trees is tested.
+    """
+    probs: Dict[str, float] = {}
+    for net in circuit.inputs:
+        if net not in input_probs:
+            raise ConfigError(f"missing probability for input {net!r}")
+        probs[net] = _check_prob(input_probs[net], f"P({net})")
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        probs[name] = _combine_static(
+            gate.gtype, [probs[f] for f in gate.fanin]
+        )
+    return probs
+
+
+# ----------------------------------------------------------------------
+# vector-pair joint probability
+# ----------------------------------------------------------------------
+def _pair_from_static(p1: float, toggle: float) -> PairProb:
+    """Input-line joint from P(v1=1) and the toggle probability."""
+    p1 = _check_prob(p1, "p1")
+    toggle = _check_prob(toggle, "toggle")
+    p0 = 1.0 - p1
+    return (
+        p0 * (1.0 - toggle),  # 0 -> 0
+        p0 * toggle,          # 0 -> 1
+        p1 * toggle,          # 1 -> 0
+        p1 * (1.0 - toggle),  # 1 -> 1
+    )
+
+
+def _apply_boolean(
+    gtype: GateType, bits: Sequence[Tuple[int, int]]
+) -> Tuple[int, int]:
+    """Evaluate the gate on each half-cycle of concrete bit pairs."""
+    from ..netlist.gates import eval_gate
+
+    v1 = eval_gate(gtype, [b[0] for b in bits])
+    v2 = eval_gate(gtype, [b[1] for b in bits])
+    return v1, v2
+
+
+def _combine_pair(gtype: GateType, joints: Sequence[PairProb]) -> PairProb:
+    """Exact output joint from independent input joints.
+
+    Folds inputs pairwise for the associative n-ary gates, enumerating
+    the 4x4 combinations; MUX is handled with a single 4x4x4
+    enumeration.
+    """
+    if gtype is GateType.CONST0:
+        return (1.0, 0.0, 0.0, 0.0)
+    if gtype is GateType.CONST1:
+        return (0.0, 0.0, 0.0, 1.0)
+    if gtype is GateType.BUF:
+        return joints[0]
+    if gtype is GateType.NOT:
+        p00, p01, p10, p11 = joints[0]
+        return (p11, p10, p01, p00)
+
+    _PAIRS = ((0, 0), (0, 1), (1, 0), (1, 1))
+
+    if gtype is GateType.MUX:
+        out = [0.0, 0.0, 0.0, 0.0]
+        for i, sel in enumerate(_PAIRS):
+            for j, d0 in enumerate(_PAIRS):
+                for k, d1 in enumerate(_PAIRS):
+                    w = joints[0][i] * joints[1][j] * joints[2][k]
+                    if w == 0.0:
+                        continue
+                    v1, v2 = _apply_boolean(gtype, [sel, d0, d1])
+                    out[2 * v1 + v2] += w
+        return tuple(out)  # type: ignore[return-value]
+
+    if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR):
+        base = {
+            GateType.NAND: GateType.AND,
+            GateType.NOR: GateType.OR,
+            GateType.XNOR: GateType.XOR,
+        }[gtype]
+        p00, p01, p10, p11 = _combine_pair(base, joints)
+        return (p11, p10, p01, p00)
+
+    # Associative fold for AND / OR / XOR.
+    acc = joints[0]
+    for nxt in joints[1:]:
+        out = [0.0, 0.0, 0.0, 0.0]
+        for i, a in enumerate(_PAIRS):
+            if acc[i] == 0.0:
+                continue
+            for j, b in enumerate(_PAIRS):
+                w = acc[i] * nxt[j]
+                if w == 0.0:
+                    continue
+                v1, v2 = _apply_boolean(gtype, [a, b])
+                out[2 * v1 + v2] += w
+        acc = tuple(out)  # type: ignore[assignment]
+    return acc
+
+
+def pair_probabilities(
+    circuit: Circuit,
+    input_p1: Mapping[str, float],
+    input_toggle: Mapping[str, float],
+) -> Dict[str, PairProb]:
+    """Joint (v1, v2) distribution of every net.
+
+    Parameters
+    ----------
+    input_p1:
+        P(v1 = 1) per primary input.
+    input_toggle:
+        Per-input transition probability (category I.2 specification).
+    """
+    joints: Dict[str, PairProb] = {}
+    for net in circuit.inputs:
+        if net not in input_p1 or net not in input_toggle:
+            raise ConfigError(f"missing pair spec for input {net!r}")
+        joints[net] = _pair_from_static(input_p1[net], input_toggle[net])
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        joints[name] = _combine_pair(
+            gate.gtype, [joints[f] for f in gate.fanin]
+        )
+    return joints
+
+
+def transition_probabilities(
+    circuit: Circuit,
+    input_p1: Mapping[str, float],
+    input_toggle: Mapping[str, float],
+) -> Dict[str, float]:
+    """Per-net toggle probability ``P01 + P10`` (zero-delay)."""
+    joints = pair_probabilities(circuit, input_p1, input_toggle)
+    return {net: j[1] + j[2] for net, j in joints.items()}
+
+
+def expected_switched_capacitance(
+    circuit: Circuit,
+    input_p1: Mapping[str, float],
+    input_toggle: Mapping[str, float],
+    library: Optional[CellLibrary] = None,
+) -> float:
+    """Expected switched capacitance (farads) of one vector pair."""
+    library = library if library is not None else default_library()
+    toggles = transition_probabilities(circuit, input_p1, input_toggle)
+    caps = library.all_net_capacitances(circuit)
+    return sum(
+        caps[net] * 1e-15 * toggles[net] for net in circuit.nets
+    )
+
+
+def expected_power(
+    circuit: Circuit,
+    input_p1: Mapping[str, float],
+    input_toggle: Mapping[str, float],
+    library: Optional[CellLibrary] = None,
+    frequency_hz: float = 50e6,
+) -> float:
+    """Analytical expected cycle power (watts), zero-delay model."""
+    library = library if library is not None else default_library()
+    cap = expected_switched_capacitance(
+        circuit, input_p1, input_toggle, library
+    )
+    return 0.5 * library.vdd ** 2 * cap * frequency_hz

@@ -1,0 +1,397 @@
+"""Command-line interface: ``repro-power`` / ``python -m repro``.
+
+Subcommands
+-----------
+``suite``
+    List the built-in ISCAS85-like circuits with their profiles.
+``info CIRCUIT``
+    Structural and timing report of a circuit (built-in name or a
+    ``.bench``/``.v`` file path).
+``estimate CIRCUIT``
+    Run the paper's maximum-power estimation on a freshly generated
+    population (finite pool or streaming).
+``experiment NAME``
+    Run a registered paper experiment (table1..4, figure1/2, ablations)
+    and print the resulting table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .errors import ReproError
+from .netlist.bench import load_bench
+from .netlist.circuit import Circuit
+from .netlist.generators import ISCAS85_PROFILES, available_circuits, build_circuit
+from .netlist.verilog import load_verilog
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_circuit(spec: str) -> Circuit:
+    path = Path(spec)
+    if path.suffix == ".bench" and path.exists():
+        return load_bench(path)
+    if path.suffix in (".v", ".verilog") and path.exists():
+        return load_verilog(path)
+    return build_circuit(spec)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-power",
+        description=(
+            "Statistical maximum power estimation via extreme order "
+            "statistics (Qiu/Wu/Pedram, DAC 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="list built-in benchmark circuits")
+
+    info = sub.add_parser("info", help="circuit structure/timing report")
+    info.add_argument("circuit", help="suite name or .bench/.v path")
+
+    est = sub.add_parser("estimate", help="estimate maximum power")
+    est.add_argument("circuit", help="suite name or .bench/.v path")
+    est.add_argument(
+        "--population",
+        type=int,
+        default=20_000,
+        help="finite pool size (0 = streaming/infinite population)",
+    )
+    est.add_argument(
+        "--mode",
+        choices=("zero", "unit"),
+        default="zero",
+        help="power simulation mode",
+    )
+    est.add_argument(
+        "--activity",
+        type=float,
+        default=None,
+        help=(
+            "per-line transition probability constraint (category I.2); "
+            "omit for unconstrained high-activity pairs"
+        ),
+    )
+    est.add_argument("--error", type=float, default=0.05, help="epsilon")
+    est.add_argument(
+        "--confidence", type=float, default=0.90, help="confidence level l"
+    )
+    est.add_argument("--seed", type=int, default=0, help="random seed")
+    est.add_argument(
+        "--frequency-mhz", type=float, default=50.0, help="clock frequency"
+    )
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", help="experiment id (or 'all')")
+    exp.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="also save .txt/.csv artifacts here",
+    )
+
+    rep = sub.add_parser(
+        "report", help="per-net workload power report (top consumers)"
+    )
+    rep.add_argument("circuit", help="suite name or .bench/.v path")
+    rep.add_argument("--pairs", type=int, default=5000, help="workload size")
+    rep.add_argument("--top", type=int, default=10, help="nets to list")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument(
+        "--activity", type=float, default=None,
+        help="per-line transition probability (default: uniform random)",
+    )
+
+    tr = sub.add_parser(
+        "transform", help="apply a netlist transform and write .bench"
+    )
+    tr.add_argument("circuit", help="suite name or .bench/.v path")
+    tr.add_argument(
+        "kind",
+        choices=("nand", "sop", "two-input", "const-prop", "sweep", "buffer"),
+        help="transformation to apply",
+    )
+    tr.add_argument("output", type=Path, help="output .bench path")
+    tr.add_argument(
+        "--max-fanout", type=int, default=8, help="for the buffer transform"
+    )
+    tr.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the equivalence check",
+    )
+
+    dl = sub.add_parser(
+        "delay", help="statistical maximum dynamic delay (paper §V)"
+    )
+    dl.add_argument("circuit", help="suite name or .bench/.v path")
+    dl.add_argument("--error", type=float, default=0.05)
+    dl.add_argument("--confidence", type=float, default=0.90)
+    dl.add_argument("--n", type=int, default=20, help="block size")
+    dl.add_argument("--m", type=int, default=5, help="blocks per round")
+    dl.add_argument("--seed", type=int, default=0)
+    dl.add_argument(
+        "--max-rounds", type=int, default=10,
+        help="hyper-sample budget (event-driven sim is per-pair costly)",
+    )
+
+    wv = sub.add_parser(
+        "wave", help="simulate one vector pair and dump a VCD waveform"
+    )
+    wv.add_argument("circuit", help="suite name or .bench/.v path")
+    wv.add_argument("output", type=Path, help="output .vcd path")
+    wv.add_argument(
+        "--vectors", default=None,
+        help="comma-separated bit strings 'v1,v2' (default: random)",
+    )
+    wv.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_suite() -> int:
+    print(f"{'name':8} {'PI':>4} {'PO':>4} {'gates':>6} {'depth':>6}  function")
+    for name in available_circuits():
+        profile = ISCAS85_PROFILES[name]
+        print(
+            f"{name:8} {profile.num_inputs:>4} {profile.num_outputs:>4} "
+            f"{profile.num_gates:>6} {profile.depth:>6}  {profile.function}"
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .sim.sta import StaticTimingAnalyzer
+
+    circuit = _load_circuit(args.circuit)
+    stats = circuit.stats()
+    print(stats)
+    report = StaticTimingAnalyzer(circuit).run()
+    print(f"static critical delay: {report.max_delay:.1f} (unit-delay levels)")
+    print(
+        "critical path:",
+        " -> ".join(report.critical_path[:8])
+        + (" ..." if len(report.critical_path) > 8 else ""),
+    )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .estimation.mc_estimator import MaxPowerEstimator
+    from .sim.power import PowerAnalyzer
+    from .vectors.generators import (
+        high_activity_vector_pairs,
+        transition_prob_vector_pairs,
+    )
+    from .vectors.population import FinitePopulation, StreamingPopulation
+
+    circuit = _load_circuit(args.circuit)
+    analyzer = PowerAnalyzer(
+        circuit, frequency_hz=args.frequency_mhz * 1e6, mode=args.mode
+    )
+    if args.activity is None:
+        def generate(count: int, rng: np.random.Generator):
+            return high_activity_vector_pairs(
+                count, circuit.num_inputs, rng=rng
+            )
+        constraint = "unconstrained (activity > 0.3)"
+    else:
+        def generate(count: int, rng: np.random.Generator):
+            return transition_prob_vector_pairs(
+                count, circuit.num_inputs, args.activity, rng=rng
+            )
+        constraint = f"per-line transition probability {args.activity}"
+
+    if args.population > 0:
+        pop = FinitePopulation.build(
+            generate,
+            analyzer.powers_for_pairs,
+            num_pairs=args.population,
+            seed=args.seed,
+            name=f"{circuit.name} [{constraint}]",
+        )
+        print(
+            f"pool of {pop.size} pairs simulated; actual max = "
+            f"{pop.actual_max_power * 1e3:.4f} mW"
+        )
+    else:
+        pop = StreamingPopulation(
+            generate,
+            analyzer.powers_for_pairs,
+            name=f"{circuit.name} [{constraint}, streaming]",
+        )
+
+    estimator = MaxPowerEstimator(
+        pop, error=args.error, confidence=args.confidence
+    )
+    result = estimator.run(rng=args.seed + 1)
+    print(result.summary())
+    if args.population > 0:
+        rel = result.relative_error(pop.actual_max_power)
+        print(f"relative error vs pool maximum: {rel:+.2%}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import run_all, run_experiment
+
+    if args.name == "all":
+        for table in run_all(output_dir=args.output_dir):
+            print(table.render())
+            print()
+        return 0
+    table = run_experiment(args.name)
+    if args.output_dir is not None:
+        table.save(args.output_dir)
+    print(table.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis.report import power_report
+    from .vectors.generators import (
+        random_vector_pairs,
+        transition_prob_vector_pairs,
+    )
+
+    circuit = _load_circuit(args.circuit)
+    rng = np.random.default_rng(args.seed)
+    if args.activity is None:
+        v1, v2 = random_vector_pairs(args.pairs, circuit.num_inputs, rng)
+    else:
+        v1, v2 = transition_prob_vector_pairs(
+            args.pairs, circuit.num_inputs, args.activity, rng=rng
+        )
+    report = power_report(circuit, v1, v2)
+    print(report.render(top_count=args.top))
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from .netlist.bench import dump_bench
+    from .netlist.equivalence import check_equivalence
+    from .netlist.transforms import (
+        buffer_high_fanout,
+        decompose_to_two_input,
+        expand_xor_to_and_or,
+        expand_xor_to_nand,
+        propagate_constants,
+        sweep_dangling,
+    )
+
+    circuit = _load_circuit(args.circuit)
+    transforms = {
+        "nand": expand_xor_to_nand,
+        "sop": expand_xor_to_and_or,
+        "two-input": decompose_to_two_input,
+        "const-prop": propagate_constants,
+        "sweep": sweep_dangling,
+        "buffer": lambda c: buffer_high_fanout(c, max_fanout=args.max_fanout),
+    }
+    result = transforms[args.kind](circuit)
+    if not args.no_verify:
+        verdict = check_equivalence(circuit, result)
+        mode = "exhaustively" if verdict.exhaustive else "by random simulation"
+        if not verdict.equivalent:
+            print(
+                f"error: transform broke equivalence "
+                f"(counterexample {verdict.counterexample})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"equivalence verified {mode} ({verdict.vectors_checked} vectors)")
+    dump_bench(result, args.output)
+    print(
+        f"{circuit.num_gates} -> {result.num_gates} gates, "
+        f"written to {args.output}"
+    )
+    return 0
+
+
+def _cmd_delay(args: argparse.Namespace) -> int:
+    from .estimation.delay_estimator import MaxDelayEstimator
+
+    circuit = _load_circuit(args.circuit)
+    estimator = MaxDelayEstimator(
+        circuit,
+        n=args.n,
+        m=args.m,
+        error=args.error,
+        confidence=args.confidence,
+        max_hyper_samples=args.max_rounds,
+    )
+    result = estimator.run(rng=args.seed)
+    static = estimator.static_bound()
+    print(result.summary().replace("P_max", "D_max"))
+    print(
+        f"static timing bound: {static:.1f} ps "
+        f"(estimate/STA = {result.estimate / static:.2f})"
+    )
+    return 0
+
+
+def _cmd_wave(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .sim.delay import LibraryDelay
+    from .sim.event_sim import EventDrivenSimulator
+    from .sim.vcd import dump_vcd
+
+    circuit = _load_circuit(args.circuit)
+    if args.vectors:
+        parts = args.vectors.split(",")
+        if len(parts) != 2:
+            print("error: --vectors needs 'bits,bits'", file=sys.stderr)
+            return 1
+        v1 = [int(b) for b in parts[0].strip()]
+        v2 = [int(b) for b in parts[1].strip()]
+    else:
+        rng = np.random.default_rng(args.seed)
+        v1 = list(rng.integers(0, 2, size=circuit.num_inputs))
+        v2 = list(rng.integers(0, 2, size=circuit.num_inputs))
+    sim = EventDrivenSimulator(circuit, LibraryDelay())
+    result = sim.simulate_pair(v1, v2, record_waveforms=True)
+    dump_vcd(circuit, result, args.output)
+    print(
+        f"{result.total_toggles()} transitions, settles at "
+        f"{result.settle_time:.0f} ps -> {args.output}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "suite":
+            return _cmd_suite()
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "estimate":
+            return _cmd_estimate(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "transform":
+            return _cmd_transform(args)
+        if args.command == "delay":
+            return _cmd_delay(args)
+        if args.command == "wave":
+            return _cmd_wave(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

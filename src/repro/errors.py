@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one base class at their top level.  Subsystems get
+their own subclass to make handler granularity possible without string
+matching on messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a circuit netlist (bad arity, cycle, ...)."""
+
+
+class ParseError(NetlistError):
+    """A netlist file could not be parsed.
+
+    Attributes
+    ----------
+    line_no:
+        1-based line number the error was detected on, or ``None`` when the
+        error is not tied to a specific line.
+    """
+
+    def __init__(self, message: str, line_no: "int | None" = None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The logic or timing simulator was driven with inconsistent data."""
+
+
+class PopulationError(ReproError):
+    """A vector-pair population was built or sampled inconsistently."""
+
+
+class EstimationError(ReproError):
+    """A statistical estimator could not produce a result."""
+
+
+class FitError(EstimationError):
+    """A distribution fit (MLE, curve fit, moments) failed to converge."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or estimator configuration."""

@@ -1,0 +1,38 @@
+"""Estimators: the paper's method, its baselines, and extensions."""
+
+from .average_power import AveragePowerEstimator, AveragePowerResult
+from .bounds import UncertaintyBound
+from .delay_estimator import MaxDelayEstimator
+from .finite_population import finite_population_estimate, finite_population_quantile
+from .genetic import GeneticMaxPowerSearch, GeneticSearchResult
+from .gradient import ContinuousMaxPowerSearch, GradientSearchResult
+from .mc_estimator import MaxPowerEstimator
+from .pot import PeaksOverThresholdEstimator
+from .tuner import BlockSizeTuner, TunerReport
+from .quantile_est import HighQuantileEstimator, QuantileEstimate
+from .result import EstimationResult, HyperSample
+from .srs import SimpleRandomSampling, SRSStudy, srs_required_units
+
+__all__ = [
+    "MaxPowerEstimator",
+    "PeaksOverThresholdEstimator",
+    "BlockSizeTuner",
+    "TunerReport",
+    "AveragePowerEstimator",
+    "AveragePowerResult",
+    "EstimationResult",
+    "HyperSample",
+    "finite_population_estimate",
+    "finite_population_quantile",
+    "SimpleRandomSampling",
+    "SRSStudy",
+    "srs_required_units",
+    "HighQuantileEstimator",
+    "QuantileEstimate",
+    "GeneticMaxPowerSearch",
+    "GeneticSearchResult",
+    "ContinuousMaxPowerSearch",
+    "GradientSearchResult",
+    "UncertaintyBound",
+    "MaxDelayEstimator",
+]

@@ -1,0 +1,122 @@
+"""Average-power estimation with CLT-based stopping.
+
+The companion problem to the paper's maximum-power estimation: the
+*mean* of the same per-vector-pair power distribution.  Because the mean
+is a regular functional, plain Monte-Carlo with the classical
+normal-approximation stopping rule suffices (this is the standard
+technique of the DAC-era average-power literature, e.g. Burch et al.'s
+McPOWER): keep sampling until
+
+    ``t_{l,k-1} * s / (sqrt(k) * mean)  <=  epsilon``
+
+over batch means.  Including it here lets users report the customary
+max/avg power ratio from a single population object, and provides a
+sanity anchor for the maximum estimates (max >= mean, ratios of 2-4x on
+random logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..evt.confidence import MeanInterval, t_mean_interval
+from ..vectors.generators import RngLike, as_rng
+from ..vectors.population import PowerPopulation
+
+__all__ = ["AveragePowerResult", "AveragePowerEstimator"]
+
+
+@dataclass
+class AveragePowerResult:
+    """Outcome of average-power estimation."""
+
+    estimate: float
+    interval: Optional[MeanInterval]
+    converged: bool
+    units_used: int
+    batch_means: List[float] = field(default_factory=list)
+
+    def relative_error(self, actual_mean: float) -> float:
+        return (self.estimate - actual_mean) / actual_mean
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"P_avg≈{self.estimate:.4g} W ({status}, "
+            f"units={self.units_used})"
+        )
+
+
+class AveragePowerEstimator:
+    """Monte-Carlo mean-power estimation with a Student-t stopping rule.
+
+    Parameters
+    ----------
+    population:
+        Any :class:`~repro.vectors.population.PowerPopulation`.
+    batch_size:
+        Units per batch; batch means are treated as i.i.d. normal.
+    error, confidence:
+        Target relative half-width and confidence level.
+    min_batches, max_batches:
+        Iteration bounds.
+    """
+
+    def __init__(
+        self,
+        population: PowerPopulation,
+        batch_size: int = 64,
+        error: float = 0.02,
+        confidence: float = 0.95,
+        min_batches: int = 4,
+        max_batches: int = 10_000,
+    ):
+        if batch_size < 2:
+            raise ConfigError("batch_size must be >= 2")
+        if not 0 < error < 1:
+            raise ConfigError("error must be in (0, 1)")
+        if not 0 < confidence < 1:
+            raise ConfigError("confidence must be in (0, 1)")
+        if min_batches < 2:
+            raise ConfigError("min_batches must be >= 2")
+        if max_batches < min_batches:
+            raise ConfigError("max_batches < min_batches")
+        self.population = population
+        self.batch_size = batch_size
+        self.error = error
+        self.confidence = confidence
+        self.min_batches = min_batches
+        self.max_batches = max_batches
+
+    def run(self, rng: RngLike = None) -> AveragePowerResult:
+        """Sample batches until the mean's CI meets the error target."""
+        gen = as_rng(rng)
+        means: List[float] = []
+        units = 0
+        interval: Optional[MeanInterval] = None
+        for _ in range(self.max_batches):
+            batch = self.population.sample_powers(self.batch_size, gen)
+            units += self.batch_size
+            means.append(float(batch.mean()))
+            if len(means) < self.min_batches:
+                continue
+            interval = t_mean_interval(means, self.confidence)
+            if interval.rel_half_width <= self.error:
+                return AveragePowerResult(
+                    estimate=interval.mean,
+                    interval=interval,
+                    converged=True,
+                    units_used=units,
+                    batch_means=means,
+                )
+        return AveragePowerResult(
+            estimate=float(np.mean(means)),
+            interval=interval,
+            converged=False,
+            units_used=units,
+            batch_means=means,
+        )

@@ -1,0 +1,123 @@
+"""Structural upper bound on maximum power (paper reference [1] style).
+
+Devadas/Keutzer/White propagate signal uncertainty through the circuit
+to bound maximum power from above.  The (loose) first stage of that idea
+is implemented: a net can contribute switched capacitance only if some
+input in its transitive fanin may toggle, so under a transition
+constraint that freezes part of the inputs, whole cones drop out of the
+bound.  Unconstrained, the bound degenerates to "everything toggles
+once" (zero-delay) — exactly the kind of loose bound the paper contrasts
+its statistical estimates against.
+
+A glitch-aware variant multiplies each net's contribution by the number
+of times it can switch in a unit-delay cycle, bounded by the count of
+distinct arrival times in its fanin cone (a standard transition-count
+bound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..netlist.circuit import Circuit
+from ..netlist.library import CellLibrary, default_library
+
+__all__ = ["UncertaintyBound"]
+
+_FF_TO_F = 1e-15
+
+
+class UncertaintyBound:
+    """Upper bound on cycle power under input toggle constraints.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to bound.
+    library:
+        Capacitance source (defaults to the generic library).
+    frequency_hz:
+        Energy -> power conversion.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: Optional[CellLibrary] = None,
+        frequency_hz: float = 50e6,
+    ):
+        if frequency_hz <= 0:
+            raise ConfigError("frequency_hz must be positive")
+        circuit.validate()
+        self.circuit = circuit
+        self.library = library if library is not None else default_library()
+        self.frequency_hz = frequency_hz
+        self._caps_ff = self.library.all_net_capacitances(circuit)
+
+    # ------------------------------------------------------------------
+    def _toggleable_nets(
+        self, frozen_inputs: Iterable[str]
+    ) -> Set[str]:
+        """Nets that may switch given that ``frozen_inputs`` cannot."""
+        frozen = set(frozen_inputs)
+        unknown_inputs = [
+            net for net in self.circuit.inputs if net not in frozen
+        ]
+        can: Set[str] = set(unknown_inputs)
+        for name in self.circuit.topological_order():
+            gate = self.circuit.gate(name)
+            if any(f in can for f in gate.fanin):
+                can.add(name)
+        return can
+
+    def _max_transitions(self) -> Dict[str, int]:
+        """Per-net bound on unit-delay transition count in one cycle.
+
+        A gate output can change at most once per distinct arrival step
+        of its cone; under unit delay that is bounded by the net's logic
+        level (inputs: 1).
+        """
+        levels = self.circuit.levels()
+        return {
+            net: max(1, lvl) if lvl else 1 for net, lvl in levels.items()
+        }
+
+    # ------------------------------------------------------------------
+    def power_bound(
+        self,
+        frozen_inputs: Sequence[str] = (),
+        glitch_aware: bool = False,
+    ) -> float:
+        """Upper bound (watts) on any vector pair's cycle power.
+
+        Parameters
+        ----------
+        frozen_inputs:
+            Input nets with transition probability zero under the
+            constraint specification (category I.2); their cones are
+            excluded.
+        glitch_aware:
+            If true, allow each net its unit-delay transition-count
+            bound instead of a single toggle (a *larger*, but still
+            valid, bound for glitch-capable simulation modes).
+        """
+        for net in frozen_inputs:
+            if not self.circuit.is_input(net):
+                raise ConfigError(f"{net!r} is not a primary input")
+        can = self._toggleable_nets(frozen_inputs)
+        counts = self._max_transitions() if glitch_aware else None
+        cap_sum = 0.0
+        for net in can:
+            factor = counts[net] if counts else 1
+            cap_sum += self._caps_ff[net] * _FF_TO_F * factor
+        vdd = self.library.vdd
+        return 0.5 * vdd ** 2 * cap_sum * self.frequency_hz
+
+    def tightness(self, actual_max_power: float, **kwargs) -> float:
+        """Ratio bound / actual — how loose the structural bound is."""
+        if actual_max_power <= 0:
+            raise ConfigError("actual_max_power must be positive")
+        return self.power_bound(**kwargs) / actual_max_power

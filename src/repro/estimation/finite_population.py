@@ -1,0 +1,42 @@
+"""Finite-population correction (paper §3.4).
+
+The MLE location μ̂ estimates the right endpoint of the *infinite*
+population the Weibull limit describes; a finite pool of |V| units has
+its maximum at roughly the (1 − 1/|V|) quantile of that distribution,
+so using μ̂ directly overestimates.  The corrected estimator is the
+(1 − 1/|V|) quantile of the fitted Weibull — justified by the
+tail-equivalence property between F and the limit law of its maxima.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import EstimationError
+from ..evt.mle import WeibullFit
+
+__all__ = ["finite_population_quantile", "finite_population_estimate"]
+
+
+def finite_population_quantile(population_size: int) -> float:
+    """The quantile level targeted for a pool of ``population_size`` units.
+
+    Assumes a single unit attains the maximum (the paper's assumption),
+    i.e. level ``1 − 1/|V|``.
+    """
+    if population_size < 2:
+        raise EstimationError("population_size must be >= 2")
+    return 1.0 - 1.0 / population_size
+
+
+def finite_population_estimate(
+    fit: WeibullFit, population_size: Optional[int]
+) -> float:
+    """Maximum-power estimate honouring the population size.
+
+    ``None`` (infinite population) returns μ̂ itself; a finite size
+    returns the (1 − 1/|V|) quantile of the fitted distribution.
+    """
+    if population_size is None:
+        return fit.mu
+    return fit.quantile(finite_population_quantile(population_size))

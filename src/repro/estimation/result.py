@@ -1,0 +1,110 @@
+"""Result records for the estimators (reported objects, no logic)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..evt.confidence import MeanInterval
+from ..evt.mle import WeibullFit
+
+__all__ = ["HyperSample", "EstimationResult"]
+
+
+@dataclass(frozen=True)
+class HyperSample:
+    """One hyper-sample (paper Figure 3): m block maxima -> one estimate.
+
+    Attributes
+    ----------
+    index:
+        1-based position in the iteration.
+    maxima:
+        The m block-maxima values the fit consumed.
+    fit:
+        The generalized-Weibull MLE fit, or ``None`` when the sample was
+        degenerate (all maxima equal) and the plain maximum was used.
+    estimate:
+        The hyper-sample's maximum-power estimate ``P̂_i,MAX`` — μ̂ for
+        infinite populations, the (1 − 1/|V|) Weibull quantile for
+        finite ones, or the sample maximum in the degenerate case.
+    units_used:
+        Vector pairs simulated for this hyper-sample (n · m).
+    """
+
+    index: int
+    maxima: np.ndarray
+    fit: Optional[WeibullFit]
+    estimate: float
+    units_used: int
+
+    @property
+    def degenerate(self) -> bool:
+        return self.fit is None
+
+
+@dataclass
+class EstimationResult:
+    """Outcome of the iterative maximum-power estimation (Figure 4).
+
+    Attributes
+    ----------
+    estimate:
+        ``P̄_MAX`` — the mean of the hyper-sample estimates.
+    interval:
+        The Student-t confidence interval at the requested level
+        (``None`` only if the loop stopped before two hyper-samples,
+        which cannot happen with default settings).
+    converged:
+        Whether the relative half-width met the error bound before the
+        hyper-sample budget ran out.
+    error_bound, confidence:
+        The requested ε and l.
+    hyper_samples:
+        Full per-iteration history.
+    units_used:
+        Total simulated vector pairs (the paper's "# of units" columns).
+    population_name, population_size:
+        Provenance (size ``None`` for infinite populations).
+    """
+
+    estimate: float
+    interval: Optional[MeanInterval]
+    converged: bool
+    error_bound: float
+    confidence: float
+    hyper_samples: List[HyperSample] = field(default_factory=list)
+    units_used: int = 0
+    population_name: str = ""
+    population_size: Optional[int] = None
+
+    @property
+    def k(self) -> int:
+        """Number of hyper-samples consumed."""
+        return len(self.hyper_samples)
+
+    @property
+    def rel_half_width(self) -> float:
+        if self.interval is None:
+            return float("inf")
+        return self.interval.rel_half_width
+
+    def relative_error(self, actual_max: float) -> float:
+        """Signed relative error vs. a known true maximum."""
+        return (self.estimate - actual_max) / actual_max
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "converged" if self.converged else "NOT converged"
+        ci = (
+            f" CI=[{self.interval.low:.4g}, {self.interval.high:.4g}]"
+            if self.interval
+            else ""
+        )
+        return (
+            f"{self.population_name}: P_max≈{self.estimate:.4g} W{ci} "
+            f"({status}, k={self.k}, units={self.units_used}, "
+            f"ε={self.error_bound:.0%} @ l={self.confidence:.0%})"
+        )

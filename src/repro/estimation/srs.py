@@ -1,0 +1,115 @@
+"""Simple random sampling (SRS) baseline (paper Section IV).
+
+The baseline the paper compares against: draw ``x`` units, report the
+largest power seen.  It always *under*-estimates (the sample maximum of
+a finite pool can never exceed the pool maximum), cannot state a
+confidence interval for the maximum, and needs
+``x = log(1 − l)/log(1 − Y)`` units before it even touches a "qualified"
+(within-ε-of-max) unit with probability ``l``.
+
+:class:`SimpleRandomSampling` provides both single estimates and the
+repeated-run error studies behind the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..evt.confidence import srs_required_units
+from ..vectors.generators import RngLike, as_rng
+from ..vectors.population import PowerPopulation
+
+__all__ = ["SRSStudy", "SimpleRandomSampling", "srs_required_units"]
+
+
+@dataclass(frozen=True)
+class SRSStudy:
+    """Repeated-run quality study of SRS at a fixed unit budget.
+
+    Attributes
+    ----------
+    num_units:
+        Units drawn per run.
+    estimates:
+        The per-run sample maxima.
+    actual_max:
+        The pool's true maximum the errors are measured against.
+    """
+
+    num_units: int
+    estimates: np.ndarray
+    actual_max: float
+
+    @property
+    def relative_errors(self) -> np.ndarray:
+        """Signed per-run relative errors (non-positive by construction)."""
+        return (self.estimates - self.actual_max) / self.actual_max
+
+    @property
+    def largest_error(self) -> float:
+        """The signed error of largest magnitude (paper Table 2 cols 4-6)."""
+        errors = self.relative_errors
+        return float(errors[np.argmax(np.abs(errors))])
+
+    def exceed_fraction(self, epsilon: float = 0.05) -> float:
+        """Fraction of runs whose |error| exceeds ``epsilon`` (cols 8-10)."""
+        if not 0 < epsilon < 1:
+            raise ConfigError("epsilon must be in (0, 1)")
+        return float((np.abs(self.relative_errors) > epsilon).mean())
+
+
+class SimpleRandomSampling:
+    """Max-of-sample estimator over any power population."""
+
+    def __init__(self, population: PowerPopulation):
+        self.population = population
+
+    def estimate_max(self, num_units: int, rng: RngLike = None) -> float:
+        """Largest power among ``num_units`` random draws."""
+        if num_units < 1:
+            raise ConfigError("num_units must be >= 1")
+        return float(self.population.sample_powers(num_units, rng).max())
+
+    def study(
+        self,
+        num_units: int,
+        repetitions: int,
+        rng: RngLike = None,
+        actual_max: Optional[float] = None,
+    ) -> SRSStudy:
+        """Run the estimator ``repetitions`` times at a fixed budget.
+
+        ``actual_max`` may be supplied for streaming populations; finite
+        pools report their own.
+        """
+        if repetitions < 1:
+            raise ConfigError("repetitions must be >= 1")
+        if actual_max is None:
+            actual_max = self.population.actual_max_power
+        if actual_max is None:
+            raise ConfigError(
+                "actual_max required for populations of unknown maximum"
+            )
+        gen = as_rng(rng)
+        estimates = np.array(
+            [self.estimate_max(num_units, gen) for _ in range(repetitions)]
+        )
+        return SRSStudy(
+            num_units=num_units, estimates=estimates, actual_max=actual_max
+        )
+
+    def theoretical_units(
+        self, epsilon: float = 0.05, level: float = 0.9
+    ) -> float:
+        """Paper's theoretical SRS cost for this population (Table 1 col 6).
+
+        Requires a finite population (to know the qualified portion Y).
+        """
+        qualified = getattr(self.population, "qualified_portion", None)
+        if qualified is None:
+            raise ConfigError("theoretical cost needs a finite population")
+        return srs_required_units(qualified(epsilon), level)

@@ -1,0 +1,314 @@
+"""Extreme-value limit distributions (paper §2.1, Eqns. 2.4–2.6, 2.16).
+
+The three classical max-limit families are implemented from scratch
+(with scipy used only in tests for cross-validation):
+
+* :class:`GeneralizedWeibull` — the paper's Eqn. (2.16)
+  ``G(x; α, β, μ) = exp(−β (μ−x)^α)`` for ``x ≤ μ`` — the Weibull-type
+  (GEV III) limit whose location parameter μ *is* the distribution's
+  right endpoint, hence the maximum power.  (The paper's printed
+  exponent ``−α`` is a typo: its own substitution ``β = (1/a_n)^α``
+  matches the ``+α`` form implemented here.)
+* :class:`Gumbel` — ``G_3(x) = exp(−e^{−(x−μ)/σ})``.
+* :class:`Frechet` — ``G_{1,α}(x) = exp(−((x−m)/s)^{−α})`` on ``x > m``.
+
+Each provides cdf/sf/pdf/logpdf/ppf/rvs plus moments where they exist,
+with full parameter validation.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import EstimationError
+
+__all__ = ["GeneralizedWeibull", "Gumbel", "Frechet"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _as_array(x: ArrayLike) -> np.ndarray:
+    # At-least-1-D so boolean-mask assignment works uniformly.
+    return np.atleast_1d(np.asarray(x, dtype=np.float64))
+
+
+def _scalar_aware(fn):
+    """Make a (self, x)-method return a float when x is a scalar."""
+
+    @functools.wraps(fn)
+    def wrapper(self, x):
+        out = fn(self, x)
+        if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+            # Methods defined in terms of other decorated methods (sf,
+            # pdf) may already produce a scalar here.
+            return float(out) if np.isscalar(out) else float(out[0])
+        return out
+
+    return wrapper
+
+
+@dataclass(frozen=True)
+class GeneralizedWeibull:
+    """Reversed-Weibull max-limit law with explicit right endpoint.
+
+    Parameters
+    ----------
+    alpha:
+        Shape (> 0; the paper's MLE theory needs > 2 for asymptotic
+        normality, which :mod:`repro.evt.mle` checks separately).
+    beta:
+        Scale-like parameter (> 0); ``beta = a_n^{-alpha}`` for norming
+        constants ``a_n``.
+    mu:
+        Location = right endpoint = the maximum of the underlying
+        quantity.
+    """
+
+    alpha: float
+    beta: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        if not (self.alpha > 0 and math.isfinite(self.alpha)):
+            raise EstimationError(f"alpha must be positive, got {self.alpha}")
+        if not (self.beta > 0 and math.isfinite(self.beta)):
+            raise EstimationError(f"beta must be positive, got {self.beta}")
+        if not math.isfinite(self.mu):
+            raise EstimationError(f"mu must be finite, got {self.mu}")
+
+    # ------------------------------------------------------------------
+    @property
+    def scale(self) -> float:
+        """Equivalent Weibull scale ``a_n = beta^(-1/alpha)``."""
+        return self.beta ** (-1.0 / self.alpha)
+
+    @classmethod
+    def from_scale(
+        cls, alpha: float, scale: float, mu: float
+    ) -> "GeneralizedWeibull":
+        """Construct from the (alpha, scale, endpoint) parametrization."""
+        if scale <= 0:
+            raise EstimationError("scale must be positive")
+        return cls(alpha=alpha, beta=scale ** (-alpha), mu=mu)
+
+    # ------------------------------------------------------------------
+    @_scalar_aware
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        y = self.mu - x
+        out = np.ones_like(y)
+        below = y > 0
+        out[below] = np.exp(-self.beta * y[below] ** self.alpha)
+        return out
+
+    @_scalar_aware
+    def sf(self, x: ArrayLike) -> np.ndarray:
+        return 1.0 - self.cdf(x)
+
+    @_scalar_aware
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        y = self.mu - x
+        out = np.full_like(y, -np.inf)
+        ok = y > 0
+        yo = y[ok]
+        out[ok] = (
+            math.log(self.alpha)
+            + math.log(self.beta)
+            + (self.alpha - 1.0) * np.log(yo)
+            - self.beta * yo ** self.alpha
+        )
+        return out
+
+    @_scalar_aware
+    def pdf(self, x: ArrayLike) -> np.ndarray:
+        return np.exp(self.logpdf(x))
+
+    @_scalar_aware
+    def ppf(self, q: ArrayLike) -> np.ndarray:
+        """Quantile function; ``ppf(1 - 1/|V|)`` is the paper's finite-
+        population maximum-power estimator (§3.4)."""
+        q = _as_array(q)
+        if ((q < 0) | (q > 1)).any():
+            raise EstimationError("quantile levels must be in [0, 1]")
+        out = np.empty_like(q)
+        with np.errstate(divide="ignore"):
+            logq = np.log(q, where=q > 0, out=np.full_like(q, -np.inf))
+        interior = (q > 0) & (q < 1)
+        out[q == 0] = -np.inf
+        out[q == 1] = self.mu
+        # Compute (−ln q / β)^(1/α) in log space: β can under/overflow
+        # for extreme scale parameters while the quantile stays finite.
+        with np.errstate(over="ignore"):
+            log_term = (np.log(-logq[interior]) - math.log(self.beta)) / self.alpha
+        out[interior] = self.mu - np.exp(log_term)
+        return out
+
+    def rvs(
+        self, size: int, rng: "np.random.Generator | int | None" = None
+    ) -> np.ndarray:
+        """Draw samples by inverse-transform."""
+        gen = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        u = gen.random(size)
+        # Avoid exact 0 (would map to -inf).
+        u = np.clip(u, np.finfo(float).tiny, 1.0)
+        return self.mu - (-np.log(u) / self.beta) ** (1.0 / self.alpha)
+
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        return self.mu - self.scale * math.gamma(1.0 + 1.0 / self.alpha)
+
+    def var(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.alpha)
+        g2 = math.gamma(1.0 + 2.0 / self.alpha)
+        return self.scale ** 2 * (g2 - g1 ** 2)
+
+    def std(self) -> float:
+        return math.sqrt(self.var())
+
+    def loglikelihood(self, x: ArrayLike) -> float:
+        """Mean log-likelihood (the paper's Eqn. 2.17 uses the mean)."""
+        return float(np.mean(self.logpdf(x)))
+
+    def scipy_frozen(self):
+        """Equivalent frozen ``scipy.stats.weibull_max`` (for checks)."""
+        from scipy import stats
+
+        return stats.weibull_max(c=self.alpha, loc=self.mu, scale=self.scale)
+
+
+@dataclass(frozen=True)
+class Gumbel:
+    """Gumbel (type I) max-limit law ``exp(-exp(-(x - mu)/sigma))``."""
+
+    mu: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.sigma > 0 and math.isfinite(self.sigma)):
+            raise EstimationError("sigma must be positive")
+        if not math.isfinite(self.mu):
+            raise EstimationError("mu must be finite")
+
+    def _z(self, x: ArrayLike) -> np.ndarray:
+        return (_as_array(x) - self.mu) / self.sigma
+
+    @_scalar_aware
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        return np.exp(-np.exp(-self._z(x)))
+
+    @_scalar_aware
+    def sf(self, x: ArrayLike) -> np.ndarray:
+        return 1.0 - self.cdf(x)
+
+    @_scalar_aware
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        z = self._z(x)
+        return -math.log(self.sigma) - z - np.exp(-z)
+
+    @_scalar_aware
+    def pdf(self, x: ArrayLike) -> np.ndarray:
+        return np.exp(self.logpdf(x))
+
+    @_scalar_aware
+    def ppf(self, q: ArrayLike) -> np.ndarray:
+        q = _as_array(q)
+        if ((q <= 0) | (q >= 1)).any():
+            raise EstimationError("quantile levels must be in (0, 1)")
+        return self.mu - self.sigma * np.log(-np.log(q))
+
+    def rvs(
+        self, size: int, rng: "np.random.Generator | int | None" = None
+    ) -> np.ndarray:
+        gen = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        u = np.clip(gen.random(size), np.finfo(float).tiny, 1 - 1e-16)
+        return self.ppf(u)
+
+    def mean(self) -> float:
+        return self.mu + self.sigma * np.euler_gamma
+
+    def var(self) -> float:
+        return (math.pi ** 2 / 6.0) * self.sigma ** 2
+
+
+@dataclass(frozen=True)
+class Frechet:
+    """Fréchet (type II) max-limit law on ``x > loc``."""
+
+    alpha: float
+    scale: float = 1.0
+    loc: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.alpha > 0 and math.isfinite(self.alpha)):
+            raise EstimationError("alpha must be positive")
+        if not (self.scale > 0 and math.isfinite(self.scale)):
+            raise EstimationError("scale must be positive")
+
+    def _z(self, x: ArrayLike) -> np.ndarray:
+        return (_as_array(x) - self.loc) / self.scale
+
+    @_scalar_aware
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        z = self._z(x)
+        out = np.zeros_like(z)
+        pos = z > 0
+        out[pos] = np.exp(-z[pos] ** (-self.alpha))
+        return out
+
+    @_scalar_aware
+    def sf(self, x: ArrayLike) -> np.ndarray:
+        return 1.0 - self.cdf(x)
+
+    @_scalar_aware
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        z = self._z(x)
+        out = np.full_like(z, -np.inf)
+        pos = z > 0
+        zp = z[pos]
+        out[pos] = (
+            math.log(self.alpha / self.scale)
+            - (self.alpha + 1.0) * np.log(zp)
+            - zp ** (-self.alpha)
+        )
+        return out
+
+    @_scalar_aware
+    def pdf(self, x: ArrayLike) -> np.ndarray:
+        return np.exp(self.logpdf(x))
+
+    @_scalar_aware
+    def ppf(self, q: ArrayLike) -> np.ndarray:
+        q = _as_array(q)
+        if ((q <= 0) | (q >= 1)).any():
+            raise EstimationError("quantile levels must be in (0, 1)")
+        return self.loc + self.scale * (-np.log(q)) ** (-1.0 / self.alpha)
+
+    def rvs(
+        self, size: int, rng: "np.random.Generator | int | None" = None
+    ) -> np.ndarray:
+        gen = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        u = np.clip(gen.random(size), np.finfo(float).tiny, 1 - 1e-16)
+        return self.ppf(u)
+
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            return math.inf
+        return self.loc + self.scale * math.gamma(1.0 - 1.0 / self.alpha)

@@ -1,0 +1,19 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from .base import ExperimentTable
+from .config import PAPER_CIRCUITS, ExperimentConfig, default_config
+from .populations import POPULATION_KINDS, build_population, get_population
+from .runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "ExperimentTable",
+    "ExperimentConfig",
+    "default_config",
+    "PAPER_CIRCUITS",
+    "POPULATION_KINDS",
+    "build_population",
+    "get_population",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+]

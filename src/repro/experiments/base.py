@@ -1,0 +1,57 @@
+"""Common result container for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .tables import render_table, to_csv
+
+__all__ = ["ExperimentTable"]
+
+
+@dataclass
+class ExperimentTable:
+    """A rendered-table experiment result.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artifact id (``"table1"`` ... ``"figure2"``, ablations).
+    title:
+        Human-readable caption.
+    headers, rows:
+        Tabular payload.
+    notes:
+        Free-form commentary (assumptions, scale).
+    data:
+        Raw arrays/objects for programmatic consumers (plots, tests).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: str = ""
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = render_table(self.title, self.headers, self.rows)
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+    def csv(self) -> str:
+        return to_csv(self.headers, self.rows)
+
+    def save(self, directory: Path) -> Path:
+        """Write ``<id>.txt`` and ``<id>.csv`` into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{self.experiment_id}.txt").write_text(
+            self.render() + "\n"
+        )
+        path = directory / f"{self.experiment_id}.csv"
+        path.write_text(self.csv())
+        return path

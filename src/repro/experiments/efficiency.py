@@ -1,0 +1,138 @@
+"""Shared engine for the paper's efficiency tables (Tables 1, 3, 4).
+
+One row per circuit:
+
+* Y — portion of "qualified units" (within ε of the true maximum);
+* units needed by our approach over ``num_runs`` repetitions
+  (MAX / MIN / AVE);
+* the theoretical SRS cost ``log(1−l)/log(1−Y)``;
+* MAX / MIN of the |relative error| of our converged estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..estimation.mc_estimator import MaxPowerEstimator
+from ..estimation.srs import SimpleRandomSampling
+from ..vectors.population import FinitePopulation
+from .base import ExperimentTable
+from .config import ExperimentConfig
+from .populations import get_population
+
+__all__ = ["EfficiencyRow", "run_circuit_efficiency", "efficiency_experiment"]
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    """Raw per-circuit outcome of the efficiency experiment."""
+
+    circuit: str
+    qualified_portion: float
+    units_max: int
+    units_min: int
+    units_avg: float
+    srs_avg: float
+    err_max: float
+    err_min: float
+    errors: np.ndarray
+    units: np.ndarray
+
+    @property
+    def speedup(self) -> float:
+        return self.srs_avg / self.units_avg if self.units_avg else float("inf")
+
+
+def run_circuit_efficiency(
+    config: ExperimentConfig,
+    population: FinitePopulation,
+    circuit: str,
+    run_seed: int,
+) -> EfficiencyRow:
+    """Repeat the estimator ``config.num_runs`` times on one population."""
+    actual = population.actual_max_power
+    estimator = MaxPowerEstimator(
+        population,
+        n=config.n,
+        m=config.m,
+        error=config.error,
+        confidence=config.confidence,
+    )
+    rng = np.random.default_rng(run_seed)
+    errors = np.empty(config.num_runs)
+    units = np.empty(config.num_runs, dtype=np.int64)
+    for i in range(config.num_runs):
+        result = estimator.run(rng)
+        errors[i] = abs(result.relative_error(actual))
+        units[i] = result.units_used
+    srs_avg = SimpleRandomSampling(population).theoretical_units(
+        epsilon=config.error, level=config.confidence
+    )
+    return EfficiencyRow(
+        circuit=circuit,
+        qualified_portion=population.qualified_portion(config.error),
+        units_max=int(units.max()),
+        units_min=int(units.min()),
+        units_avg=float(units.mean()),
+        srs_avg=float(srs_avg),
+        err_max=float(errors.max()),
+        err_min=float(errors.min()),
+        errors=errors,
+        units=units,
+    )
+
+
+def efficiency_experiment(
+    config: ExperimentConfig,
+    kind: str,
+    experiment_id: str,
+    title: str,
+) -> ExperimentTable:
+    """Run the efficiency table over every configured circuit."""
+    headers = (
+        "Circuit",
+        "Y (qualified)",
+        "Ours MAX",
+        "Ours MIN",
+        "Ours AVE",
+        "SRS AVE (theory)",
+        "Err MAX",
+        "Err MIN",
+    )
+    rows: List[Tuple] = []
+    raw: List[EfficiencyRow] = []
+    for idx, circuit in enumerate(config.circuits):
+        population = get_population(config, circuit, kind)
+        row = run_circuit_efficiency(
+            config, population, circuit, run_seed=config.seed + 7919 * idx
+        )
+        raw.append(row)
+        rows.append(
+            (
+                circuit,
+                f"{row.qualified_portion:.6f}",
+                row.units_max,
+                row.units_min,
+                round(row.units_avg),
+                round(row.srs_avg),
+                f"{row.err_max:.1%}",
+                f"{row.err_min:.2%}",
+            )
+        )
+    speedups = [r.speedup for r in raw]
+    notes = (
+        f"{config.num_runs} runs/circuit, eps={config.error:.0%}, "
+        f"l={config.confidence:.0%}, |V|={raw and get_population(config, config.circuits[0], kind).size}, "
+        f"avg SRS/ours unit ratio = {np.mean(speedups):.1f}x"
+    )
+    return ExperimentTable(
+        experiment_id=experiment_id,
+        title=title,
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        data={"rows": raw},
+    )

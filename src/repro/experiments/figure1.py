@@ -1,0 +1,122 @@
+"""Figure 1 — block-maxima distribution vs fitted Weibull (paper §3.1).
+
+For sample sizes n = 2, 20, 30, 50 the paper forms 1000 block maxima
+from the C3540 population, least-squares-fits a Weibull to each, and
+shows the CDFs converging onto the fitted Weibull as n grows — the
+justification for fixing n = 30.
+
+The quantitative reproduction reports, per n, the fitted parameters and
+the Kolmogorov–Smirnov distance between the empirical block-maxima CDF
+and the fitted CDF (the figure's visual gap, as a number); ``data``
+carries the full empirical/fitted CDF series for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import FitError
+from ..evt.block_maxima import block_maxima
+from ..evt.fitting import fit_weibull_lsq, ks_statistic
+from ..evt.mle import WeibullFit
+from .base import ExperimentTable
+from .config import ExperimentConfig, default_config
+from .populations import get_population
+
+__all__ = ["Figure1Series", "run_figure1"]
+
+DEFAULT_BLOCK_SIZES = (2, 20, 30, 50)
+
+
+@dataclass(frozen=True)
+class Figure1Series:
+    """One curve pair of Figure 1 (empirical + fitted, fixed n)."""
+
+    n: int
+    maxima: np.ndarray
+    fit: Optional[WeibullFit]
+    ks: float
+
+    def cdf_series(self, points: int = 200) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(x, empirical_cdf, fitted_cdf) sampled on a uniform x grid."""
+        x = np.linspace(self.maxima.min(), self.maxima.max(), points)
+        empirical = np.searchsorted(
+            np.sort(self.maxima), x, side="right"
+        ) / self.maxima.size
+        fitted = (
+            self.fit.distribution.cdf(x)
+            if self.fit is not None
+            else np.full_like(x, np.nan)
+        )
+        return x, empirical, fitted
+
+
+def run_figure1(
+    config: Optional[ExperimentConfig] = None,
+    circuit: str = "c3540",
+    block_sizes: Tuple[int, ...] = DEFAULT_BLOCK_SIZES,
+    num_maxima: int = 1000,
+) -> ExperimentTable:
+    """Reproduce Figure 1 on the configured population."""
+    config = config or default_config()
+    population = get_population(config, circuit, "unconstrained")
+    actual = population.actual_max_power
+    rng = np.random.default_rng(config.seed + 31)
+
+    series: List[Figure1Series] = []
+    rows = []
+    for n in block_sizes:
+        maxima = block_maxima(population, n=n, m=num_maxima, rng=rng)
+        try:
+            fit = fit_weibull_lsq(maxima)
+            ks = ks_statistic(fit.distribution.cdf(np.sort(maxima)))
+        except FitError:
+            fit, ks = None, float("nan")
+        series.append(Figure1Series(n=n, maxima=maxima, fit=fit, ks=ks))
+        rows.append(
+            (
+                n,
+                f"{maxima.mean() / actual:.3f}",
+                f"{maxima.max() / actual:.3f}",
+                f"{fit.alpha:.2f}" if fit else "-",
+                f"{fit.mu / actual:.3f}" if fit else "-",
+                f"{ks:.4f}",
+            )
+        )
+    notes = (
+        f"{num_maxima} block maxima per n from {population.name} "
+        f"(|V|={population.size}); KS gap shrinking with n reproduces the "
+        "visual convergence of Figure 1 (adequate from n>=30)"
+    )
+    # Render the n=30 curve pair as the paper's figure, in ASCII.
+    from ..analysis.ascii_plot import line_plot
+
+    focus = next((s for s in series if s.n == 30 and s.fit), series[0])
+    if focus.fit is not None:
+        x, empirical, fitted = focus.cdf_series(120)
+        notes += "\n" + line_plot(
+            {
+                f"empirical (n={focus.n})": (x * 1e3, empirical),
+                "fitted Weibull": (x * 1e3, fitted),
+            },
+            x_label="block max power (mW)",
+            y_label="CDF",
+        )
+    return ExperimentTable(
+        experiment_id="figure1",
+        title="Figure 1 — block maxima vs fitted Weibull (KS distance per n)",
+        headers=(
+            "n",
+            "mean/actual",
+            "max/actual",
+            "alpha_hat",
+            "mu_hat/actual",
+            "KS",
+        ),
+        rows=rows,
+        notes=notes,
+        data={"series": series, "actual_max": actual},
+    )

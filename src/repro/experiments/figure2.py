@@ -1,0 +1,108 @@
+"""Figure 2 — distribution of the MLE estimate vs fitted normal (§3.3).
+
+The paper repeats the m-sample MLE estimation 100 times for m = 10 and
+m = 50 (n = 30) on C3540, then overlays the least-squares-fit normal:
+approximate normality from m >= 10 justifies the Student-t machinery of
+Theorem 6.
+
+Reported per m: mean/std of the estimates (relative to the true
+maximum), the KS distance to the fitted normal, and a Shapiro–Wilk
+p-value as a sharper normality check than the paper's visual one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+from ..estimation.mc_estimator import MaxPowerEstimator
+from ..evt.fitting import NormalFit, fit_normal_lsq, ks_statistic
+from .base import ExperimentTable
+from .config import ExperimentConfig, default_config
+from .populations import get_population
+
+__all__ = ["Figure2Series", "run_figure2"]
+
+DEFAULT_M_VALUES = (10, 50)
+
+
+@dataclass(frozen=True)
+class Figure2Series:
+    """One histogram of Figure 2 (fixed m) plus its normal fit."""
+
+    m: int
+    estimates: np.ndarray
+    fit: NormalFit
+    ks: float
+    shapiro_p: float
+
+
+def run_figure2(
+    config: Optional[ExperimentConfig] = None,
+    circuit: str = "c3540",
+    m_values: Tuple[int, ...] = DEFAULT_M_VALUES,
+    repetitions: int = 100,
+) -> ExperimentTable:
+    """Reproduce Figure 2 on the configured population."""
+    config = config or default_config()
+    population = get_population(config, circuit, "unconstrained")
+    actual = population.actual_max_power
+    rng = np.random.default_rng(config.seed + 47)
+
+    series: List[Figure2Series] = []
+    rows = []
+    for m in m_values:
+        estimator = MaxPowerEstimator(population, n=config.n, m=m)
+        estimates = np.array(
+            [
+                estimator.hyper_sample(i, rng).estimate
+                for i in range(repetitions)
+            ]
+        )
+        fit = fit_normal_lsq(estimates)
+        ks = ks_statistic(fit.cdf(np.sort(estimates)))
+        shapiro_p = float(stats.shapiro(estimates).pvalue)
+        series.append(
+            Figure2Series(
+                m=m, estimates=estimates, fit=fit, ks=ks, shapiro_p=shapiro_p
+            )
+        )
+        rows.append(
+            (
+                m,
+                f"{estimates.mean() / actual:.3f}",
+                f"{estimates.std(ddof=1) / actual:.3f}",
+                f"{ks:.4f}",
+                f"{shapiro_p:.3f}",
+            )
+        )
+    notes = (
+        f"{repetitions} repetitions per m on {population.name}; mean/actual "
+        "near 1.0 demonstrates unbiasedness (Theorem 6), std shrinking with "
+        "m and small KS reproduce the normal convergence of Figure 2"
+    )
+    # Render the m=10 estimate distribution vs its normal fit.
+    from ..analysis.ascii_plot import line_plot
+    from ..evt.order_stats import empirical_cdf
+
+    focus = series[0]
+    xs, probs = empirical_cdf(focus.estimates)
+    notes += "\n" + line_plot(
+        {
+            f"empirical (m={focus.m})": (xs * 1e3, probs),
+            "fitted normal": (xs * 1e3, focus.fit.cdf(xs)),
+        },
+        x_label="estimated max power (mW)",
+        y_label="CDF",
+    )
+    return ExperimentTable(
+        experiment_id="figure2",
+        title="Figure 2 — distribution of the MLE max-power estimate vs normal",
+        headers=("m", "mean/actual", "std/actual", "KS vs normal", "Shapiro p"),
+        rows=rows,
+        notes=notes,
+        data={"series": series, "actual_max": actual},
+    )

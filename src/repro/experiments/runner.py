@@ -1,0 +1,69 @@
+"""Experiment registry and batch runner."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigError
+from .ablations import (
+    run_ablation_finite_population,
+    run_ablation_fitting,
+    run_ablation_mapping,
+    run_ablation_sample_size,
+)
+from .base import ExperimentTable
+from .config import ExperimentConfig, default_config
+from .extension_delay import run_extension_delay
+from .extension_pot import run_extension_pot
+from .figure1 import run_figure1
+from .figure2 import run_figure2
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentConfig]], ExperimentTable]] = {
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "ablation_fitting": run_ablation_fitting,
+    "ablation_sample_size": run_ablation_sample_size,
+    "ablation_finite_pop": run_ablation_finite_population,
+    "ablation_mapping": run_ablation_mapping,
+    "extension_delay": run_extension_delay,
+    "extension_pot": run_extension_pot,
+}
+
+
+def run_experiment(
+    name: str, config: Optional[ExperimentConfig] = None
+) -> ExperimentTable:
+    """Run one registered experiment by id."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(config)
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None,
+    output_dir: Optional[Path] = None,
+) -> List[ExperimentTable]:
+    """Run every experiment, optionally saving .txt/.csv per artifact."""
+    config = config or default_config()
+    results = []
+    for name in EXPERIMENTS:
+        table = run_experiment(name, config)
+        if output_dir is not None:
+            table.save(Path(output_dir))
+        results.append(table)
+    return results

@@ -1,0 +1,22 @@
+"""Table 3 — efficiency, constrained inputs (high activity, t = 0.7)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import ExperimentTable
+from .config import ExperimentConfig, default_config
+from .efficiency import efficiency_experiment
+
+__all__ = ["run_table3"]
+
+
+def run_table3(config: Optional[ExperimentConfig] = None) -> ExperimentTable:
+    """Reproduce paper Table 3 (per-line transition probability 0.7)."""
+    config = config or default_config()
+    return efficiency_experiment(
+        config,
+        kind="high",
+        experiment_id="table3",
+        title="Table 3 — efficiency, constrained inputs (activity 0.7)",
+    )

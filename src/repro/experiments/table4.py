@@ -1,0 +1,22 @@
+"""Table 4 — efficiency, constrained inputs (low activity, t = 0.3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import ExperimentTable
+from .config import ExperimentConfig, default_config
+from .efficiency import efficiency_experiment
+
+__all__ = ["run_table4"]
+
+
+def run_table4(config: Optional[ExperimentConfig] = None) -> ExperimentTable:
+    """Reproduce paper Table 4 (per-line transition probability 0.3)."""
+    config = config or default_config()
+    return efficiency_experiment(
+        config,
+        kind="low",
+        experiment_id="table4",
+        title="Table 4 — efficiency, constrained inputs (activity 0.3)",
+    )

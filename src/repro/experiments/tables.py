@@ -1,0 +1,53 @@
+"""Plain-text and CSV rendering of experiment tables."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Sequence
+
+__all__ = ["render_table", "to_csv"]
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # nan
+            return "-"
+        if abs(cell) >= 1e5 or (cell != 0 and abs(cell) < 1e-3):
+            return f"{cell:.3g}"
+        return f"{cell:,.4g}"
+    return str(cell)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """ASCII table with a title line, suitable for terminals and logs."""
+    text_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def line(cells: Sequence[str]) -> str:
+        inner = " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+        return f"| {inner} |"
+
+    out = [title, sep, line(list(headers)), sep]
+    out.extend(line(r) for r in text_rows)
+    out.append(sep)
+    return "\n".join(out)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """CSV serialization of the same data."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()

@@ -1,0 +1,149 @@
+"""ISCAS85 ``.bench`` netlist reader and writer.
+
+The format (as distributed with the ISCAS85/89 benchmark sets) is::
+
+    # c17 — comment lines start with '#'
+    INPUT(G1)
+    INPUT(G2)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G22 = NAND(G10, G16)
+
+Keywords are case-insensitive; ``BUFF`` and ``INV`` aliases are accepted.
+Sequential elements (``DFF``) are rejected with a clear message — this
+library targets the paper's combinational setting.
+
+Because the real ISCAS85 netlists are public, a user who has them on disk
+can load them directly with :func:`load_bench` and run every estimator in
+this package on the authentic circuits.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..errors import ParseError
+from .circuit import Circuit
+from .gates import GateType, gate_from_name
+
+__all__ = ["parse_bench", "load_bench", "write_bench", "dump_bench"]
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(\s*(.*?)\s*\)$"
+)
+_SEQUENTIAL = {"dff", "dffsr", "latch"}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`.
+
+    Parameters
+    ----------
+    text:
+        The full file contents.
+    name:
+        Name given to the resulting circuit.
+
+    Raises
+    ------
+    ParseError
+        On any malformed line, unknown gate keyword, or sequential
+        element.  The error message carries the 1-based line number.
+    """
+    circuit = Circuit(name)
+    outputs: List[str] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, net = io_match.group(1).upper(), io_match.group(2)
+            try:
+                if kind == "INPUT":
+                    circuit.add_input(net)
+                else:
+                    outputs.append(net)
+            except Exception as exc:
+                raise ParseError(str(exc), line_no) from None
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            net, keyword, arg_text = gate_match.groups()
+            if keyword.lower() in _SEQUENTIAL:
+                raise ParseError(
+                    f"sequential element {keyword!r} not supported "
+                    "(combinational circuits only)",
+                    line_no,
+                )
+            try:
+                gtype = gate_from_name(keyword)
+            except Exception as exc:
+                raise ParseError(str(exc), line_no) from None
+            fanin = [a.strip() for a in arg_text.split(",") if a.strip()]
+            try:
+                circuit.add_gate(net, gtype, fanin)
+            except Exception as exc:
+                raise ParseError(str(exc), line_no) from None
+            continue
+        raise ParseError(f"unrecognized statement: {line!r}", line_no)
+
+    circuit.set_outputs(outputs)
+    try:
+        circuit.validate()
+    except Exception as exc:
+        raise ParseError(f"invalid circuit after parse: {exc}") from None
+    return circuit
+
+
+def load_bench(path: Union[str, Path]) -> Circuit:
+    """Read and parse a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+_BENCH_NAMES = {
+    GateType.BUF: "BUFF",
+    GateType.NOT: "NOT",
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.MUX: "MUX",
+    GateType.CONST0: "CONST0",
+    GateType.CONST1: "CONST1",
+}
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` text.
+
+    The output round-trips through :func:`parse_bench` as long as the
+    circuit uses only gate types representable in the format (constants
+    and MUX are written with extension keywords this parser accepts).
+    """
+    lines: List[str] = [f"# {circuit.name}"]
+    lines.append(
+        f"# {circuit.num_inputs} inputs, {circuit.num_outputs} outputs, "
+        f"{circuit.num_gates} gates"
+    )
+    for net in circuit.inputs:
+        lines.append(f"INPUT({net})")
+    for net in circuit.outputs:
+        lines.append(f"OUTPUT({net})")
+    lines.append("")
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        args = ", ".join(gate.fanin)
+        lines.append(f"{name} = {_BENCH_NAMES[gate.gtype]}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def dump_bench(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write :func:`write_bench` output to ``path``."""
+    Path(path).write_text(write_bench(circuit))

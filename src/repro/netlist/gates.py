@@ -1,0 +1,227 @@
+"""Gate primitives: types, arity rules and evaluation.
+
+Two evaluation entry points are provided:
+
+* :func:`eval_gate` — scalar evaluation on Python ints (0/1), used by the
+  event-driven simulator and by tests as the reference semantics.
+* :func:`eval_gate_words` — bit-parallel evaluation on numpy ``uint64``
+  word arrays where bit *j* of every word carries an independent
+  simulation "lane".  Inverting gates XOR against an all-ones mask so the
+  unused high bits of the last word stay well defined.
+
+The gate set is the ISCAS85 primitive set (AND/NAND/OR/NOR/XOR/XNOR,
+NOT/BUF) plus constants and a 2:1 MUX used by the circuit generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import NetlistError
+
+__all__ = [
+    "GateType",
+    "GATE_ARITY",
+    "INVERTING_GATES",
+    "eval_gate",
+    "eval_gate_words",
+    "controlling_value",
+    "gate_from_name",
+]
+
+
+class GateType(enum.Enum):
+    """Primitive gate/net kinds understood by the simulators."""
+
+    INPUT = "input"  # primary input; has no fanin
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # fanin order: (select, d0, d1) -> d1 if select else d0
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Allowed fanin counts per gate type: (min_arity, max_arity).
+#: ``None`` as max means unbounded (n-ary gates).
+GATE_ARITY = {
+    GateType.INPUT: (0, 0),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+    GateType.BUF: (1, 1),
+    GateType.NOT: (1, 1),
+    GateType.AND: (2, None),
+    GateType.NAND: (2, None),
+    GateType.OR: (2, None),
+    GateType.NOR: (2, None),
+    GateType.XOR: (2, None),
+    GateType.XNOR: (2, None),
+    GateType.MUX: (3, 3),
+}
+
+#: Gates whose output is the complement of the corresponding base gate.
+INVERTING_GATES = frozenset(
+    {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+)
+
+# Aliases accepted when reading netlist files (ISCAS85 uses BUFF, some
+# dumps use INV).
+_NAME_ALIASES = {
+    "buff": GateType.BUF,
+    "inv": GateType.NOT,
+    "mux2": GateType.MUX,
+}
+
+
+def gate_from_name(name: str) -> GateType:
+    """Resolve a gate-type keyword from a netlist file to a :class:`GateType`.
+
+    Accepts the canonical names (case-insensitive) plus common aliases
+    (``BUFF``, ``INV``, ``MUX2``).
+
+    Raises
+    ------
+    NetlistError
+        If the keyword is not a known gate type.
+    """
+    key = name.strip().lower()
+    alias = _NAME_ALIASES.get(key)
+    if alias is not None:
+        return alias
+    try:
+        return GateType(key)
+    except ValueError:
+        raise NetlistError(f"unknown gate type {name!r}") from None
+
+
+def check_arity(gtype: GateType, fanin_count: int) -> None:
+    """Raise :class:`NetlistError` if ``fanin_count`` is illegal for ``gtype``."""
+    lo, hi = GATE_ARITY[gtype]
+    if fanin_count < lo or (hi is not None and fanin_count > hi):
+        bound = f"exactly {lo}" if lo == hi else f"at least {lo}"
+        raise NetlistError(
+            f"{gtype.value.upper()} gate requires {bound} fanin(s), "
+            f"got {fanin_count}"
+        )
+
+
+def controlling_value(gtype: GateType) -> "int | None":
+    """Return the controlling input value of a gate, or ``None``.
+
+    A controlling value forces the gate output regardless of the other
+    inputs (0 for AND/NAND, 1 for OR/NOR).  XOR-like gates, buffers and
+    muxes have no controlling value.  Used by the test-generation helpers
+    and the uncertainty-propagation bound.
+    """
+    if gtype in (GateType.AND, GateType.NAND):
+        return 0
+    if gtype in (GateType.OR, GateType.NOR):
+        return 1
+    return None
+
+
+def eval_gate(gtype: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate one gate on scalar 0/1 inputs and return 0 or 1.
+
+    ``inputs`` must already satisfy the gate's arity; this is checked at
+    circuit construction time, not here (hot path).
+    """
+    if gtype is GateType.AND:
+        return int(all(inputs))
+    if gtype is GateType.NAND:
+        return int(not all(inputs))
+    if gtype is GateType.OR:
+        return int(any(inputs))
+    if gtype is GateType.NOR:
+        return int(not any(inputs))
+    if gtype is GateType.XOR:
+        acc = 0
+        for v in inputs:
+            acc ^= v
+        return acc & 1
+    if gtype is GateType.XNOR:
+        acc = 1
+        for v in inputs:
+            acc ^= v
+        return acc & 1
+    if gtype is GateType.NOT:
+        return 1 - (inputs[0] & 1)
+    if gtype is GateType.BUF:
+        return inputs[0] & 1
+    if gtype is GateType.MUX:
+        sel, d0, d1 = inputs
+        return (d1 if sel else d0) & 1
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    raise NetlistError(f"cannot evaluate gate type {gtype}")
+
+
+def eval_gate_words(
+    gtype: GateType,
+    inputs: Sequence[np.ndarray],
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Bit-parallel gate evaluation over ``uint64`` word arrays.
+
+    Parameters
+    ----------
+    gtype:
+        The gate to evaluate.
+    inputs:
+        One ``uint64`` array per fanin, all of identical shape.  Bit *j*
+        of word *w* in each array belongs to the same simulation lane.
+    mask:
+        Array of the same shape with ones in every *valid* lane bit;
+        complements are taken as ``x ^ mask`` so padding bits stay zero.
+
+    Returns
+    -------
+    numpy.ndarray
+        A freshly allocated ``uint64`` array of the gate output lanes.
+    """
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        out = inputs[0].copy()
+        for arr in inputs[1:]:
+            out &= arr
+        if gtype is GateType.NAND:
+            out ^= mask
+        return out
+    if gtype is GateType.OR or gtype is GateType.NOR:
+        out = inputs[0].copy()
+        for arr in inputs[1:]:
+            out |= arr
+        if gtype is GateType.NOR:
+            out ^= mask
+        return out
+    if gtype is GateType.XOR or gtype is GateType.XNOR:
+        out = inputs[0].copy()
+        for arr in inputs[1:]:
+            out ^= arr
+        if gtype is GateType.XNOR:
+            out ^= mask
+        return out
+    if gtype is GateType.NOT:
+        return inputs[0] ^ mask
+    if gtype is GateType.BUF:
+        return inputs[0].copy()
+    if gtype is GateType.MUX:
+        sel, d0, d1 = inputs
+        return (sel & d1) | ((sel ^ mask) & d0)
+    if gtype is GateType.CONST0:
+        return np.zeros_like(mask)
+    if gtype is GateType.CONST1:
+        return mask.copy()
+    raise NetlistError(f"cannot evaluate gate type {gtype}")

@@ -1,0 +1,45 @@
+"""Parametric circuit generators.
+
+Two families:
+
+* :mod:`repro.netlist.generators.arithmetic` — structurally real blocks
+  (adders, the 16x16 array multiplier, parity/ECC networks, comparators,
+  ALUs, an interrupt controller) built gate by gate.
+* :mod:`repro.netlist.generators.random_dag` — seeded random layered
+  DAGs with controlled input/output/gate counts and logic depth.
+
+On top of both, :mod:`repro.netlist.generators.iscas_like` assembles the
+ISCAS85-like benchmark suite used by the paper's experiments.
+"""
+
+from .arithmetic import (
+    array_multiplier,
+    carry_lookahead_adder,
+    comparator,
+    decoder,
+    ecc_checker,
+    interrupt_controller,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+    simple_alu,
+)
+from .iscas_like import ISCAS85_PROFILES, available_circuits, build_circuit
+from .random_dag import random_layered_circuit
+
+__all__ = [
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "array_multiplier",
+    "parity_tree",
+    "ecc_checker",
+    "comparator",
+    "decoder",
+    "mux_tree",
+    "simple_alu",
+    "interrupt_controller",
+    "random_layered_circuit",
+    "build_circuit",
+    "available_circuits",
+    "ISCAS85_PROFILES",
+]

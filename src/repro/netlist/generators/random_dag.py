@@ -1,0 +1,199 @@
+"""Seeded random layered-DAG circuit generation.
+
+Used to synthesize stand-ins for benchmark circuits whose published
+profile (input/output/gate counts, logic depth) is known but whose
+netlist is not bundled.  The generator places gates level by level so the
+resulting depth is exactly the requested one, draws fanin mostly from the
+previous level (which creates long sensitizable paths and reconvergence)
+and occasionally from older levels or primary inputs, and biases gate
+types toward the NAND/NOR-heavy mix of the ISCAS85 set.
+
+All randomness flows from a caller-provided seed, so generated circuits
+are bit-reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import ConfigError
+from ..circuit import Circuit
+from ..gates import GateType
+
+__all__ = ["random_layered_circuit", "DEFAULT_GATE_WEIGHTS"]
+
+#: Gate-type sampling weights approximating the ISCAS85 mix.
+DEFAULT_GATE_WEIGHTS: Dict[GateType, float] = {
+    GateType.NAND: 0.30,
+    GateType.AND: 0.16,
+    GateType.NOR: 0.14,
+    GateType.OR: 0.12,
+    GateType.NOT: 0.12,
+    GateType.XOR: 0.07,
+    GateType.XNOR: 0.04,
+    GateType.BUF: 0.05,
+}
+
+
+def random_layered_circuit(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_gates: int,
+    depth: int,
+    seed: int,
+    gate_weights: Optional[Dict[GateType, float]] = None,
+    fanin_choices: Sequence[int] = (2, 2, 2, 2, 3, 3, 4),
+    local_fanin_prob: float = 0.75,
+) -> Circuit:
+    """Generate a random combinational circuit with a fixed profile.
+
+    Parameters
+    ----------
+    name:
+        Circuit name.
+    num_inputs, num_outputs, num_gates:
+        Interface and size of the circuit.  ``num_gates`` must be at
+        least ``depth`` so every level holds at least one gate.
+    depth:
+        Exact logic depth (the longest input-to-gate path).
+    seed:
+        Seed for the internal :class:`numpy.random.Generator`; equal
+        seeds give identical circuits.
+    gate_weights:
+        Sampling weights per multi-input gate type; defaults to the
+        ISCAS85-like mix in :data:`DEFAULT_GATE_WEIGHTS`.  Single-input
+        types in the table (NOT/BUF) are used when a fanin count of 1 is
+        drawn for them.
+    fanin_choices:
+        Multiset the per-gate fanin count is drawn from (for multi-input
+        gate types).
+    local_fanin_prob:
+        Probability that each fanin comes from the immediately preceding
+        level (forcing the level structure); the rest come from any
+        earlier net, preferring not-yet-used primary inputs so no input
+        is left dangling when capacity allows.
+
+    Returns
+    -------
+    Circuit
+        A validated circuit whose :meth:`~repro.netlist.circuit.Circuit.depth`
+        equals ``depth``.
+    """
+    if num_inputs < 2:
+        raise ConfigError("num_inputs must be >= 2")
+    if num_outputs < 1:
+        raise ConfigError("num_outputs must be >= 1")
+    if depth < 1:
+        raise ConfigError("depth must be >= 1")
+    if num_gates < depth:
+        raise ConfigError("num_gates must be >= depth")
+    if num_outputs > num_gates:
+        raise ConfigError("num_outputs cannot exceed num_gates")
+    if not 0.0 <= local_fanin_prob <= 1.0:
+        raise ConfigError("local_fanin_prob must be in [0, 1]")
+
+    rng = np.random.default_rng(seed)
+    weights = dict(gate_weights or DEFAULT_GATE_WEIGHTS)
+    multi_types = [
+        g for g in weights if g not in (GateType.NOT, GateType.BUF)
+    ]
+    multi_probs = np.array([weights[g] for g in multi_types], dtype=float)
+    multi_probs /= multi_probs.sum()
+    unary_types = [g for g in (GateType.NOT, GateType.BUF) if g in weights]
+    unary_weight = sum(weights.get(g, 0.0) for g in unary_types)
+    total_weight = unary_weight + sum(
+        weights[g] for g in multi_types
+    )
+    unary_prob = unary_weight / total_weight if total_weight else 0.0
+    if unary_weight <= 0.0:
+        unary_types = []
+    if unary_types:
+        unary_probs = np.array([weights[g] for g in unary_types], dtype=float)
+        unary_probs /= unary_probs.sum()
+
+    c = Circuit(name)
+    inputs = [f"i{k}" for k in range(num_inputs)]
+    for net in inputs:
+        c.add_input(net)
+
+    # Spread gates over levels: every level gets one, the remainder are
+    # distributed multinomially so sizes vary but sum exactly.
+    extra = num_gates - depth
+    if extra:
+        alloc = rng.multinomial(extra, np.full(depth, 1.0 / depth))
+    else:
+        alloc = np.zeros(depth, dtype=int)
+    level_sizes = [int(1 + alloc[i]) for i in range(depth)]
+
+    levels: List[List[str]] = [list(inputs)]
+    unused_inputs = list(inputs)
+    rng.shuffle(unused_inputs)
+    all_prior: List[str] = list(inputs)
+    gate_idx = 0
+
+    for level_no, size in enumerate(level_sizes, start=1):
+        current: List[str] = []
+        prev = levels[-1]
+        for slot in range(size):
+            net = f"n{gate_idx}"
+            gate_idx += 1
+            is_unary = (
+                bool(unary_types)
+                and slot > 0  # keep slot 0 multi-input for structure
+                and rng.random() < unary_prob
+            )
+            if is_unary:
+                gtype = unary_types[
+                    int(rng.choice(len(unary_types), p=unary_probs))
+                ]
+                fanin_count = 1
+            else:
+                gtype = multi_types[
+                    int(rng.choice(len(multi_types), p=multi_probs))
+                ]
+                fanin_count = int(
+                    fanin_choices[int(rng.integers(len(fanin_choices)))]
+                )
+            fanin: List[str] = []
+            # The first fanin always comes from the previous level so the
+            # gate really sits at `level_no`.
+            fanin.append(prev[int(rng.integers(len(prev)))])
+            for _ in range(fanin_count - 1):
+                if rng.random() < local_fanin_prob:
+                    pick = prev[int(rng.integers(len(prev)))]
+                elif unused_inputs:
+                    pick = unused_inputs.pop()
+                else:
+                    pick = all_prior[int(rng.integers(len(all_prior)))]
+                if pick in fanin:
+                    # Avoid duplicate fanin (a & a) — retry once from all
+                    # priors, then accept the duplicate-free subset.
+                    pick = all_prior[int(rng.integers(len(all_prior)))]
+                if pick not in fanin:
+                    fanin.append(pick)
+            if len(fanin) == 1 and gtype not in (GateType.NOT, GateType.BUF):
+                gtype = GateType.NOT if rng.random() < 0.5 else GateType.BUF
+            c.add_gate(net, gtype, fanin)
+            current.append(net)
+        levels.append(current)
+        all_prior.extend(current)
+
+    # Outputs: dangling nets first (so deep logic is observable in
+    # reports), then fill from the deepest levels.
+    fanout = c.fanout_map()
+    dangling = [n for n in all_prior[num_inputs:] if not fanout[n]]
+    outputs: List[str] = list(dangling[:num_outputs])
+    chosen = set(outputs)
+    level_pool = [n for lvl in reversed(levels[1:]) for n in lvl]
+    for net in level_pool:
+        if len(outputs) >= num_outputs:
+            break
+        if net not in chosen:
+            outputs.append(net)
+            chosen.add(net)
+    c.set_outputs(outputs)
+    c.validate()
+    return c

@@ -1,0 +1,335 @@
+"""Sequential circuits: D-flip-flops over a combinational core.
+
+The paper restricts itself to combinational circuits; its reference [4]
+(Manne et al.) is the sequential counterpart, where the unit of interest
+is a *cycle* — a (state, input) pair.  This module supplies the
+substrate for that setting:
+
+* :class:`SequentialCircuit` — a combinational core plus D-flops.  The
+  flop outputs (Q) behave as extra primary inputs of the core; the flop
+  inputs (D) as extra primary outputs.
+* :meth:`SequentialCircuit.unroll` — classic time-frame expansion into
+  a pure combinational :class:`~repro.netlist.circuit.Circuit` (state
+  inputs of frame *t+1* wired to the D functions of frame *t*), which
+  makes every combinational tool in this package (power analysis,
+  equivalence checking, max-power estimation over k-cycle windows)
+  applicable to sequential designs.
+* :meth:`SequentialCircuit.simulate` — multi-lane multi-cycle
+  functional simulation on the bit-parallel engine, returning per-cycle
+  per-lane switched energy, the ground truth for sequential peak-power
+  studies.
+
+The ISCAS89 ``.bench`` convention (``q = DFF(d)``) is parsed by
+:func:`parse_sequential_bench`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import NetlistError, ParseError, SimulationError
+from .circuit import Circuit
+from .gates import GateType, gate_from_name
+
+__all__ = ["SequentialCircuit", "parse_sequential_bench"]
+
+
+class SequentialCircuit:
+    """A Huffman-model sequential circuit (combinational core + DFFs).
+
+    Build incrementally like a :class:`Circuit`, with
+    :meth:`add_flop` declaring state elements::
+
+        s = SequentialCircuit("counter")
+        s.add_input("en")
+        s.add_flop("q0", d="d0")
+        s.add_gate("d0", GateType.XOR, ["q0", "en"])
+        s.set_outputs(["q0"])
+        s.finalize()
+    """
+
+    def __init__(self, name: str = "sequential"):
+        self.name = name
+        self._core = Circuit(f"{name}_core")
+        self._flops: List[Tuple[str, str]] = []  # (q_net, d_net)
+        self._outputs: List[str] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> None:
+        """Declare a primary input."""
+        self._core.add_input(net)
+
+    def add_flop(self, q: str, d: str) -> None:
+        """Declare a D-flop driving net ``q`` from next-state net ``d``.
+
+        ``q`` becomes a pseudo-input of the core; ``d`` must eventually
+        be defined as a gate or input net.
+        """
+        self._core.add_input(q)
+        self._flops.append((q, d))
+
+    def add_gate(self, name: str, gtype: GateType, fanin: Sequence[str]):
+        """Add a combinational gate (see :meth:`Circuit.add_gate`)."""
+        return self._core.add_gate(name, gtype, fanin)
+
+    def set_outputs(self, nets: Sequence[str]) -> None:
+        """Designate the primary outputs."""
+        self._outputs = list(nets)
+
+    def finalize(self) -> None:
+        """Validate the structure (call once construction is complete)."""
+        d_nets = [d for _, d in self._flops]
+        self._core.set_outputs(list(dict.fromkeys(self._outputs + d_nets)))
+        for _, d in self._flops:
+            if d not in self._core:
+                raise NetlistError(f"next-state net {d!r} is undefined")
+        self._core.validate()
+        self._finalized = True
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise NetlistError("call finalize() before using the circuit")
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Primary (non-state) inputs."""
+        state = {q for q, _ in self._flops}
+        return tuple(n for n in self._core.inputs if n not in state)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return tuple(self._outputs)
+
+    @property
+    def flops(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(self._flops)
+
+    @property
+    def num_flops(self) -> int:
+        return len(self._flops)
+
+    @property
+    def num_gates(self) -> int:
+        return self._core.num_gates
+
+    @property
+    def core(self) -> Circuit:
+        """The combinational core (state bits exposed as inputs/outputs)."""
+        return self._core
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SequentialCircuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"flops={self.num_flops}, gates={self.num_gates})"
+        )
+
+    # ------------------------------------------------------------------
+    # time-frame expansion
+    # ------------------------------------------------------------------
+    def unroll(self, cycles: int, name: Optional[str] = None) -> Circuit:
+        """Expand ``cycles`` time frames into one combinational circuit.
+
+        Inputs: initial state ``<q>@0`` for every flop, then per-frame
+        primary inputs ``<pi>@t``.  Outputs: per-frame primary outputs
+        ``<po>@t`` plus the final state ``<d>@{cycles-1}`` nets.
+        """
+        self._require_finalized()
+        if cycles < 1:
+            raise NetlistError("cycles must be >= 1")
+        out = Circuit(name or f"{self.name}_x{cycles}")
+        state = {q for q, _ in self._flops}
+
+        for q, _ in self._flops:
+            out.add_input(f"{q}@0")
+        for t in range(cycles):
+            for pi in self.inputs:
+                out.add_input(f"{pi}@{t}")
+
+        # frame_map[t][core_net] -> unrolled net name
+        prev_d: Dict[str, str] = {}
+        outputs: List[str] = []
+        for t in range(cycles):
+            mapping: Dict[str, str] = {}
+            for pi in self.inputs:
+                mapping[pi] = f"{pi}@{t}"
+            for q, d in self._flops:
+                mapping[q] = f"{q}@0" if t == 0 else prev_d[d]
+            for gate_name in self._core.topological_order():
+                gate = self._core.gate(gate_name)
+                new_name = f"{gate_name}@{t}"
+                out.add_gate(
+                    new_name,
+                    gate.gtype,
+                    [mapping[f] if f in mapping else f"{f}@{t}" for f in gate.fanin],
+                )
+                mapping[gate_name] = new_name
+            for po in self._outputs:
+                outputs.append(mapping[po])
+            prev_d = {d: mapping[d] for _, d in self._flops}
+        # Final next-state nets are observable.
+        outputs.extend(dict.fromkeys(prev_d.values()))
+        out.set_outputs(list(dict.fromkeys(outputs)))
+        out.validate()
+        return out
+
+    # ------------------------------------------------------------------
+    # multi-cycle simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        input_stream: np.ndarray,
+        initial_state: Optional[np.ndarray] = None,
+        net_caps: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Bit-parallel multi-cycle simulation.
+
+        Parameters
+        ----------
+        input_stream:
+            ``(cycles, lanes, num_inputs)`` or ``(cycles, num_inputs)``
+            (single lane) bit array of primary-input values per cycle.
+        initial_state:
+            ``(lanes, num_flops)`` bits; zeros by default.
+        net_caps:
+            Optional per-net capacitances indexed like the core's
+            :attr:`~repro.sim.bitsim.BitParallelSimulator.net_order`;
+            when given, per-cycle per-lane switched energy (zero-delay)
+            is returned as the third element.
+
+        Returns
+        -------
+        (outputs, final_state, energies)
+            ``outputs``: ``(cycles, lanes, num_outputs)`` bits;
+            ``final_state``: ``(lanes, num_flops)``;
+            ``energies``: ``(cycles, lanes)`` switched-capacitance sums;
+            entry *t* counts toggles between the settled values of
+            cycle *t−1* and cycle *t* (entry 0 is zero — the first frame
+            has no predecessor), or ``None`` when ``net_caps`` is not
+            given.
+        """
+        from ..sim.bitsim import BitParallelSimulator, pack_vectors
+
+        self._require_finalized()
+        stream = np.asarray(input_stream, dtype=np.uint8)
+        if stream.ndim == 2:
+            stream = stream[:, None, :]
+        if stream.ndim != 3 or stream.shape[2] != len(self.inputs):
+            raise SimulationError(
+                f"input_stream must be (cycles, lanes, {len(self.inputs)})"
+            )
+        cycles, lanes, _ = stream.shape
+        if initial_state is None:
+            initial_state = np.zeros((lanes, self.num_flops), dtype=np.uint8)
+        initial_state = np.asarray(initial_state, dtype=np.uint8)
+        if initial_state.shape != (lanes, self.num_flops):
+            raise SimulationError(
+                f"initial_state must be ({lanes}, {self.num_flops})"
+            )
+
+        sim = BitParallelSimulator(self._core)
+        pi_names = list(self.inputs)
+        q_names = [q for q, _ in self._flops]
+        d_names = [d for _, d in self._flops]
+        core_inputs = list(self._core.inputs)
+
+        state_bits = initial_state
+        prev_values: Optional[np.ndarray] = None
+        outputs = np.empty((cycles, lanes, len(self._outputs)), dtype=np.uint8)
+        energies = (
+            np.zeros((cycles, lanes)) if net_caps is not None else None
+        )
+        out_idx = [sim.net_index(po) for po in self._outputs]
+        d_idx = [sim.net_index(d) for d in d_names]
+
+        for t in range(cycles):
+            frame = np.empty((lanes, len(core_inputs)), dtype=np.uint8)
+            for col, net in enumerate(core_inputs):
+                if net in q_names:
+                    frame[:, col] = state_bits[:, q_names.index(net)]
+                else:
+                    frame[:, col] = stream[t, :, pi_names.index(net)]
+            words, nl = pack_vectors(frame)
+            values_words = sim.steady_state(words, nl)
+            from ..sim.bitsim import unpack_vectors
+
+            values = unpack_vectors(values_words, nl)  # (lanes, num_nets)
+            outputs[t] = values[:, out_idx]
+            if energies is not None and prev_values is not None:
+                toggles = values != prev_values
+                energies[t] = toggles @ np.asarray(net_caps, dtype=np.float64)
+            prev_values = values
+            state_bits = values[:, d_idx].astype(np.uint8)
+
+        return outputs, state_bits, energies
+
+
+_DFF_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*DFF\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE
+)
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(\s*(.*?)\s*\)$"
+)
+
+
+def parse_sequential_bench(
+    text: str, name: str = "bench"
+) -> SequentialCircuit:
+    """Parse an ISCAS89-style ``.bench`` file with DFF elements.
+
+    Combinational statements follow the ISCAS85 grammar; ``q = DFF(d)``
+    declares a flop.  The result is ready to :meth:`unroll` or simulate.
+    """
+    seq = SequentialCircuit(name)
+    outputs: List[str] = []
+    pending_gates: List[Tuple[int, str, str, List[str]]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io = _IO_RE.match(line)
+        if io:
+            kind, net = io.group(1).upper(), io.group(2)
+            if kind == "INPUT":
+                seq.add_input(net)
+            else:
+                outputs.append(net)
+            continue
+        dff = _DFF_RE.match(line)
+        if dff:
+            q, d = dff.groups()
+            seq.add_flop(q, d)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            net, keyword, args = gate.groups()
+            try:
+                gtype = gate_from_name(keyword)
+            except NetlistError as exc:
+                raise ParseError(str(exc), line_no) from None
+            fanin = [a.strip() for a in args.split(",") if a.strip()]
+            pending_gates.append((line_no, net, gtype, fanin))
+            continue
+        raise ParseError(f"unrecognized statement: {line!r}", line_no)
+    # Gates may reference flop Q nets declared later in the file, so add
+    # them after all flops are known.
+    for line_no, net, gtype, fanin in pending_gates:
+        try:
+            seq.add_gate(net, gtype, fanin)
+        except NetlistError as exc:
+            raise ParseError(str(exc), line_no) from None
+    seq.set_outputs(outputs)
+    try:
+        seq.finalize()
+    except NetlistError as exc:
+        raise ParseError(f"invalid circuit after parse: {exc}") from None
+    return seq

@@ -1,0 +1,410 @@
+"""Netlist transformations.
+
+Function-preserving rewrites used to study how *implementation* affects
+power (the same Boolean function mapped differently switches different
+capacitance — ISCAS85's C1355 literally is C499 with its XORs expanded
+into NANDs):
+
+* :func:`expand_xor_to_nand` — replace every XOR/XNOR with the classic
+  4-NAND (plus inverter) network.
+* :func:`decompose_to_two_input` — break n-ary gates into balanced trees
+  of 2-input gates.
+* :func:`propagate_constants` — fold CONST0/CONST1 through the logic.
+* :func:`sweep_dangling` — remove logic observable at no output.
+* :func:`buffer_high_fanout` — split nets whose fanout exceeds a limit
+  with buffer trees (what a real flow does for slew; here it changes
+  the capacitance distribution).
+
+All transforms return a *new* circuit; inputs/outputs keep their names
+so :mod:`repro.netlist.equivalence` can verify functional equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NetlistError
+from .circuit import Circuit
+from .gates import GateType
+
+__all__ = [
+    "expand_xor_to_nand",
+    "expand_xor_to_and_or",
+    "decompose_to_two_input",
+    "propagate_constants",
+    "sweep_dangling",
+    "buffer_high_fanout",
+]
+
+
+def _fresh(circuit: Circuit, base: str, used: set) -> str:
+    """A net name not colliding with the circuit or earlier fresh names."""
+    name = base
+    counter = 0
+    while name in circuit or name in used:
+        counter += 1
+        name = f"{base}_{counter}"
+    used.add(name)
+    return name
+
+
+def expand_xor_to_nand(circuit: Circuit, name: Optional[str] = None) -> Circuit:
+    """Replace XOR/XNOR gates with NAND-only networks (C499 -> C1355).
+
+    A 2-input XOR becomes the standard 4-NAND cell; wider XORs are first
+    reduced pairwise.  XNOR adds one more NAND used as an inverter.
+    """
+    circuit.validate()
+    out = Circuit(name or f"{circuit.name}_nand")
+    for net in circuit.inputs:
+        out.add_input(net)
+    used: set = set()
+
+    def xor2(a: str, b: str, result: str) -> None:
+        t = _fresh(circuit, f"{result}_t", used)
+        ta = _fresh(circuit, f"{result}_ta", used)
+        tb = _fresh(circuit, f"{result}_tb", used)
+        out.add_gate(t, GateType.NAND, [a, b])
+        out.add_gate(ta, GateType.NAND, [a, t])
+        out.add_gate(tb, GateType.NAND, [b, t])
+        out.add_gate(result, GateType.NAND, [ta, tb])
+
+    for gate_name in circuit.topological_order():
+        gate = circuit.gate(gate_name)
+        if gate.gtype not in (GateType.XOR, GateType.XNOR):
+            out.add_gate(gate_name, gate.gtype, gate.fanin)
+            continue
+        inputs = list(gate.fanin)
+        # Pairwise reduce to a single XOR result feeding `gate_name`.
+        while len(inputs) > 2:
+            merged = _fresh(circuit, f"{gate_name}_x", used)
+            xor2(inputs[0], inputs[1], merged)
+            inputs = [merged] + inputs[2:]
+        if gate.gtype is GateType.XOR:
+            xor2(inputs[0], inputs[1], gate_name)
+        else:
+            pre = _fresh(circuit, f"{gate_name}_pre", used)
+            xor2(inputs[0], inputs[1], pre)
+            out.add_gate(gate_name, GateType.NAND, [pre, pre])
+    out.set_outputs(circuit.outputs)
+    out.validate()
+    return out
+
+
+def expand_xor_to_and_or(
+    circuit: Circuit, name: Optional[str] = None
+) -> Circuit:
+    """Replace XOR/XNOR with the sum-of-products AND/OR/NOT form.
+
+    ``a ^ b = (a & ~b) | (~a & b)`` — 5 gates per 2-input XOR, a
+    different capacitance/delay profile than the 4-NAND mapping (larger
+    OR cells, explicit inverters), used by the mapping ablation.
+    """
+    circuit.validate()
+    out = Circuit(name or f"{circuit.name}_sop")
+    for net in circuit.inputs:
+        out.add_input(net)
+    used: set = set()
+
+    def xor2(a: str, b: str, result: str, invert: bool) -> None:
+        na = _fresh(circuit, f"{result}_na", used)
+        nb = _fresh(circuit, f"{result}_nb", used)
+        t0 = _fresh(circuit, f"{result}_t0", used)
+        t1 = _fresh(circuit, f"{result}_t1", used)
+        out.add_gate(na, GateType.NOT, [a])
+        out.add_gate(nb, GateType.NOT, [b])
+        out.add_gate(t0, GateType.AND, [a, nb])
+        out.add_gate(t1, GateType.AND, [na, b])
+        out.add_gate(result, GateType.NOR if invert else GateType.OR, [t0, t1])
+
+    for gate_name in circuit.topological_order():
+        gate = circuit.gate(gate_name)
+        if gate.gtype not in (GateType.XOR, GateType.XNOR):
+            out.add_gate(gate_name, gate.gtype, gate.fanin)
+            continue
+        inputs = list(gate.fanin)
+        while len(inputs) > 2:
+            merged = _fresh(circuit, f"{gate_name}_x", used)
+            xor2(inputs[0], inputs[1], merged, invert=False)
+            inputs = [merged] + inputs[2:]
+        xor2(
+            inputs[0],
+            inputs[1],
+            gate_name,
+            invert=gate.gtype is GateType.XNOR,
+        )
+    out.set_outputs(circuit.outputs)
+    out.validate()
+    return out
+
+
+def decompose_to_two_input(
+    circuit: Circuit, name: Optional[str] = None
+) -> Circuit:
+    """Break gates with more than two inputs into balanced 2-input trees.
+
+    AND/OR/XOR trees keep the same type; inverting heads (NAND/NOR/XNOR)
+    build the non-inverting tree and invert only at the root, preserving
+    the output net name.
+    """
+    circuit.validate()
+    out = Circuit(name or f"{circuit.name}_2in")
+    for net in circuit.inputs:
+        out.add_input(net)
+    used: set = set()
+    base_of = {
+        GateType.NAND: GateType.AND,
+        GateType.NOR: GateType.OR,
+        GateType.XNOR: GateType.XOR,
+    }
+
+    def tree(gtype: GateType, nets: List[str], root: str) -> None:
+        level = 0
+        while len(nets) > 1:
+            nxt: List[str] = []
+            for k in range(0, len(nets) - 1, 2):
+                if len(nets) == 2:
+                    dest = root
+                else:
+                    dest = _fresh(circuit, f"{root}_l{level}_{k // 2}", used)
+                out.add_gate(dest, gtype, [nets[k], nets[k + 1]])
+                nxt.append(dest)
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+            level += 1
+
+    for gate_name in circuit.topological_order():
+        gate = circuit.gate(gate_name)
+        if len(gate.fanin) <= 2:
+            out.add_gate(gate_name, gate.gtype, gate.fanin)
+            continue
+        base = base_of.get(gate.gtype, gate.gtype)
+        if base is gate.gtype:
+            tree(base, list(gate.fanin), gate_name)
+        else:
+            pre = _fresh(circuit, f"{gate_name}_pre", used)
+            tree(base, list(gate.fanin), pre)
+            out.add_gate(gate_name, GateType.NOT, [pre])
+    out.set_outputs(circuit.outputs)
+    out.validate()
+    return out
+
+
+def propagate_constants(
+    circuit: Circuit, name: Optional[str] = None
+) -> Circuit:
+    """Fold CONST0/CONST1 drivers through the logic.
+
+    Gates whose value becomes fixed turn into constants; gates with a
+    neutralized input drop it (or become buffers).  Output constants are
+    kept as CONST gates so the interface is unchanged.
+    """
+    circuit.validate()
+    out = Circuit(name or f"{circuit.name}_cprop")
+    for net in circuit.inputs:
+        out.add_input(net)
+    const: Dict[str, int] = {}
+
+    def emit(net: str, gtype: GateType, fanin: List[str]) -> None:
+        out.add_gate(net, gtype, fanin)
+
+    for gate_name in circuit.topological_order():
+        gate = circuit.gate(gate_name)
+        if gate.gtype is GateType.CONST0:
+            const[gate_name] = 0
+            emit(gate_name, GateType.CONST0, [])
+            continue
+        if gate.gtype is GateType.CONST1:
+            const[gate_name] = 1
+            emit(gate_name, GateType.CONST1, [])
+            continue
+        known = [(f, const[f]) for f in gate.fanin if f in const]
+        live = [f for f in gate.fanin if f not in const]
+        gtype = gate.gtype
+        if not known:
+            emit(gate_name, gtype, list(gate.fanin))
+            continue
+        values = [v for _, v in known]
+        if gtype in (GateType.AND, GateType.NAND):
+            if 0 in values:
+                bit = 0 if gtype is GateType.AND else 1
+                const[gate_name] = bit
+                emit(gate_name, GateType.CONST1 if bit else GateType.CONST0, [])
+                continue
+            # All known inputs are 1 -> drop them.
+            if not live:
+                bit = 1 if gtype is GateType.AND else 0
+                const[gate_name] = bit
+                emit(gate_name, GateType.CONST1 if bit else GateType.CONST0, [])
+            elif len(live) == 1:
+                emit(
+                    gate_name,
+                    GateType.BUF if gtype is GateType.AND else GateType.NOT,
+                    live,
+                )
+            else:
+                emit(gate_name, gtype, live)
+            continue
+        if gtype in (GateType.OR, GateType.NOR):
+            if 1 in values:
+                bit = 1 if gtype is GateType.OR else 0
+                const[gate_name] = bit
+                emit(gate_name, GateType.CONST1 if bit else GateType.CONST0, [])
+                continue
+            if not live:
+                bit = 0 if gtype is GateType.OR else 1
+                const[gate_name] = bit
+                emit(gate_name, GateType.CONST1 if bit else GateType.CONST0, [])
+            elif len(live) == 1:
+                emit(
+                    gate_name,
+                    GateType.BUF if gtype is GateType.OR else GateType.NOT,
+                    live,
+                )
+            else:
+                emit(gate_name, gtype, live)
+            continue
+        if gtype in (GateType.XOR, GateType.XNOR):
+            parity = sum(values) % 2
+            invert = (gtype is GateType.XNOR) ^ bool(parity)
+            if not live:
+                bit = 1 if invert else 0
+                const[gate_name] = bit
+                emit(gate_name, GateType.CONST1 if bit else GateType.CONST0, [])
+            elif len(live) == 1:
+                emit(
+                    gate_name,
+                    GateType.NOT if invert else GateType.BUF,
+                    live,
+                )
+            else:
+                emit(
+                    gate_name,
+                    GateType.XNOR if invert else GateType.XOR,
+                    live,
+                )
+            continue
+        if gtype in (GateType.NOT, GateType.BUF):
+            value = values[0]
+            bit = (1 - value) if gtype is GateType.NOT else value
+            const[gate_name] = bit
+            emit(gate_name, GateType.CONST1 if bit else GateType.CONST0, [])
+            continue
+        if gtype is GateType.MUX:
+            sel, d0, d1 = gate.fanin
+            if sel in const:
+                chosen = d1 if const[sel] else d0
+                if chosen in const:
+                    bit = const[chosen]
+                    const[gate_name] = bit
+                    emit(
+                        gate_name,
+                        GateType.CONST1 if bit else GateType.CONST0,
+                        [],
+                    )
+                else:
+                    emit(gate_name, GateType.BUF, [chosen])
+            elif d0 in const and d1 in const and const[d0] == const[d1]:
+                bit = const[d0]
+                const[gate_name] = bit
+                emit(gate_name, GateType.CONST1 if bit else GateType.CONST0, [])
+            else:
+                emit(gate_name, GateType.MUX, list(gate.fanin))
+            continue
+        raise NetlistError(f"constant propagation: unhandled {gtype}")
+
+    out.set_outputs(circuit.outputs)
+    out.validate()
+    return sweep_dangling(out, name=out.name)
+
+
+def sweep_dangling(circuit: Circuit, name: Optional[str] = None) -> Circuit:
+    """Remove gates that no primary output transitively observes."""
+    circuit.validate()
+    live: set = set(circuit.outputs)
+    for out_net in circuit.outputs:
+        live |= circuit.transitive_fanin(out_net)
+    result = Circuit(name or f"{circuit.name}_swept")
+    for net in circuit.inputs:
+        result.add_input(net)
+    for gate_name in circuit.topological_order():
+        if gate_name in live:
+            gate = circuit.gate(gate_name)
+            result.add_gate(gate_name, gate.gtype, gate.fanin)
+    result.set_outputs(circuit.outputs)
+    result.validate()
+    return result
+
+
+def buffer_high_fanout(
+    circuit: Circuit,
+    max_fanout: int = 8,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Insert buffers so no net drives more than ``max_fanout`` sinks.
+
+    Sinks beyond the limit are moved, in groups of ``max_fanout``, onto
+    fresh buffer nets (a single-level buffer fan; primary outputs stay
+    on the original net).
+    """
+    if max_fanout < 2:
+        raise NetlistError("max_fanout must be >= 2")
+    circuit.validate()
+    fanout = circuit.fanout_map()
+    # Plan, per overloaded net: a *chain* of buffers.  The source keeps
+    # (max_fanout - 1) sinks plus the first buffer; each buffer feeds
+    # the next (max_fanout - 1) sinks plus the following buffer; the
+    # last buffer may take a full max_fanout of sinks.  Sink positions
+    # are (net, sink, position) triples because a gate may read the
+    # same net on several pins.
+    remap: Dict[Tuple[str, str, int], str] = {}
+    chains: Dict[str, List[str]] = {}  # source net -> ordered buffers
+    used: set = set()
+    for net in circuit.nets:
+        sink_pins: List[Tuple[str, int]] = []
+        for sink in fanout[net]:
+            for pos, f in enumerate(circuit.gate(sink).fanin):
+                if f == net:
+                    sink_pins.append((sink, pos))
+        if len(sink_pins) <= max_fanout:
+            continue
+        chain: List[str] = []
+        cursor = max_fanout - 1  # pins the raw source keeps
+        while cursor < len(sink_pins):
+            buf = _fresh(circuit, f"{net}_fobuf{len(chain)}", used)
+            remaining = len(sink_pins) - cursor
+            take = (
+                remaining
+                if remaining <= max_fanout
+                else max_fanout - 1  # reserve one slot for the next buffer
+            )
+            for sink, pos in sink_pins[cursor:cursor + take]:
+                remap[(net, sink, pos)] = buf
+            chain.append(buf)
+            cursor += take
+        chains[net] = chain
+
+    out = Circuit(name or f"{circuit.name}_buffered")
+    for net in circuit.inputs:
+        out.add_input(net)
+
+    def emit_chain(src: str) -> None:
+        prev = src
+        for buf in chains.get(src, ()):
+            out.add_gate(buf, GateType.BUF, [prev])
+            prev = buf
+
+    for net in circuit.inputs:
+        emit_chain(net)
+    for gate_name in circuit.topological_order():
+        gate = circuit.gate(gate_name)
+        new_fanin = [
+            remap.get((f, gate_name, pos), f)
+            for pos, f in enumerate(gate.fanin)
+        ]
+        out.add_gate(gate_name, gate.gtype, new_fanin)
+        emit_chain(gate_name)
+    out.set_outputs(circuit.outputs)
+    out.validate()
+    return out

@@ -1,0 +1,80 @@
+"""Static timing analysis (topological longest path).
+
+Provides the static upper bound on settle time that complements the
+dynamic (vector-dependent) delay measured by the event-driven simulator,
+and the critical-path report used by the max-delay estimation extension
+(the paper's §V points at longest-path delay estimation as a further
+application of the same statistical machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.circuit import Circuit
+from .delay import DelayModel, UnitDelay
+
+__all__ = ["TimingReport", "StaticTimingAnalyzer"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of a static timing pass.
+
+    Attributes
+    ----------
+    arrival:
+        net -> latest arrival time.
+    critical_path:
+        Net names from a primary input to the latest output, in order.
+    max_delay:
+        Arrival time at the latest primary output (the static bound on
+        any vector pair's settle time).
+    """
+
+    arrival: Dict[str, float]
+    critical_path: Tuple[str, ...]
+    max_delay: float
+
+
+class StaticTimingAnalyzer:
+    """Longest-path timing over a combinational circuit."""
+
+    def __init__(
+        self, circuit: Circuit, delay_model: Optional[DelayModel] = None
+    ):
+        circuit.validate()
+        self.circuit = circuit
+        self.delay_model = delay_model or UnitDelay()
+        self._delays = self.delay_model.delays_for(circuit)
+
+    def run(self) -> TimingReport:
+        """Compute arrival times and extract one critical path."""
+        arrival: Dict[str, float] = {net: 0.0 for net in self.circuit.inputs}
+        pred: Dict[str, Optional[str]] = {
+            net: None for net in self.circuit.inputs
+        }
+        for name in self.circuit.topological_order():
+            gate = self.circuit.gate(name)
+            worst_src = max(gate.fanin, key=lambda f: arrival[f])
+            arrival[name] = arrival[worst_src] + self._delays[name]
+            pred[name] = worst_src
+
+        outputs = self.circuit.outputs or tuple(self.circuit.nets)
+        end = max(outputs, key=lambda o: arrival[o])
+        path: List[str] = []
+        cur: Optional[str] = end
+        while cur is not None:
+            path.append(cur)
+            cur = pred[cur]
+        path.reverse()
+        return TimingReport(
+            arrival=arrival,
+            critical_path=tuple(path),
+            max_delay=arrival[end],
+        )
+
+    def max_delay(self) -> float:
+        """Shortcut for ``run().max_delay``."""
+        return self.run().max_delay

@@ -1,0 +1,75 @@
+"""Switching-activity measurement and constraint verification.
+
+Small, pure functions over the ``(num_pairs, num_inputs)`` bit-matrix
+pair representation.  Used by tests (to verify generators honour their
+constraints), by population metadata, and by the genetic-search baseline
+(whose mutation operators target activity).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import PopulationError
+
+__all__ = [
+    "pair_activity",
+    "mean_activity",
+    "per_line_transition_prob",
+    "toggle_correlation",
+    "hamming_distance",
+]
+
+
+def _check(v1: np.ndarray, v2: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    v1 = np.asarray(v1)
+    v2 = np.asarray(v2)
+    if v1.shape != v2.shape or v1.ndim != 2:
+        raise PopulationError("expected two (N, num_inputs) matrices")
+    return v1, v2
+
+
+def pair_activity(v1: np.ndarray, v2: np.ndarray) -> np.ndarray:
+    """Per-pair input switching activity: fraction of toggled lines."""
+    v1, v2 = _check(v1, v2)
+    return (v1 != v2).mean(axis=1)
+
+
+def mean_activity(v1: np.ndarray, v2: np.ndarray) -> float:
+    """Average switching activity over all pairs and lines."""
+    v1, v2 = _check(v1, v2)
+    return float((v1 != v2).mean())
+
+
+def per_line_transition_prob(v1: np.ndarray, v2: np.ndarray) -> np.ndarray:
+    """Empirical transition probability of each input line."""
+    v1, v2 = _check(v1, v2)
+    return (v1 != v2).mean(axis=0)
+
+
+def hamming_distance(v1: np.ndarray, v2: np.ndarray) -> np.ndarray:
+    """Per-pair count of toggled lines."""
+    v1, v2 = _check(v1, v2)
+    return (v1 != v2).sum(axis=1)
+
+
+def toggle_correlation(v1: np.ndarray, v2: np.ndarray) -> np.ndarray:
+    """Lag-1 spatial correlation of toggle indicators between lines.
+
+    Returns the Pearson correlation between the toggle indicator of
+    line *i* and line *i+1*, one value per adjacent line pair.  Lines
+    with zero toggle variance yield ``nan`` for their pairs.
+    """
+    v1, v2 = _check(v1, v2)
+    togg = (v1 != v2).astype(np.float64)
+    if togg.shape[1] < 2:
+        return np.empty(0)
+    a = togg[:, :-1]
+    b = togg[:, 1:]
+    am = a - a.mean(axis=0)
+    bm = b - b.mean(axis=0)
+    denom = a.std(axis=0) * b.std(axis=0) * a.shape[0]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return (am * bm).sum(axis=0) / denom

@@ -1,0 +1,171 @@
+"""Input vector-pair generation.
+
+The paper's two problem categories need different pair sources:
+
+* *Unconstrained* (I.1): all possible vector pairs are admissible.  The
+  experimental populations are "randomly generated high activity
+  (average switching activity larger than 0.3) vector pairs" —
+  :func:`high_activity_vector_pairs` reproduces that with rejection
+  sampling.
+* *Constrained* (I.2): pairs must honour a transition-probability
+  specification per input line —
+  :func:`transition_prob_vector_pairs` (independent lines, the paper's
+  0.7 / 0.3 setups) and :func:`markov_transition_vector_pairs`
+  (joint/correlated toggles between neighbouring lines).
+
+All generators return a pair of ``(num_pairs, num_inputs)`` uint8
+matrices ``(v1, v2)`` and draw from a caller-supplied seed or Generator,
+so populations are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import PopulationError
+
+__all__ = [
+    "random_vector_pairs",
+    "high_activity_vector_pairs",
+    "transition_prob_vector_pairs",
+    "markov_transition_vector_pairs",
+    "as_rng",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Normalize an int seed / Generator / None into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _check_dims(num_pairs: int, num_inputs: int) -> None:
+    if num_pairs < 1:
+        raise PopulationError("num_pairs must be >= 1")
+    if num_inputs < 1:
+        raise PopulationError("num_inputs must be >= 1")
+
+
+def random_vector_pairs(
+    num_pairs: int, num_inputs: int, rng: RngLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniformly random, independent ``(v1, v2)`` pairs."""
+    _check_dims(num_pairs, num_inputs)
+    gen = as_rng(rng)
+    v1 = gen.integers(0, 2, size=(num_pairs, num_inputs), dtype=np.uint8)
+    v2 = gen.integers(0, 2, size=(num_pairs, num_inputs), dtype=np.uint8)
+    return v1, v2
+
+
+def high_activity_vector_pairs(
+    num_pairs: int,
+    num_inputs: int,
+    min_activity: float = 0.3,
+    rng: RngLike = None,
+    max_batches: int = 10_000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random pairs whose per-pair input switching activity exceeds a bound.
+
+    Reproduces the paper's unconstrained population construction:
+    uniformly random pairs filtered to average input activity
+    ``> min_activity`` (fraction of inputs that toggle between v1 and
+    v2).
+
+    Raises
+    ------
+    PopulationError
+        If the acceptance rate is so low the batch budget is exhausted
+        (only possible for extreme ``min_activity``).
+    """
+    _check_dims(num_pairs, num_inputs)
+    if not 0.0 <= min_activity < 1.0:
+        raise PopulationError("min_activity must be in [0, 1)")
+    gen = as_rng(rng)
+    keep_v1 = []
+    keep_v2 = []
+    kept = 0
+    for _ in range(max_batches):
+        batch = max(1024, num_pairs - kept)
+        v1 = gen.integers(0, 2, size=(batch, num_inputs), dtype=np.uint8)
+        v2 = gen.integers(0, 2, size=(batch, num_inputs), dtype=np.uint8)
+        activity = (v1 != v2).mean(axis=1)
+        sel = activity > min_activity
+        if sel.any():
+            keep_v1.append(v1[sel])
+            keep_v2.append(v2[sel])
+            kept += int(sel.sum())
+        if kept >= num_pairs:
+            v1_all = np.concatenate(keep_v1)[:num_pairs]
+            v2_all = np.concatenate(keep_v2)[:num_pairs]
+            return v1_all, v2_all
+    raise PopulationError(
+        f"could not collect {num_pairs} pairs with activity > "
+        f"{min_activity} in {max_batches} batches"
+    )
+
+
+def transition_prob_vector_pairs(
+    num_pairs: int,
+    num_inputs: int,
+    transition_probs: Union[float, Sequence[float]],
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pairs with a fixed per-line transition probability (category I.2).
+
+    ``v1`` is uniform; line *i* of ``v2`` equals ``v1`` XOR a Bernoulli
+    toggle with probability ``transition_probs[i]`` (a scalar applies to
+    all lines).  The expected per-pair switching activity equals the
+    mean transition probability.
+    """
+    _check_dims(num_pairs, num_inputs)
+    probs = np.broadcast_to(
+        np.asarray(transition_probs, dtype=np.float64), (num_inputs,)
+    )
+    if (probs < 0).any() or (probs > 1).any():
+        raise PopulationError("transition probabilities must be in [0, 1]")
+    gen = as_rng(rng)
+    v1 = gen.integers(0, 2, size=(num_pairs, num_inputs), dtype=np.uint8)
+    toggles = (
+        gen.random(size=(num_pairs, num_inputs)) < probs[None, :]
+    ).astype(np.uint8)
+    v2 = v1 ^ toggles
+    return v1, v2
+
+
+def markov_transition_vector_pairs(
+    num_pairs: int,
+    num_inputs: int,
+    base_prob: float,
+    correlation: float,
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pairs with spatially correlated toggles (joint-transition spec).
+
+    Toggle indicators form a stationary Markov chain across input lines:
+    line 0 toggles with ``base_prob``; line *i* copies line *i-1*'s
+    toggle state with probability ``correlation`` and otherwise redraws
+    from ``base_prob``.  ``correlation = 0`` reduces to independent
+    lines; ``correlation -> 1`` makes whole buses toggle together —
+    modelling the joint-transition-probability constraint of the paper's
+    category I.2.
+    """
+    _check_dims(num_pairs, num_inputs)
+    if not 0.0 <= base_prob <= 1.0:
+        raise PopulationError("base_prob must be in [0, 1]")
+    if not 0.0 <= correlation <= 1.0:
+        raise PopulationError("correlation must be in [0, 1]")
+    gen = as_rng(rng)
+    v1 = gen.integers(0, 2, size=(num_pairs, num_inputs), dtype=np.uint8)
+    toggles = np.empty((num_pairs, num_inputs), dtype=np.uint8)
+    toggles[:, 0] = gen.random(num_pairs) < base_prob
+    for i in range(1, num_inputs):
+        copy_mask = gen.random(num_pairs) < correlation
+        fresh = (gen.random(num_pairs) < base_prob).astype(np.uint8)
+        toggles[:, i] = np.where(copy_mask, toggles[:, i - 1], fresh)
+    v2 = v1 ^ toggles
+    return v1, v2

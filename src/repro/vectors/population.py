@@ -1,0 +1,224 @@
+"""Vector-pair populations — the sampling universe of the estimators.
+
+The paper defines the *population* V as a set of input vector pairs;
+the power values of its units form the distribution F whose right
+endpoint is the quantity to estimate.  Two concrete kinds:
+
+* :class:`FinitePopulation` — a pre-simulated pool (the experimental
+  setup of the paper: 160k/80k pairs simulated once, then sampled with
+  replacement).  Knows its exact maximum, so estimator error can be
+  measured, and exposes the qualified-unit portion Y used in the SRS
+  efficiency analysis.
+* :class:`StreamingPopulation` — an effectively infinite population:
+  each sample generates fresh vector pairs from a generator function
+  and simulates them on demand (this is "random vector generation" in
+  the paper's category I.1 flow).
+
+Both implement the tiny :class:`PowerPopulation` interface the
+estimators consume: ``sample_powers(n, rng)`` plus an optional finite
+size.  Finite pools can be saved/loaded as ``.npz`` for caching.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import PopulationError
+from .generators import RngLike, as_rng
+
+__all__ = ["PowerPopulation", "FinitePopulation", "StreamingPopulation"]
+
+PairGenerator = Callable[[int, np.random.Generator], Tuple[np.ndarray, np.ndarray]]
+PowerFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class PowerPopulation(abc.ABC):
+    """Sampling interface over per-vector-pair power values."""
+
+    #: Human-readable population name (used in reports).
+    name: str = "population"
+
+    @abc.abstractmethod
+    def sample_powers(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``n`` unit power values (with replacement)."""
+
+    @property
+    def size(self) -> Optional[int]:
+        """Number of distinct units, or ``None`` when infinite."""
+        return None
+
+    @property
+    def actual_max_power(self) -> Optional[float]:
+        """True maximum power, when known (finite pools only)."""
+        return None
+
+
+class FinitePopulation(PowerPopulation):
+    """Pre-simulated finite pool of vector pairs with known powers.
+
+    Parameters
+    ----------
+    powers:
+        Power value (watts) of every unit.
+    v1, v2:
+        Optional ``(N, num_inputs)`` bit matrices of the underlying
+        pairs; kept for provenance and for vector-level baselines.
+    name:
+        Report label.
+    metadata:
+        Free-form provenance (circuit, generator settings, seed, ...).
+    """
+
+    def __init__(
+        self,
+        powers: np.ndarray,
+        v1: Optional[np.ndarray] = None,
+        v2: Optional[np.ndarray] = None,
+        name: str = "population",
+        metadata: Optional[Dict[str, object]] = None,
+    ):
+        powers = np.asarray(powers, dtype=np.float64)
+        if powers.ndim != 1 or powers.size == 0:
+            raise PopulationError("powers must be a non-empty 1-D array")
+        if not np.isfinite(powers).all():
+            raise PopulationError("powers must be finite")
+        if (v1 is None) != (v2 is None):
+            raise PopulationError("provide both v1 and v2 or neither")
+        if v1 is not None:
+            v1 = np.asarray(v1, dtype=np.uint8)
+            v2 = np.asarray(v2, dtype=np.uint8)
+            if v1.shape != v2.shape or v1.shape[0] != powers.size:
+                raise PopulationError("vector matrices disagree with powers")
+        self.powers = powers
+        self.v1 = v1
+        self.v2 = v2
+        self.name = name
+        self.metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return int(self.powers.size)
+
+    @property
+    def actual_max_power(self) -> float:
+        return float(self.powers.max())
+
+    @property
+    def mean_power(self) -> float:
+        return float(self.powers.mean())
+
+    def qualified_portion(self, epsilon: float = 0.05) -> float:
+        """Fraction of units within ``epsilon`` of the true maximum.
+
+        This is the paper's *Y* (Table 1 column 2): units whose power is
+        at least ``(1 - epsilon) * actual_max``.
+        """
+        if not 0 < epsilon < 1:
+            raise PopulationError("epsilon must be in (0, 1)")
+        threshold = (1.0 - epsilon) * self.actual_max_power
+        return float((self.powers >= threshold).mean())
+
+    def sample_powers(self, n: int, rng: RngLike = None) -> np.ndarray:
+        if n < 1:
+            raise PopulationError("n must be >= 1")
+        gen = as_rng(rng)
+        idx = gen.integers(0, self.size, size=n)
+        return self.powers[idx]
+
+    def sample_units(
+        self, n: int, rng: RngLike = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample units returning ``(powers, v1, v2)`` rows.
+
+        Requires the pool to have stored vectors.
+        """
+        if self.v1 is None:
+            raise PopulationError("population stores no vectors")
+        gen = as_rng(rng)
+        idx = gen.integers(0, self.size, size=n)
+        return self.powers[idx], self.v1[idx], self.v2[idx]
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist to ``.npz`` (powers, vectors, JSON-encoded metadata)."""
+        path = Path(path)
+        arrays = {
+            "powers": self.powers,
+            "meta": np.frombuffer(
+                json.dumps({"name": self.name, **self.metadata}).encode(),
+                dtype=np.uint8,
+            ),
+        }
+        if self.v1 is not None:
+            arrays["v1"] = self.v1
+            arrays["v2"] = self.v2
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FinitePopulation":
+        """Load a pool previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            name = meta.pop("name", "population")
+            v1 = data["v1"] if "v1" in data else None
+            v2 = data["v2"] if "v2" in data else None
+            return cls(
+                powers=data["powers"], v1=v1, v2=v2, name=name, metadata=meta
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        pair_generator: PairGenerator,
+        power_function: PowerFunction,
+        num_pairs: int,
+        seed: int,
+        name: str = "population",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "FinitePopulation":
+        """Generate ``num_pairs`` pairs, simulate them, and wrap the pool.
+
+        ``pair_generator(num_pairs, rng)`` must return the two bit
+        matrices; ``power_function(v1, v2)`` the per-pair powers (e.g.
+        :meth:`repro.sim.power.PowerAnalyzer.powers_for_pairs`).
+        """
+        rng = np.random.default_rng(seed)
+        v1, v2 = pair_generator(num_pairs, rng)
+        powers = power_function(v1, v2)
+        meta = {"seed": seed, **(metadata or {})}
+        return cls(powers=powers, v1=v1, v2=v2, name=name, metadata=meta)
+
+
+class StreamingPopulation(PowerPopulation):
+    """Infinite population: fresh vector pairs simulated per sample.
+
+    This is the paper's category-I.1 production mode — "the sampling
+    technique is replaced by the random vector generation" — where no
+    pre-simulated pool exists and |V| is treated as infinite.
+    """
+
+    def __init__(
+        self,
+        pair_generator: PairGenerator,
+        power_function: PowerFunction,
+        name: str = "streaming",
+    ):
+        self._generate = pair_generator
+        self._power = power_function
+        self.name = name
+        self.units_simulated = 0
+
+    def sample_powers(self, n: int, rng: RngLike = None) -> np.ndarray:
+        if n < 1:
+            raise PopulationError("n must be >= 1")
+        gen = as_rng(rng)
+        v1, v2 = self._generate(n, gen)
+        self.units_simulated += n
+        return np.asarray(self._power(v1, v2), dtype=np.float64)

@@ -1,0 +1,80 @@
+"""ASCII line plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import line_plot
+from repro.errors import ConfigError
+
+
+class TestLinePlot:
+    def test_basic_structure(self):
+        x = np.linspace(0, 1, 50)
+        text = line_plot(
+            {"rising": (x, x), "falling": (x, 1 - x)},
+            width=40,
+            height=10,
+            x_label="t",
+            y_label="v",
+        )
+        lines = text.splitlines()
+        assert len([ln for ln in lines if "|" in ln]) == 10
+        assert "* rising" in text and "+ falling" in text
+        assert "x: t" in text and "y: v" in text
+
+    def test_markers_land_monotonically(self):
+        x = np.linspace(0, 1, 30)
+        text = line_plot({"up": (x, x)}, width=30, height=10)
+        rows = [ln.split("|", 1)[1] for ln in text.splitlines() if "|" in ln]
+        # Rows are printed top (high y) to bottom; for y = x the marker
+        # column must shrink as we move down the grid.
+        cols = [row.index("*") for row in rows if "*" in row]
+        assert cols == sorted(cols, reverse=True)
+
+    def test_axis_labels_show_ranges(self):
+        x = np.array([2.0, 4.0])
+        y = np.array([10.0, 30.0])
+        text = line_plot({"s": (x, y)}, width=20, height=5)
+        assert "30" in text and "10" in text  # y extremes
+        assert "2" in text and "4" in text    # x extremes
+
+    def test_constant_series_handled(self):
+        x = np.linspace(0, 1, 5)
+        text = line_plot({"flat": (x, np.ones(5))})
+        assert "*" in text
+
+    def test_non_finite_points_dropped(self):
+        x = np.array([0.0, 0.5, 1.0])
+        y = np.array([0.0, np.nan, 1.0])
+        text = line_plot({"gappy": (x, y)}, width=20, height=5)
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            line_plot({})
+        with pytest.raises(ConfigError):
+            line_plot({"s": ([1], [1, 2])})
+        with pytest.raises(ConfigError):
+            line_plot({"s": ([1], [1])}, width=2)
+        with pytest.raises(ConfigError):
+            line_plot({"s": ([np.nan], [np.nan])})
+        too_many = {f"s{i}": ([0, 1], [0, 1]) for i in range(9)}
+        with pytest.raises(ConfigError):
+            line_plot(too_many)
+
+    def test_figure1_integration(self, tmp_path, monkeypatch):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.figure1 import run_figure1
+
+        tiny = ExperimentConfig(
+            scale="smoke",
+            unconstrained_size=800,
+            constrained_size=800,
+            num_runs=2,
+            circuits=("c432",),
+            cache_dir=tmp_path / "cache",
+        )
+        table = run_figure1(tiny, circuit="c432", num_maxima=80)
+        # The rendered notes now include the ASCII curves.
+        assert "fitted Weibull" in table.notes
+        assert "|" in table.notes

@@ -1,0 +1,70 @@
+"""Workload power reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import power_report
+from repro.errors import SimulationError
+from repro.sim.power import PowerAnalyzer
+from repro.vectors.generators import random_vector_pairs
+
+
+@pytest.fixture
+def workload(c17, rng):
+    v1, v2 = random_vector_pairs(2000, c17.num_inputs, rng)
+    return v1, v2
+
+
+class TestPowerReport:
+    def test_total_matches_analyzer_mean(self, c17, workload):
+        v1, v2 = workload
+        report = power_report(c17, v1, v2)
+        pa = PowerAnalyzer(c17, mode="zero")
+        assert report.total_power_w == pytest.approx(
+            pa.powers_for_pairs(v1, v2).mean(), rel=1e-9
+        )
+
+    def test_records_cover_all_nets(self, c17, workload):
+        report = power_report(c17, *workload)
+        assert len(report.records) == len(c17.nets)
+        assert {r.net for r in report.records} == set(c17.nets)
+
+    def test_by_gate_type_partitions_total(self, c17, workload):
+        report = power_report(c17, *workload)
+        assert sum(report.by_gate_type.values()) == pytest.approx(
+            report.total_power_w
+        )
+        assert "input" in report.by_gate_type
+        assert "nand" in report.by_gate_type
+
+    def test_top_sorted_descending(self, c17, workload):
+        report = power_report(c17, *workload)
+        top = report.top(5)
+        powers = [r.power_w for r in top]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_toggle_rates_bounded(self, c17, workload):
+        report = power_report(c17, *workload)
+        for r in report.records:
+            assert 0.0 <= r.toggle_rate <= 1.0  # zero-delay: <=1 per cycle
+
+    def test_activity_histogram(self, c17, workload):
+        report = power_report(c17, *workload)
+        counts, edges = report.activity_histogram(bins=5)
+        assert counts.sum() == len(report.records)
+        assert len(edges) == 6
+
+    def test_render_contains_sections(self, c17, workload):
+        report = power_report(c17, *workload)
+        text = report.render(top_count=3)
+        assert "power report" in text
+        assert "by gate type" in text
+        assert "top 3 nets" in text
+
+    def test_shape_validation(self, c17):
+        with pytest.raises(SimulationError):
+            power_report(
+                c17,
+                np.zeros((5, 5), dtype=np.uint8),
+                np.zeros((6, 5), dtype=np.uint8),
+            )

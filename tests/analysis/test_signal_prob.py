@@ -1,0 +1,188 @@
+"""Probabilistic signal/transition analysis."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.signal_prob import (
+    expected_power,
+    expected_switched_capacitance,
+    pair_probabilities,
+    signal_probabilities,
+    transition_probabilities,
+)
+from repro.errors import ConfigError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.sim.power import PowerAnalyzer
+from repro.vectors.generators import transition_prob_vector_pairs
+
+
+def tree_circuit():
+    """A fanout-free tree — independence assumption is exact here."""
+    c = Circuit("tree")
+    for name in ("a", "b", "c", "d"):
+        c.add_input(name)
+    c.add_gate("ab", GateType.AND, ["a", "b"])
+    c.add_gate("cd", GateType.OR, ["c", "d"])
+    c.add_gate("y", GateType.XOR, ["ab", "cd"])
+    c.set_outputs(["y"])
+    c.validate()
+    return c
+
+
+class TestSignalProbabilities:
+    def test_hand_computed_tree(self):
+        c = tree_circuit()
+        probs = signal_probabilities(
+            c, {"a": 0.5, "b": 0.5, "c": 0.5, "d": 0.5}
+        )
+        assert probs["ab"] == pytest.approx(0.25)
+        assert probs["cd"] == pytest.approx(0.75)
+        # XOR: p(1) = .25*.25 + .75*.75 -> p_xor = p(1-q)+q(1-p)
+        assert probs["y"] == pytest.approx(0.25 * 0.25 + 0.75 * 0.75)
+
+    def test_gate_laws(self):
+        cases = [
+            (GateType.NAND, [0.5, 0.5], 0.75),
+            (GateType.NOR, [0.5, 0.5], 0.25),
+            (GateType.XNOR, [0.5, 0.5], 0.5),
+            (GateType.NOT, [0.3], 0.7),
+            (GateType.BUF, [0.3], 0.3),
+            (GateType.MUX, [0.5, 0.2, 0.8], 0.5),
+        ]
+        for gtype, in_probs, expected in cases:
+            c = Circuit("g")
+            for i in range(len(in_probs)):
+                c.add_input(f"i{i}")
+            c.add_gate("y", gtype, [f"i{i}" for i in range(len(in_probs))])
+            c.set_outputs(["y"])
+            probs = signal_probabilities(
+                c, {f"i{i}": p for i, p in enumerate(in_probs)}
+            )
+            assert probs["y"] == pytest.approx(expected), gtype
+
+    def test_exact_on_tree_vs_enumeration(self):
+        c = tree_circuit()
+        spec = {"a": 0.3, "b": 0.8, "c": 0.1, "d": 0.6}
+        probs = signal_probabilities(c, spec)
+        total = 0.0
+        for bits in itertools.product((0, 1), repeat=4):
+            w = 1.0
+            for name, bit in zip(("a", "b", "c", "d"), bits):
+                w *= spec[name] if bit else 1 - spec[name]
+            total += w * c.evaluate(dict(zip(("a", "b", "c", "d"), bits)))["y"]
+        assert probs["y"] == pytest.approx(total)
+
+    def test_missing_input_rejected(self):
+        c = tree_circuit()
+        with pytest.raises(ConfigError, match="missing"):
+            signal_probabilities(c, {"a": 0.5})
+
+    def test_out_of_range_rejected(self):
+        c = tree_circuit()
+        with pytest.raises(ConfigError):
+            signal_probabilities(
+                c, {"a": 1.5, "b": 0.5, "c": 0.5, "d": 0.5}
+            )
+
+
+class TestPairProbabilities:
+    def test_joints_sum_to_one(self):
+        c = tree_circuit()
+        joints = pair_probabilities(
+            c,
+            {k: 0.4 for k in c.inputs},
+            {k: 0.6 for k in c.inputs},
+        )
+        for net, joint in joints.items():
+            assert sum(joint) == pytest.approx(1.0), net
+            assert all(p >= -1e-12 for p in joint)
+
+    def test_input_joint_formula(self):
+        c = tree_circuit()
+        joints = pair_probabilities(
+            c,
+            {k: 0.25 for k in c.inputs},
+            {k: 0.4 for k in c.inputs},
+        )
+        p00, p01, p10, p11 = joints["a"]
+        assert p00 == pytest.approx(0.75 * 0.6)
+        assert p01 == pytest.approx(0.75 * 0.4)
+        assert p10 == pytest.approx(0.25 * 0.4)
+        assert p11 == pytest.approx(0.25 * 0.6)
+
+    def test_transition_prob_exact_on_tree_vs_simulation(self):
+        c = tree_circuit()
+        t = 0.7
+        toggles = transition_probabilities(
+            c, {k: 0.5 for k in c.inputs}, {k: t for k in c.inputs}
+        )
+        v1, v2 = transition_prob_vector_pairs(60000, 4, t, rng=3)
+        pa = PowerAnalyzer(c, mode="zero")
+        sim = __import__("repro.sim.bitsim", fromlist=["BitParallelSimulator"])
+        bsim = sim.BitParallelSimulator(c)
+        from repro.sim.bitsim import pack_vectors
+
+        w1, lanes = pack_vectors(v1)
+        w2, _ = pack_vectors(v2)
+        counts = bsim.toggle_counts_zero_delay(w1, w2, lanes)
+        for net, count in zip(bsim.net_order, counts):
+            assert count / lanes == pytest.approx(toggles[net], abs=0.02), net
+
+    def test_xor_toggle_is_parity_of_input_toggles(self):
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XOR, ["a", "b"])
+        c.set_outputs(["y"])
+        ta, tb = 0.3, 0.6
+        toggles = transition_probabilities(
+            c, {"a": 0.5, "b": 0.5}, {"a": ta, "b": tb}
+        )
+        expected = ta * (1 - tb) + tb * (1 - ta)
+        assert toggles["y"] == pytest.approx(expected)
+
+    def test_constants_never_toggle(self):
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_gate("one", GateType.CONST1, [])
+        c.add_gate("y", GateType.AND, ["a", "one"])
+        c.set_outputs(["y"])
+        toggles = transition_probabilities(c, {"a": 0.5}, {"a": 0.9})
+        assert toggles["one"] == 0.0
+        assert toggles["y"] == pytest.approx(0.9)
+
+
+class TestExpectedPower:
+    def test_matches_simulated_mean_on_tree(self):
+        c = tree_circuit()
+        pa = PowerAnalyzer(c, mode="zero")
+        t = 0.5
+        analytic = expected_power(
+            c,
+            {k: 0.5 for k in c.inputs},
+            {k: t for k in c.inputs},
+            frequency_hz=pa.frequency_hz,
+        )
+        v1, v2 = transition_prob_vector_pairs(40000, 4, t, rng=5)
+        simulated = pa.powers_for_pairs(v1, v2).mean()
+        assert analytic == pytest.approx(simulated, rel=0.03)
+
+    def test_capacitance_increases_with_activity(self):
+        c = tree_circuit()
+        low = expected_switched_capacitance(
+            c, {k: 0.5 for k in c.inputs}, {k: 0.1 for k in c.inputs}
+        )
+        high = expected_switched_capacitance(
+            c, {k: 0.5 for k in c.inputs}, {k: 0.9 for k in c.inputs}
+        )
+        assert high > low
+
+    def test_zero_activity_zero_power(self):
+        c = tree_circuit()
+        p = expected_power(
+            c, {k: 0.5 for k in c.inputs}, {k: 0.0 for k in c.inputs}
+        )
+        assert p == 0.0

@@ -1,0 +1,73 @@
+"""Average-power Monte-Carlo estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimation.average_power import AveragePowerEstimator
+from repro.vectors.population import FinitePopulation
+
+
+@pytest.fixture
+def pool():
+    rng = np.random.default_rng(2)
+    return FinitePopulation(rng.gamma(4.0, 0.25, size=20000), name="gamma")
+
+
+class TestConfiguration:
+    def test_validation(self, pool):
+        with pytest.raises(ConfigError):
+            AveragePowerEstimator(pool, batch_size=1)
+        with pytest.raises(ConfigError):
+            AveragePowerEstimator(pool, error=0.0)
+        with pytest.raises(ConfigError):
+            AveragePowerEstimator(pool, confidence=1.0)
+        with pytest.raises(ConfigError):
+            AveragePowerEstimator(pool, min_batches=1)
+        with pytest.raises(ConfigError):
+            AveragePowerEstimator(pool, min_batches=10, max_batches=5)
+
+
+class TestRun:
+    def test_converges_close_to_true_mean(self, pool):
+        result = AveragePowerEstimator(pool, error=0.02).run(rng=1)
+        assert result.converged
+        assert result.interval is not None
+        true_mean = pool.mean_power
+        assert abs(result.relative_error(true_mean)) < 0.05
+        assert result.interval.rel_half_width <= 0.02
+
+    def test_units_accounting(self, pool):
+        est = AveragePowerEstimator(pool, batch_size=50)
+        result = est.run(rng=2)
+        assert result.units_used == len(result.batch_means) * 50
+
+    def test_tighter_error_costs_more(self, pool):
+        loose = AveragePowerEstimator(pool, error=0.05).run(rng=3)
+        tight = AveragePowerEstimator(pool, error=0.005).run(rng=3)
+        assert tight.units_used > loose.units_used
+
+    def test_budget_exhaustion_flagged(self, pool):
+        result = AveragePowerEstimator(
+            pool, error=1e-6, max_batches=5
+        ).run(rng=4)
+        assert not result.converged
+        assert np.isfinite(result.estimate)
+
+    def test_reproducible(self, pool):
+        a = AveragePowerEstimator(pool).run(rng=5)
+        b = AveragePowerEstimator(pool).run(rng=5)
+        assert a.estimate == b.estimate
+
+    def test_summary(self, pool):
+        result = AveragePowerEstimator(pool).run(rng=6)
+        assert "P_avg" in result.summary()
+
+    def test_max_to_avg_ratio_sanity_on_circuit(self, small_population):
+        from repro.estimation.mc_estimator import MaxPowerEstimator
+
+        avg = AveragePowerEstimator(small_population, error=0.05).run(rng=7)
+        mx = MaxPowerEstimator(small_population).run(rng=8)
+        assert mx.estimate > avg.estimate
+        # Random-logic max/avg power ratios land in the low single digits.
+        assert 1.0 < mx.estimate / avg.estimate < 10.0

@@ -1,0 +1,83 @@
+"""Structural uncertainty-propagation upper bound."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimation.bounds import UncertaintyBound
+from repro.sim.power import PowerAnalyzer
+
+
+class TestUpperBoundProperty:
+    def test_bound_dominates_exhaustive_max_zero_delay(self, c17):
+        bound = UncertaintyBound(c17).power_bound()
+        pa = PowerAnalyzer(c17, mode="zero")
+        vectors = np.array(
+            list(itertools.product([0, 1], repeat=5)), dtype=np.uint8
+        )
+        pairs = np.array(
+            list(itertools.product(range(32), repeat=2))
+        )
+        powers = pa.powers_for_pairs(vectors[pairs[:, 0]], vectors[pairs[:, 1]])
+        assert bound >= powers.max()
+
+    def test_glitch_aware_bound_dominates_unit_delay(self, c17):
+        bound = UncertaintyBound(c17).power_bound(glitch_aware=True)
+        pa = PowerAnalyzer(c17, mode="unit")
+        rng = np.random.default_rng(1)
+        v1 = rng.integers(0, 2, size=(500, 5), dtype=np.uint8)
+        v2 = rng.integers(0, 2, size=(500, 5), dtype=np.uint8)
+        assert bound >= pa.powers_for_pairs(v1, v2).max()
+
+    def test_glitch_bound_at_least_plain_bound(self, c17):
+        ub = UncertaintyBound(c17)
+        assert ub.power_bound(glitch_aware=True) >= ub.power_bound()
+
+    def test_unconstrained_bound_equals_power_ceiling(self, c17):
+        ub = UncertaintyBound(c17)
+        pa = PowerAnalyzer(c17, mode="zero")
+        assert ub.power_bound() == pytest.approx(pa.max_possible_power_w())
+
+
+class TestConstraints:
+    def test_freezing_inputs_reduces_bound(self, c17):
+        ub = UncertaintyBound(c17)
+        free = ub.power_bound()
+        frozen = ub.power_bound(frozen_inputs=["G1", "G2"])
+        assert frozen < free
+
+    def test_freezing_all_inputs_zeroes_bound(self, c17):
+        ub = UncertaintyBound(c17)
+        assert ub.power_bound(frozen_inputs=list(c17.inputs)) == 0.0
+
+    def test_frozen_cone_exclusion_is_exact(self, half_adder):
+        ub = UncertaintyBound(half_adder)
+        # Freezing both inputs kills everything.
+        assert ub.power_bound(frozen_inputs=["a", "b"]) == 0.0
+        # Freezing one input keeps both gates alive (each reads both
+        # inputs) but removes the frozen net's own capacitance.
+        lib = ub.library
+        cap_a = lib.net_capacitance(half_adder, "a") * 1e-15
+        expected = ub.power_bound() - (
+            0.5 * lib.vdd ** 2 * cap_a * ub.frequency_hz
+        )
+        assert ub.power_bound(frozen_inputs=["a"]) == pytest.approx(expected)
+
+    def test_non_input_rejected(self, c17):
+        with pytest.raises(ConfigError):
+            UncertaintyBound(c17).power_bound(frozen_inputs=["G10"])
+
+
+class TestTightness:
+    def test_tightness_ratio(self, c17):
+        ub = UncertaintyBound(c17)
+        bound = ub.power_bound()
+        assert ub.tightness(bound / 2) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            ub.tightness(0.0)
+
+    def test_invalid_frequency(self, c17):
+        with pytest.raises(ConfigError):
+            UncertaintyBound(c17, frequency_hz=0)

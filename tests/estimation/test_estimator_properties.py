@@ -1,0 +1,68 @@
+"""Property-based invariants of the estimation pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.mc_estimator import MaxPowerEstimator
+from repro.evt.distributions import GeneralizedWeibull
+from repro.vectors.population import FinitePopulation
+
+
+def make_pool(seed: int, size: int = 5000) -> FinitePopulation:
+    dist = GeneralizedWeibull.from_scale(alpha=4.0, scale=0.3, mu=1.0)
+    powers = np.clip(dist.rvs(size, rng=seed), 0.0, None)
+    return FinitePopulation(powers, name=f"pool{seed}")
+
+
+class TestScaleInvariance:
+    @given(
+        scale=st.floats(min_value=1e-3, max_value=1e3),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_estimate_scales_linearly(self, scale, seed):
+        # Mathematically exact at any scale; float round-off in the
+        # profile likelihood bounds the testable range/tolerance.
+        pool = make_pool(seed)
+        scaled = FinitePopulation(pool.powers * scale, name="scaled")
+        base = MaxPowerEstimator(pool, max_hyper_samples=6).run(rng=seed)
+        other = MaxPowerEstimator(scaled, max_hyper_samples=6).run(rng=seed)
+        assert other.estimate == pytest.approx(
+            base.estimate * scale, rel=1e-4
+        )
+        assert other.units_used == base.units_used
+        assert other.k == base.k
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_interval_always_brackets_estimate(self, seed):
+        pool = make_pool(seed)
+        result = MaxPowerEstimator(pool, max_hyper_samples=5).run(rng=seed)
+        if result.interval is not None:
+            assert result.interval.low <= result.estimate
+            assert result.estimate <= result.interval.high
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_estimate_at_least_best_block_max(self, seed):
+        pool = make_pool(seed)
+        result = MaxPowerEstimator(pool, max_hyper_samples=4).run(rng=seed)
+        # Each hyper estimate >= its own block max; the mean over
+        # hyper-samples must then be >= the smallest of those witnesses.
+        witnesses = [hs.maxima.max() for hs in result.hyper_samples]
+        assert result.estimate >= min(witnesses) - 1e-12
+
+
+class TestQualifiedPortionProperties:
+    @given(
+        eps=st.floats(min_value=0.01, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_portion_monotone_in_epsilon(self, eps, seed):
+        pool = make_pool(seed, size=2000)
+        small = pool.qualified_portion(eps / 2)
+        large = pool.qualified_portion(eps)
+        assert 0 < small <= large <= 1

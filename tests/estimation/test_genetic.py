@@ -1,0 +1,101 @@
+"""Genetic max-power search baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimation.genetic import GeneticMaxPowerSearch
+
+
+def ones_count_power(v1, v2):
+    """Toy fitness: number of toggled bits — max when v1 = ~v2."""
+    return (v1 != v2).sum(axis=1).astype(float)
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_inputs=0),
+            dict(population_size=2),
+            dict(generations=0),
+            dict(mutation_rate=1.5),
+            dict(crossover_rate=-0.1),
+            dict(elite=64),
+            dict(tournament=0),
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        defaults = dict(num_inputs=8, population_size=16)
+        defaults.update(kwargs)
+        with pytest.raises(ConfigError):
+            GeneticMaxPowerSearch(ones_count_power, **defaults)
+
+
+class TestSearch:
+    def test_finds_global_optimum_on_toy_problem(self):
+        ga = GeneticMaxPowerSearch(
+            ones_count_power,
+            num_inputs=10,
+            population_size=40,
+            generations=40,
+            mutation_rate=0.05,
+        )
+        result = ga.run(rng=1)
+        assert result.best_power == 10.0  # all bits toggled
+        assert (result.best_v1 != result.best_v2).all()
+
+    def test_history_monotone_nondecreasing(self):
+        ga = GeneticMaxPowerSearch(
+            ones_count_power, num_inputs=12, population_size=16, generations=15
+        )
+        result = ga.run(rng=2)
+        assert all(
+            b >= a for a, b in zip(result.history, result.history[1:])
+        )
+        assert result.best_power >= result.history[0]
+
+    def test_units_accounting(self):
+        ga = GeneticMaxPowerSearch(
+            ones_count_power, num_inputs=6, population_size=10, generations=7
+        )
+        result = ga.run(rng=3)
+        assert result.units_used == 10 * 8  # initial + 7 generations
+
+    def test_beats_random_sampling_at_equal_budget(self):
+        rng = np.random.default_rng(4)
+        ga = GeneticMaxPowerSearch(
+            ones_count_power, num_inputs=24, population_size=20, generations=20
+        )
+        result = ga.run(rng=5)
+        budget = result.units_used
+        v1 = rng.integers(0, 2, size=(budget, 24), dtype=np.uint8)
+        v2 = rng.integers(0, 2, size=(budget, 24), dtype=np.uint8)
+        random_best = ones_count_power(v1, v2).max()
+        assert result.best_power >= random_best
+
+    def test_reproducible(self):
+        ga = GeneticMaxPowerSearch(
+            ones_count_power, num_inputs=8, population_size=12, generations=5
+        )
+        r1, r2 = ga.run(rng=7), ga.run(rng=7)
+        assert r1.best_power == r2.best_power
+        assert r1.history == r2.history
+
+    def test_relative_error_helper(self):
+        ga = GeneticMaxPowerSearch(
+            ones_count_power, num_inputs=4, population_size=8, generations=3
+        )
+        result = ga.run(rng=8)
+        assert result.relative_error(4.0) <= 0.0
+
+    def test_on_real_circuit_power(self, c17):
+        from repro.sim.power import PowerAnalyzer
+
+        pa = PowerAnalyzer(c17, mode="zero")
+        ga = GeneticMaxPowerSearch(
+            pa.powers_for_pairs, c17.num_inputs,
+            population_size=16, generations=10,
+        )
+        result = ga.run(rng=9)
+        assert 0 < result.best_power <= pa.max_possible_power_w()

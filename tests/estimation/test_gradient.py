@@ -1,0 +1,105 @@
+"""Continuous-optimization (COSMOS-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimation.gradient import ContinuousMaxPowerSearch
+from repro.netlist.generators import parity_tree
+from repro.sim.power import PowerAnalyzer
+
+
+class TestConfiguration:
+    def test_bad_parameters(self, c17):
+        pa = PowerAnalyzer(c17, mode="zero")
+        with pytest.raises(ConfigError):
+            ContinuousMaxPowerSearch(c17, pa.powers_for_pairs, iterations=0)
+        with pytest.raises(ConfigError):
+            ContinuousMaxPowerSearch(c17, pa.powers_for_pairs, samples=0)
+        with pytest.raises(ConfigError):
+            ContinuousMaxPowerSearch(c17, pa.powers_for_pairs, fd_eps=0.9)
+
+
+class TestSearch:
+    def test_objective_history_nondecreasing(self, c17):
+        pa = PowerAnalyzer(c17, mode="zero")
+        search = ContinuousMaxPowerSearch(
+            c17, pa.powers_for_pairs, iterations=8, samples=64
+        )
+        result = search.run(rng=1)
+        hist = result.objective_history
+        assert all(b >= a - 1e-18 for a, b in zip(hist, hist[1:]))
+
+    def test_buffer_chains_drive_toggles_to_one(self):
+        # Independent NOT-chains: every net's toggle probability equals
+        # its input line's, so expected switched capacitance is strictly
+        # increasing in every t_i and the ascent must saturate at 1.
+        from repro.netlist.circuit import Circuit
+        from repro.netlist.gates import GateType
+
+        c = Circuit("chains")
+        outs = []
+        for i in range(4):
+            c.add_input(f"a{i}")
+            c.add_gate(f"n{i}_0", GateType.NOT, [f"a{i}"])
+            c.add_gate(f"n{i}_1", GateType.NOT, [f"n{i}_0"])
+            outs.append(f"n{i}_1")
+        c.set_outputs(outs)
+        pa = PowerAnalyzer(c, mode="zero")
+        search = ContinuousMaxPowerSearch(
+            c, pa.powers_for_pairs, step=0.4, iterations=15, samples=32
+        )
+        result = search.run(rng=2)
+        assert (result.toggle_probs > 0.9).all()
+
+    def test_parity_tree_escapes_saddle_and_improves(self):
+        # t = 0.5 is a stationary saddle for XOR logic; the default
+        # off-center start must still make progress.
+        tree = parity_tree(6)
+        pa = PowerAnalyzer(tree, mode="zero")
+        search = ContinuousMaxPowerSearch(
+            tree, pa.powers_for_pairs, step=0.3, iterations=12, samples=32
+        )
+        result = search.run(rng=7)
+        hist = result.objective_history
+        assert hist[-1] > hist[0]
+
+    def test_initial_toggles_parameter(self, c17):
+        pa = PowerAnalyzer(c17, mode="zero")
+        search = ContinuousMaxPowerSearch(
+            c17, pa.powers_for_pairs, iterations=2, samples=16
+        )
+        result = search.run(rng=8, initial_toggles=np.full(5, 0.2))
+        assert result.objective_history[0] == pytest.approx(
+            search._objective(np.full(5, 0.2))
+        )
+
+    def test_best_power_is_achievable(self, c17):
+        pa = PowerAnalyzer(c17, mode="zero")
+        search = ContinuousMaxPowerSearch(
+            c17, pa.powers_for_pairs, iterations=5, samples=128
+        )
+        result = search.run(rng=3)
+        assert 0 < result.best_power <= pa.max_possible_power_w()
+        assert result.units_used == 128
+
+    def test_beats_mean_random_power(self, c17):
+        pa = PowerAnalyzer(c17, mode="zero")
+        rng = np.random.default_rng(4)
+        v1 = rng.integers(0, 2, size=(256, 5), dtype=np.uint8)
+        v2 = rng.integers(0, 2, size=(256, 5), dtype=np.uint8)
+        mean_random = pa.powers_for_pairs(v1, v2).mean()
+        search = ContinuousMaxPowerSearch(
+            c17, pa.powers_for_pairs, iterations=8, samples=128
+        )
+        result = search.run(rng=5)
+        assert result.best_power > mean_random
+
+    def test_relative_error_is_lower_bound(self, c17):
+        pa = PowerAnalyzer(c17, mode="zero")
+        search = ContinuousMaxPowerSearch(
+            c17, pa.powers_for_pairs, iterations=3, samples=64
+        )
+        result = search.run(rng=6)
+        generous = pa.max_possible_power_w()
+        assert result.relative_error(generous) <= 0

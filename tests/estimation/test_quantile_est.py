@@ -1,0 +1,56 @@
+"""High-quantile estimation baseline ([9][10])."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimation.quantile_est import HighQuantileEstimator
+from repro.vectors.population import FinitePopulation, StreamingPopulation
+
+
+@pytest.fixture
+def pool():
+    rng = np.random.default_rng(1)
+    return FinitePopulation(rng.random(5000), name="uniform")
+
+
+class TestDefaults:
+    def test_finite_pool_targets_one_minus_one_over_v(self, pool):
+        est = HighQuantileEstimator(pool)
+        assert est.q == pytest.approx(1.0 - 1.0 / 5000)
+
+    def test_streaming_defaults_to_999(self):
+        pop = StreamingPopulation(
+            lambda n, rng: (n, rng), lambda n, rng: rng.random(n)
+        )
+        assert HighQuantileEstimator(pop).q == pytest.approx(0.999)
+
+    def test_explicit_q_validated(self, pool):
+        with pytest.raises(ConfigError):
+            HighQuantileEstimator(pool, q=1.0)
+
+
+class TestEstimate:
+    def test_interval_orders_and_bounds(self, pool):
+        est = HighQuantileEstimator(pool, q=0.95)
+        result = est.estimate(2000, level=0.9, rng=2)
+        assert result.low <= result.point <= result.high
+        assert result.units_used == 2000
+        assert 0.9 <= result.point <= 1.0  # near the U(0,1) 0.95-quantile
+
+    def test_point_close_to_true_quantile(self, pool):
+        est = HighQuantileEstimator(pool, q=0.9)
+        result = est.estimate(4000, rng=3)
+        assert result.point == pytest.approx(0.9, abs=0.03)
+
+    def test_underestimates_maximum_with_moderate_q(self, pool):
+        # The paper's critique: a feasible-budget quantile estimate
+        # sits below the true maximum.
+        est = HighQuantileEstimator(pool, q=0.99)
+        result = est.estimate(1000, rng=4)
+        assert result.point < pool.actual_max_power
+        assert result.relative_error(pool.actual_max_power) < 0
+
+    def test_min_units(self, pool):
+        with pytest.raises(ConfigError):
+            HighQuantileEstimator(pool).estimate(1)

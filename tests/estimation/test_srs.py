@@ -1,0 +1,90 @@
+"""Simple random sampling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimation.srs import SimpleRandomSampling, srs_required_units
+from repro.vectors.population import FinitePopulation, StreamingPopulation
+
+
+@pytest.fixture
+def pool():
+    rng = np.random.default_rng(0)
+    powers = rng.random(10000)
+    powers[1234] = 2.0  # a unique, isolated maximum
+    return FinitePopulation(powers, name="uniform+spike")
+
+
+class TestEstimate:
+    def test_never_exceeds_actual(self, pool):
+        srs = SimpleRandomSampling(pool)
+        for seed in range(10):
+            assert srs.estimate_max(500, rng=seed) <= pool.actual_max_power
+
+    def test_more_units_no_worse_in_expectation(self, pool):
+        srs = SimpleRandomSampling(pool)
+        small = np.mean([srs.estimate_max(20, rng=s) for s in range(40)])
+        large = np.mean([srs.estimate_max(2000, rng=s) for s in range(40)])
+        assert large >= small
+
+    def test_invalid_units(self, pool):
+        with pytest.raises(ConfigError):
+            SimpleRandomSampling(pool).estimate_max(0)
+
+
+class TestStudy:
+    def test_error_signs_non_positive(self, pool):
+        study = SimpleRandomSampling(pool).study(300, 50, rng=1)
+        assert (study.relative_errors <= 0).all()
+        assert study.largest_error <= 0
+
+    def test_largest_error_magnitude(self, pool):
+        study = SimpleRandomSampling(pool).study(100, 30, rng=2)
+        assert abs(study.largest_error) == np.abs(study.relative_errors).max()
+
+    def test_exceed_fraction_monotone_in_epsilon(self, pool):
+        study = SimpleRandomSampling(pool).study(100, 50, rng=3)
+        assert study.exceed_fraction(0.01) >= study.exceed_fraction(0.20)
+
+    def test_exceed_fraction_validation(self, pool):
+        study = SimpleRandomSampling(pool).study(50, 5, rng=4)
+        with pytest.raises(ConfigError):
+            study.exceed_fraction(0.0)
+
+    def test_streaming_requires_actual_max(self):
+        pop = StreamingPopulation(
+            lambda n, rng: (n, rng),
+            lambda n, rng: rng.random(n),
+            name="stream",
+        )
+        srs = SimpleRandomSampling(pop)
+        with pytest.raises(ConfigError, match="actual_max"):
+            srs.study(10, 3, rng=1)
+        study = srs.study(10, 3, rng=1, actual_max=1.0)
+        assert study.actual_max == 1.0
+
+    def test_repetitions_validation(self, pool):
+        with pytest.raises(ConfigError):
+            SimpleRandomSampling(pool).study(10, 0)
+
+
+class TestTheoreticalUnits:
+    def test_matches_formula_on_pool(self, pool):
+        srs = SimpleRandomSampling(pool)
+        y = pool.qualified_portion(0.05)
+        assert srs.theoretical_units(0.05, 0.9) == pytest.approx(
+            srs_required_units(y, 0.9)
+        )
+
+    def test_spiked_pool_is_expensive(self, pool):
+        # Only one of 10000 units is within 5% of the max.
+        assert pool.qualified_portion(0.05) == pytest.approx(1e-4)
+        assert SimpleRandomSampling(pool).theoretical_units() > 20000
+
+    def test_streaming_rejected(self):
+        pop = StreamingPopulation(
+            lambda n, rng: (n, rng), lambda n, rng: rng.random(n)
+        )
+        with pytest.raises(ConfigError):
+            SimpleRandomSampling(pop).theoretical_units()

@@ -1,0 +1,80 @@
+"""Pilot-based block-size tuning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimation.tuner import BlockSizeTuner
+from repro.evt.distributions import GeneralizedWeibull
+from repro.vectors.population import FinitePopulation
+
+
+@pytest.fixture(scope="module")
+def pool():
+    dist = GeneralizedWeibull.from_scale(alpha=4.0, scale=0.3, mu=1.0)
+    powers = np.clip(dist.rvs(20000, rng=1), 0.0, None)
+    return FinitePopulation(powers, name="weibull")
+
+
+class TestConfiguration:
+    def test_validation(self, pool):
+        with pytest.raises(ConfigError):
+            BlockSizeTuner(pool, pilot_hyper_samples=2)
+        with pytest.raises(ConfigError):
+            BlockSizeTuner(pool, candidates=())
+        with pytest.raises(ConfigError):
+            BlockSizeTuner(pool, candidates=(1, 30))
+
+    def test_paper_default_always_included(self, pool):
+        tuner = BlockSizeTuner(pool, candidates=(10, 50))
+        assert 30 in tuner.candidates
+
+
+class TestRun:
+    def test_report_structure(self, pool):
+        tuner = BlockSizeTuner(
+            pool, candidates=(10, 30), pilot_hyper_samples=6
+        )
+        report = tuner.run(rng=2)
+        assert len(report.pilots) == 2
+        assert report.recommended_n in (10, 30)
+        assert report.pilot_units_used == 6 * 10 * (10 + 30)
+        text = report.render()
+        assert "recommended" in text
+        assert "pilot cost" in text
+
+    def test_prediction_consistent_with_pilot(self, pool):
+        tuner = BlockSizeTuner(pool, candidates=(30,), pilot_hyper_samples=8)
+        report = tuner.run(rng=3)
+        pilot = report.pilots[0]
+        assert pilot.predicted_units == pytest.approx(
+            pilot.predicted_k * pilot.units_per_hyper_sample
+        )
+        assert pilot.predicted_k >= 2.0
+        assert pilot.rel_std > 0
+
+    def test_recommendation_minimizes_predicted_units(self, pool):
+        tuner = BlockSizeTuner(
+            pool, candidates=(10, 30, 60), pilot_hyper_samples=8
+        )
+        report = tuner.run(rng=4)
+        best = min(report.pilots, key=lambda p: p.predicted_units)
+        assert report.recommended_n == best.n
+
+    def test_tuned_estimator_runs(self, pool):
+        tuner = BlockSizeTuner(
+            pool, candidates=(10, 30), pilot_hyper_samples=5
+        )
+        estimator = tuner.tuned_estimator(rng=5)
+        result = estimator.run(rng=6)
+        assert np.isfinite(result.estimate)
+        assert estimator.n in (10, 30)
+
+    def test_reproducible(self, pool):
+        tuner = BlockSizeTuner(pool, candidates=(10, 30), pilot_hyper_samples=5)
+        a = tuner.run(rng=7)
+        b = tuner.run(rng=7)
+        assert a.recommended_n == b.recommended_n
+        assert [p.rel_std for p in a.pilots] == [
+            p.rel_std for p in b.pilots
+        ]

@@ -1,0 +1,84 @@
+"""Block-maxima sample formation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.evt.block_maxima import (
+    DEFAULT_NUM_SAMPLES,
+    DEFAULT_SAMPLE_SIZE,
+    block_maxima,
+    block_maxima_from_values,
+)
+from repro.vectors.population import FinitePopulation
+
+
+class TestBlockMaxima:
+    def test_paper_defaults(self):
+        assert DEFAULT_SAMPLE_SIZE == 30
+        assert DEFAULT_NUM_SAMPLES == 10
+
+    def test_shape_and_domain(self, small_population):
+        maxima = block_maxima(small_population, n=30, m=10, rng=1)
+        assert maxima.shape == (10,)
+        assert (maxima <= small_population.actual_max_power).all()
+        assert (maxima >= 0).all()
+
+    def test_maxima_dominate_plain_draws(self, small_population):
+        rng = np.random.default_rng(2)
+        maxima = block_maxima(small_population, n=50, m=20, rng=rng)
+        plain = small_population.sample_powers(20, rng)
+        assert maxima.mean() > plain.mean()
+
+    def test_larger_blocks_push_maxima_up(self, small_population):
+        rng = np.random.default_rng(3)
+        small = block_maxima(small_population, n=5, m=200, rng=rng)
+        large = block_maxima(small_population, n=100, m=200, rng=rng)
+        assert large.mean() > small.mean()
+
+    def test_reproducible_by_seed(self, small_population):
+        a = block_maxima(small_population, rng=7)
+        b = block_maxima(small_population, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_parameter_validation(self, small_population):
+        with pytest.raises(EstimationError):
+            block_maxima(small_population, n=0)
+        with pytest.raises(EstimationError):
+            block_maxima(small_population, m=0)
+
+
+class TestFromValues:
+    def test_partition_and_max(self):
+        values = np.array([1.0, 5.0, 2.0, 8.0, 3.0, 4.0, 9.0])
+        maxima = block_maxima_from_values(values, n=2)
+        # blocks: (1,5), (2,8), (3,4); trailing 9 dropped
+        assert list(maxima) == [5.0, 8.0, 4.0]
+
+    def test_exact_multiple(self):
+        values = np.arange(12.0)
+        maxima = block_maxima_from_values(values, n=4)
+        assert list(maxima) == [3.0, 7.0, 11.0]
+
+    def test_errors(self):
+        with pytest.raises(EstimationError):
+            block_maxima_from_values(np.arange(3.0), n=5)
+        with pytest.raises(EstimationError):
+            block_maxima_from_values(np.arange(6.0).reshape(2, 3), n=2)
+        with pytest.raises(EstimationError):
+            block_maxima_from_values(np.arange(6.0), n=0)
+
+    def test_exhaustive_consumption_count(self, small_population):
+        # n*m draws per call — the unit accounting the tables rely on.
+        class CountingPopulation(FinitePopulation):
+            def __init__(self, base):
+                super().__init__(base.powers, name="counting")
+                self.drawn = 0
+
+            def sample_powers(self, n, rng=None):
+                self.drawn += n
+                return super().sample_powers(n, rng)
+
+        counting = CountingPopulation(small_population)
+        block_maxima(counting, n=30, m=10, rng=1)
+        assert counting.drawn == 300

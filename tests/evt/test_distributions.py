@@ -1,0 +1,160 @@
+"""Extreme-value distributions: analytics, sampling, scipy agreement."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import integrate, stats
+
+from repro.errors import EstimationError
+from repro.evt.distributions import Frechet, GeneralizedWeibull, Gumbel
+
+WEIBULLS = [
+    GeneralizedWeibull(alpha=1.0, beta=1.0, mu=0.0),
+    GeneralizedWeibull(alpha=3.0, beta=2.0, mu=10.0),
+    GeneralizedWeibull(alpha=8.0, beta=0.5, mu=-2.0),
+]
+
+
+class TestGeneralizedWeibull:
+    def test_parameter_validation(self):
+        with pytest.raises(EstimationError):
+            GeneralizedWeibull(alpha=0, beta=1, mu=0)
+        with pytest.raises(EstimationError):
+            GeneralizedWeibull(alpha=1, beta=-1, mu=0)
+        with pytest.raises(EstimationError):
+            GeneralizedWeibull(alpha=1, beta=1, mu=math.inf)
+
+    @pytest.mark.parametrize("dist", WEIBULLS)
+    def test_cdf_properties(self, dist):
+        assert dist.cdf(dist.mu) == 1.0
+        assert dist.cdf(dist.mu + 5) == 1.0
+        assert dist.cdf(dist.mu - 100) < 1e-6
+        xs = np.linspace(dist.mu - 5, dist.mu, 50)
+        cdf = dist.cdf(xs)
+        assert (np.diff(cdf) >= -1e-12).all()  # non-decreasing
+
+    @pytest.mark.parametrize("dist", WEIBULLS)
+    def test_pdf_integrates_to_one(self, dist):
+        total, _ = integrate.quad(
+            lambda x: dist.pdf(x), dist.mu - 60, dist.mu, limit=200
+        )
+        assert total == pytest.approx(1.0, abs=1e-5)
+
+    @pytest.mark.parametrize("dist", WEIBULLS)
+    def test_ppf_inverts_cdf(self, dist):
+        qs = np.array([0.01, 0.1, 0.5, 0.9, 0.999])
+        xs = dist.ppf(qs)
+        assert dist.cdf(xs) == pytest.approx(qs, abs=1e-10)
+
+    @given(
+        alpha=st.floats(min_value=0.5, max_value=20),
+        q=st.floats(min_value=1e-6, max_value=1 - 1e-6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ppf_cdf_roundtrip_property(self, alpha, q):
+        dist = GeneralizedWeibull(alpha=alpha, beta=1.3, mu=4.2)
+        x = dist.ppf(q)
+        assert dist.cdf(x) == pytest.approx(q, rel=1e-8, abs=1e-10)
+
+    def test_ppf_endpoint_levels(self):
+        dist = WEIBULLS[1]
+        assert dist.ppf(1.0) == dist.mu
+        assert dist.ppf(0.0) == -np.inf
+        with pytest.raises(EstimationError):
+            dist.ppf(1.5)
+
+    @pytest.mark.parametrize("dist", WEIBULLS)
+    def test_rvs_within_support_and_moments(self, dist):
+        draws = dist.rvs(40000, rng=7)
+        assert (draws <= dist.mu).all()
+        assert draws.mean() == pytest.approx(dist.mean(), abs=4 * dist.std() / 200)
+        assert draws.std() == pytest.approx(dist.std(), rel=0.05)
+
+    @pytest.mark.parametrize("dist", WEIBULLS)
+    def test_matches_scipy_weibull_max(self, dist):
+        ref = dist.scipy_frozen()
+        xs = np.linspace(dist.mu - 4, dist.mu + 1, 40)
+        assert dist.cdf(xs) == pytest.approx(ref.cdf(xs), abs=1e-12)
+        interior = xs[xs < dist.mu]
+        assert dist.pdf(interior) == pytest.approx(
+            ref.pdf(interior), rel=1e-9
+        )
+
+    def test_scale_conversion_roundtrip(self):
+        d = GeneralizedWeibull.from_scale(alpha=3.0, scale=0.5, mu=1.0)
+        assert d.scale == pytest.approx(0.5)
+        assert d.beta == pytest.approx(0.5 ** -3.0)
+
+    def test_loglikelihood_is_mean_logpdf(self):
+        dist = WEIBULLS[1]
+        x = dist.rvs(100, rng=1)
+        assert dist.loglikelihood(x) == pytest.approx(
+            float(np.mean(dist.logpdf(x)))
+        )
+
+
+class TestGumbel:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            Gumbel(sigma=0)
+
+    def test_cdf_known_value(self):
+        g = Gumbel(mu=0.0, sigma=1.0)
+        assert g.cdf(0.0) == pytest.approx(math.exp(-1.0))
+
+    def test_ppf_inverts_cdf(self):
+        g = Gumbel(mu=2.0, sigma=0.7)
+        qs = np.array([0.05, 0.5, 0.95])
+        assert g.cdf(g.ppf(qs)) == pytest.approx(qs)
+
+    def test_moments_vs_samples(self):
+        g = Gumbel(mu=1.0, sigma=2.0)
+        draws = g.rvs(60000, rng=5)
+        assert draws.mean() == pytest.approx(g.mean(), abs=0.05)
+        assert draws.var() == pytest.approx(g.var(), rel=0.05)
+
+    def test_matches_scipy(self):
+        g = Gumbel(mu=-1.0, sigma=1.5)
+        xs = np.linspace(-6, 8, 30)
+        ref = stats.gumbel_r(loc=-1.0, scale=1.5)
+        assert g.cdf(xs) == pytest.approx(ref.cdf(xs), abs=1e-12)
+        assert g.pdf(xs) == pytest.approx(ref.pdf(xs), rel=1e-9)
+
+
+class TestFrechet:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            Frechet(alpha=-1)
+        with pytest.raises(EstimationError):
+            Frechet(alpha=1, scale=0)
+
+    def test_support(self):
+        f = Frechet(alpha=2.0, scale=1.0, loc=3.0)
+        assert f.cdf(3.0) == 0.0
+        assert f.cdf(2.0) == 0.0
+        assert f.cdf(1e9) == pytest.approx(1.0)
+
+    def test_ppf_inverts_cdf(self):
+        f = Frechet(alpha=3.0, scale=2.0, loc=1.0)
+        qs = np.array([0.1, 0.6, 0.99])
+        assert f.cdf(f.ppf(qs)) == pytest.approx(qs)
+
+    def test_matches_scipy_invweibull(self):
+        f = Frechet(alpha=2.5, scale=1.2, loc=0.0)
+        xs = np.linspace(0.1, 10, 25)
+        ref = stats.invweibull(c=2.5, scale=1.2)
+        assert f.cdf(xs) == pytest.approx(ref.cdf(xs), abs=1e-12)
+
+    def test_mean_infinite_for_small_alpha(self):
+        assert Frechet(alpha=0.8).mean() == math.inf
+        assert Frechet(alpha=2.0).mean() == pytest.approx(
+            math.gamma(0.5), rel=1e-12
+        )
+
+    def test_rvs_above_loc(self):
+        f = Frechet(alpha=2.0, scale=1.0, loc=5.0)
+        draws = f.rvs(1000, rng=3)
+        assert (draws > 5.0).all()

@@ -1,0 +1,82 @@
+"""Domain-of-attraction diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.evt.distributions import Frechet, GeneralizedWeibull, Gumbel
+from repro.evt.domain import (
+    classify_domain,
+    dekkers_moment_estimator,
+    endpoint_estimate,
+    pickands_estimator,
+)
+
+
+class TestClassification:
+    def test_weibull_data_classified_weibull(self):
+        true = GeneralizedWeibull.from_scale(alpha=2.0, scale=1.0, mu=10.0)
+        x = true.rvs(20000, rng=1)
+        verdict = classify_domain(x)
+        assert verdict.domain == "weibull"
+        assert verdict.gamma < 0
+        # alpha = -1/gamma should be in the right ballpark
+        assert verdict.alpha == pytest.approx(2.0, rel=0.8)
+
+    def test_frechet_data_classified_frechet(self):
+        x = Frechet(alpha=1.5, scale=1.0).rvs(20000, rng=2)
+        verdict = classify_domain(x)
+        assert verdict.domain == "frechet"
+        assert verdict.gamma > 0
+
+    def test_gumbel_data_near_zero_gamma(self):
+        x = Gumbel(mu=0.0, sigma=1.0).rvs(20000, rng=3)
+        verdict = classify_domain(x, gumbel_band=0.25)
+        assert abs(verdict.gamma) < 0.3
+
+    def test_verdict_str(self):
+        x = GeneralizedWeibull(alpha=3.0, beta=1.0, mu=1.0).rvs(5000, rng=4)
+        verdict = classify_domain(x)
+        assert "domain" in str(verdict)
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(EstimationError):
+            classify_domain(np.arange(10.0))
+
+
+class TestEstimators:
+    def test_pickands_negative_for_bounded_tail(self):
+        x = GeneralizedWeibull(alpha=1.0, beta=1.0, mu=5.0).rvs(40000, rng=5)
+        gamma = pickands_estimator(x, k=400)
+        assert gamma < 0.1  # near -1 for alpha=1; noisy but clearly small
+
+    def test_pickands_validation(self):
+        with pytest.raises(EstimationError):
+            pickands_estimator(np.arange(10.0), k=5)  # 4k > n
+
+    def test_dekkers_positive_for_heavy_tail(self):
+        x = Frechet(alpha=1.0, scale=1.0).rvs(20000, rng=6)
+        gamma = dekkers_moment_estimator(x, k=300)
+        assert gamma > 0.5
+
+    def test_dekkers_handles_negative_support(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(loc=-50.0, scale=1.0, size=5000)
+        gamma = dekkers_moment_estimator(x, k=70)
+        assert np.isfinite(gamma)
+
+    def test_dekkers_validation(self):
+        with pytest.raises(EstimationError):
+            dekkers_moment_estimator(np.arange(5.0), k=1)
+
+    def test_endpoint_estimate_close_for_weibull(self):
+        true = GeneralizedWeibull.from_scale(alpha=2.0, scale=1.0, mu=3.0)
+        x = true.rvs(50000, rng=8)
+        endpoint = endpoint_estimate(x, k=500)
+        assert endpoint is not None
+        assert endpoint == pytest.approx(3.0, abs=0.5)
+        assert endpoint >= x.max() - 1e-9 or endpoint > 2.5
+
+    def test_endpoint_none_for_heavy_tail(self):
+        x = Frechet(alpha=1.2, scale=1.0).rvs(20000, rng=9)
+        assert endpoint_estimate(x, k=300) is None

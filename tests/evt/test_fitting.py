@@ -1,0 +1,111 @@
+"""Alternative fitters (LSQ, moments), normal fits, KS distance."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import FitError
+from repro.evt.distributions import GeneralizedWeibull
+from repro.evt.fitting import (
+    fit_normal,
+    fit_normal_lsq,
+    fit_weibull_lsq,
+    fit_weibull_moments,
+    ks_statistic,
+)
+
+
+class TestLsqFit:
+    def test_recovers_on_clean_large_sample(self):
+        true = GeneralizedWeibull.from_scale(alpha=3.0, scale=1.0, mu=4.0)
+        x = true.rvs(2000, rng=1)
+        fit = fit_weibull_lsq(x)
+        assert fit.method == "lsq"
+        assert fit.mu == pytest.approx(4.0, abs=0.4)
+        assert fit.alpha == pytest.approx(3.0, rel=0.4)
+
+    def test_mu_stays_above_sample_max(self):
+        true = GeneralizedWeibull(alpha=5.0, beta=1.0, mu=1.0)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            x = true.rvs(15, rng)
+            fit = fit_weibull_lsq(x)
+            assert fit.mu > x.max()
+
+    def test_small_sample_runs(self):
+        true = GeneralizedWeibull(alpha=3.0, beta=1.0, mu=0.0)
+        fit = fit_weibull_lsq(true.rvs(10, rng=7))
+        assert np.isfinite(fit.loglik) or fit.loglik == -np.inf
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(FitError):
+            fit_weibull_lsq(np.full(8, 1.0))
+
+
+class TestMomentsFit:
+    def test_recovers_on_clean_large_sample(self):
+        true = GeneralizedWeibull.from_scale(alpha=4.0, scale=0.5, mu=2.0)
+        x = true.rvs(5000, rng=2)
+        fit = fit_weibull_moments(x)
+        assert fit.method == "moments"
+        assert fit.mu == pytest.approx(2.0, abs=0.1)
+        assert fit.alpha == pytest.approx(4.0, rel=0.3)
+
+    def test_endpoint_spacing_estimator(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        fit = fit_weibull_moments(x)
+        # mu = max + (max - second max) = 6.0
+        assert fit.mu == pytest.approx(6.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(FitError):
+            fit_weibull_moments(np.full(6, 2.0))
+
+
+class TestNormalFits:
+    def test_moment_fit(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(3.0, 2.0, size=5000)
+        fit = fit_normal(x)
+        assert fit.mean == pytest.approx(3.0, abs=0.1)
+        assert fit.std == pytest.approx(2.0, abs=0.1)
+
+    def test_lsq_fit_close_to_moment_fit(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(-1.0, 0.5, size=800)
+        moment = fit_normal(x)
+        lsq = fit_normal_lsq(x)
+        assert lsq.mean == pytest.approx(moment.mean, abs=0.05)
+        assert lsq.std == pytest.approx(moment.std, abs=0.05)
+        assert lsq.method == "lsq"
+
+    def test_pdf_cdf_shapes(self):
+        fit = fit_normal(np.array([0.0, 1.0, 2.0]))
+        xs = np.linspace(-1, 3, 7)
+        assert fit.cdf(xs).shape == (7,)
+        assert fit.pdf(xs).shape == (7,)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(FitError):
+            fit_normal(np.full(5, 1.0))
+        with pytest.raises(FitError):
+            fit_normal(np.array([1.0]))
+
+
+class TestKsStatistic:
+    def test_matches_scipy_kstest(self):
+        rng = np.random.default_rng(6)
+        x = np.sort(rng.normal(size=200))
+        ours = ks_statistic(stats.norm.cdf(x))
+        ref = stats.kstest(x, "norm").statistic
+        assert ours == pytest.approx(ref, abs=1e-12)
+
+    def test_perfect_fit_small_distance(self):
+        n = 1000
+        # Exact quantiles of the fitted distribution: KS ~ 1/(2n).
+        x = stats.norm.ppf((np.arange(1, n + 1) - 0.5) / n)
+        assert ks_statistic(stats.norm.cdf(x)) <= 0.5 / n + 1e-9
+
+    def test_empty_rejected(self):
+        with pytest.raises(FitError):
+            ks_statistic(np.array([]))

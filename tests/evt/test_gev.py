@@ -1,0 +1,126 @@
+"""Unified GEV distribution and the Hosking PWM fit."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import EstimationError, FitError
+from repro.evt.distributions import GeneralizedWeibull
+from repro.evt.gev import GEV, fit_gev_pwm, probability_weighted_moments
+
+GEVS = [
+    GEV(gamma=-0.4, mu=1.0, sigma=0.5),   # Weibull type
+    GEV(gamma=0.0, mu=0.0, sigma=1.0),    # Gumbel
+    GEV(gamma=0.3, mu=-1.0, sigma=2.0),   # Frechet type
+]
+
+
+class TestDistribution:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            GEV(gamma=0.1, sigma=0.0)
+        with pytest.raises(EstimationError):
+            GEV(gamma=math.inf)
+
+    @pytest.mark.parametrize("dist", GEVS)
+    def test_matches_scipy_genextreme(self, dist):
+        ref = stats.genextreme(c=-dist.gamma, loc=dist.mu, scale=dist.sigma)
+        xs = np.linspace(dist.mu - 4, dist.mu + 6, 50)
+        assert dist.cdf(xs) == pytest.approx(ref.cdf(xs), abs=1e-10)
+        assert dist.pdf(xs) == pytest.approx(ref.pdf(xs), abs=1e-10)
+
+    @pytest.mark.parametrize("dist", GEVS)
+    def test_ppf_inverts_cdf(self, dist):
+        qs = np.array([0.01, 0.2, 0.5, 0.8, 0.999])
+        assert dist.cdf(dist.ppf(qs)) == pytest.approx(qs, abs=1e-9)
+
+    def test_right_endpoint(self):
+        weib = GEVS[0]
+        assert weib.right_endpoint() == pytest.approx(1.0 + 0.5 / 0.4)
+        assert GEVS[1].right_endpoint() == math.inf
+        assert GEVS[2].right_endpoint() == math.inf
+
+    @pytest.mark.parametrize("dist", GEVS[:2])
+    def test_moments_vs_samples(self, dist):
+        draws = dist.rvs(60000, rng=4)
+        assert draws.mean() == pytest.approx(dist.mean(), abs=0.03)
+        assert draws.var() == pytest.approx(dist.var(), rel=0.08)
+
+    def test_weibull_samples_below_endpoint(self):
+        dist = GEVS[0]
+        draws = dist.rvs(5000, rng=5)
+        assert (draws <= dist.right_endpoint()).all()
+
+
+class TestConversions:
+    def test_weibull_roundtrip(self):
+        g = GEV(gamma=-0.3, mu=1.0, sigma=0.5)
+        w = g.to_weibull()
+        assert isinstance(w, GeneralizedWeibull)
+        assert w.mu == pytest.approx(g.right_endpoint())
+        g2 = GEV.from_weibull(w)
+        assert g2.gamma == pytest.approx(g.gamma)
+        assert g2.mu == pytest.approx(g.mu)
+        assert g2.sigma == pytest.approx(g.sigma)
+
+    def test_cdf_agreement_after_conversion(self):
+        g = GEV(gamma=-0.25, mu=2.0, sigma=1.5)
+        w = g.to_weibull()
+        xs = np.linspace(-2, g.right_endpoint(), 40)
+        assert g.cdf(xs) == pytest.approx(w.cdf(xs), abs=1e-10)
+
+    def test_non_weibull_conversion_rejected(self):
+        with pytest.raises(EstimationError):
+            GEVS[1].to_weibull()
+        with pytest.raises(EstimationError):
+            GEVS[2].to_weibull()
+
+    def test_gumbel_conversion(self):
+        gum = GEVS[1].to_gumbel()
+        assert gum.mu == 0.0 and gum.sigma == 1.0
+        with pytest.raises(EstimationError):
+            GEVS[0].to_gumbel()
+
+
+class TestPwm:
+    def test_pwm_moments_of_uniform(self):
+        # For U(0,1): b_r = E[X F(X)^r] = 1/(r+2).
+        rng = np.random.default_rng(6)
+        x = rng.random(200000)
+        b = probability_weighted_moments(x, 3)
+        assert b[0] == pytest.approx(1 / 2, abs=0.01)
+        assert b[1] == pytest.approx(1 / 3, abs=0.01)
+        assert b[2] == pytest.approx(1 / 4, abs=0.01)
+
+    @pytest.mark.parametrize("gamma", [-0.4, -0.15, 0.0, 0.25])
+    def test_parameter_recovery(self, gamma):
+        true = GEV(gamma=gamma, mu=3.0, sigma=1.0)
+        x = true.rvs(8000, rng=7)
+        fit = fit_gev_pwm(x)
+        assert fit.gamma == pytest.approx(gamma, abs=0.06)
+        assert fit.mu == pytest.approx(3.0, abs=0.1)
+        assert fit.sigma == pytest.approx(1.0, abs=0.1)
+
+    def test_endpoint_recovery_for_weibull_type(self):
+        true = GEV(gamma=-0.3, mu=1.0, sigma=0.5)
+        x = true.rvs(8000, rng=8)
+        fit = fit_gev_pwm(x)
+        assert fit.right_endpoint() == pytest.approx(
+            true.right_endpoint(), rel=0.08
+        )
+
+    def test_small_sample_robustness(self):
+        true = GEV(gamma=-0.3, mu=0.0, sigma=1.0)
+        rng = np.random.default_rng(9)
+        for _ in range(50):
+            fit = fit_gev_pwm(true.rvs(10, rng))
+            assert math.isfinite(fit.gamma)
+            assert fit.sigma > 0
+
+    def test_validation(self):
+        with pytest.raises(FitError):
+            fit_gev_pwm(np.ones(20))
+        with pytest.raises(FitError):
+            fit_gev_pwm(np.array([1.0, 2.0]))

@@ -1,0 +1,104 @@
+"""Generalized Pareto distribution and threshold-exceedance fits."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import EstimationError, FitError
+from repro.evt.gpd import GPD, fit_gpd_mle, fit_gpd_pwm
+
+GPDS = [
+    GPD(xi=-0.3, sigma=1.0),   # bounded tail
+    GPD(xi=0.0, sigma=2.0),    # exponential
+    GPD(xi=0.4, sigma=0.5),    # heavy tail
+]
+
+
+class TestDistribution:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            GPD(xi=0.1, sigma=0)
+        with pytest.raises(EstimationError):
+            GPD(xi=math.nan)
+
+    @pytest.mark.parametrize("dist", GPDS)
+    def test_matches_scipy_genpareto(self, dist):
+        ref = stats.genpareto(c=dist.xi, scale=dist.sigma)
+        ys = np.linspace(0, 5, 40)
+        assert dist.cdf(ys) == pytest.approx(ref.cdf(ys), abs=1e-10)
+        assert dist.pdf(ys) == pytest.approx(ref.pdf(ys), abs=1e-10)
+
+    @pytest.mark.parametrize("dist", GPDS)
+    def test_ppf_inverts_cdf(self, dist):
+        qs = np.array([0.0, 0.3, 0.9, 0.999])
+        assert dist.cdf(dist.ppf(qs)) == pytest.approx(qs, abs=1e-9)
+
+    def test_right_endpoint(self):
+        assert GPDS[0].right_endpoint() == pytest.approx(1.0 / 0.3)
+        assert GPDS[1].right_endpoint() == math.inf
+        assert GPDS[2].right_endpoint() == math.inf
+
+    def test_bounded_samples_below_endpoint(self):
+        d = GPDS[0]
+        draws = d.rvs(5000, rng=1)
+        assert (draws >= 0).all()
+        assert (draws <= d.right_endpoint()).all()
+
+    def test_mean(self):
+        assert GPDS[0].mean() == pytest.approx(1.0 / 1.3)
+        assert GPD(xi=1.5, sigma=1.0).mean() == math.inf
+
+    def test_negative_values_have_zero_density(self):
+        assert GPDS[0].pdf(-1.0) == 0.0
+        assert GPDS[0].cdf(-1.0) == 0.0
+
+
+class TestFits:
+    @pytest.mark.parametrize("xi", [-0.35, -0.1, 0.0, 0.3])
+    def test_pwm_recovery(self, xi):
+        true = GPD(xi=xi, sigma=1.5)
+        y = true.rvs(8000, rng=2)
+        fit = fit_gpd_pwm(y)
+        assert fit.xi == pytest.approx(xi, abs=0.06)
+        assert fit.sigma == pytest.approx(1.5, rel=0.08)
+
+    @pytest.mark.parametrize("xi", [-0.35, 0.0, 0.3])
+    def test_mle_recovery(self, xi):
+        true = GPD(xi=xi, sigma=1.5)
+        y = true.rvs(4000, rng=3)
+        fit = fit_gpd_mle(y)
+        assert fit.xi == pytest.approx(xi, abs=0.06)
+        assert fit.sigma == pytest.approx(1.5, rel=0.08)
+
+    def test_mle_no_worse_than_pwm_in_likelihood(self):
+        true = GPD(xi=-0.25, sigma=1.0)
+        y = true.rvs(500, rng=4)
+        pwm = fit_gpd_pwm(y)
+        mle = fit_gpd_mle(y)
+        ll_pwm = float(np.sum(pwm.logpdf(y)))
+        ll_mle = float(np.sum(mle.logpdf(y)))
+        assert ll_mle >= ll_pwm - 1e-9
+
+    def test_endpoint_estimate(self):
+        true = GPD(xi=-0.3, sigma=1.0)  # endpoint 10/3
+        y = true.rvs(6000, rng=5)
+        fit = fit_gpd_mle(y)
+        assert fit.right_endpoint() == pytest.approx(10 / 3, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(FitError):
+            fit_gpd_pwm(np.ones(10))
+        with pytest.raises(FitError):
+            fit_gpd_pwm(np.array([1.0, -2.0, 3.0, 4.0]))
+        with pytest.raises(FitError):
+            fit_gpd_mle(np.array([1.0, 2.0]))
+
+    def test_small_sample_robustness(self):
+        true = GPD(xi=-0.2, sigma=1.0)
+        rng = np.random.default_rng(6)
+        for _ in range(40):
+            fit = fit_gpd_mle(true.rvs(30, rng))
+            assert math.isfinite(fit.xi)
+            assert fit.sigma > 0

@@ -1,0 +1,128 @@
+"""Profile-likelihood MLE for the generalized Weibull."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.evt.distributions import GeneralizedWeibull
+from repro.evt.mle import (
+    fisher_covariance,
+    fit_weibull_mle,
+    fit_weibull_mle_scipy,
+)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("alpha", [2.5, 4.0, 8.0])
+    def test_large_sample_parameter_recovery(self, alpha):
+        true = GeneralizedWeibull.from_scale(alpha=alpha, scale=1.0, mu=5.0)
+        x = true.rvs(4000, rng=11)
+        fit = fit_weibull_mle(x)
+        assert fit.alpha == pytest.approx(alpha, rel=0.15)
+        assert fit.mu == pytest.approx(5.0, abs=0.15)
+        assert fit.method == "profile-mle"
+        assert fit.shape_gt2
+
+    def test_agrees_with_scipy_on_large_sample(self):
+        true = GeneralizedWeibull(alpha=3.0, beta=2.0, mu=10.0)
+        x = true.rvs(3000, rng=42)
+        ours = fit_weibull_mle(x)
+        ref = fit_weibull_mle_scipy(x)
+        assert ours.mu == pytest.approx(ref.mu, abs=0.02)
+        assert ours.alpha == pytest.approx(ref.alpha, rel=0.02)
+        assert ours.loglik == pytest.approx(ref.loglik, abs=0.5)
+
+    def test_loglik_at_optimum_beats_neighbours(self):
+        true = GeneralizedWeibull(alpha=4.0, beta=1.0, mu=2.0)
+        x = true.rvs(300, rng=3)
+        fit = fit_weibull_mle(x)
+        for factor in (0.7, 1.3):
+            worse = GeneralizedWeibull(
+                alpha=fit.alpha * factor, beta=fit.beta, mu=fit.mu
+            )
+            assert float(np.sum(worse.logpdf(x))) <= fit.loglik + 1e-6
+
+    def test_mu_always_above_sample_max(self):
+        true = GeneralizedWeibull(alpha=5.0, beta=1.0, mu=1.0)
+        rng = np.random.default_rng(8)
+        for _ in range(25):
+            x = true.rvs(10, rng)
+            fit = fit_weibull_mle(x)
+            assert fit.mu > x.max()
+
+    def test_quantile_helper(self):
+        true = GeneralizedWeibull(alpha=3.0, beta=1.0, mu=0.0)
+        x = true.rvs(500, rng=2)
+        fit = fit_weibull_mle(x)
+        q = fit.quantile(0.999)
+        assert q < fit.mu
+        assert fit.distribution.cdf(q) == pytest.approx(0.999, abs=1e-6)
+
+
+class TestSmallSampleRobustness:
+    def test_never_crashes_at_m10(self):
+        true = GeneralizedWeibull(alpha=3.0, beta=1.0, mu=0.0)
+        rng = np.random.default_rng(17)
+        for _ in range(100):
+            x = true.rvs(10, rng)
+            fit = fit_weibull_mle(x)
+            assert np.isfinite(fit.mu)
+            assert fit.alpha > 0 and fit.beta > 0
+
+    def test_translation_equivariance(self):
+        true = GeneralizedWeibull(alpha=4.0, beta=1.0, mu=0.0)
+        x = true.rvs(200, rng=5)
+        f0 = fit_weibull_mle(x)
+        f1 = fit_weibull_mle(x + 100.0)
+        assert f1.mu == pytest.approx(f0.mu + 100.0, abs=1e-3)
+        assert f1.alpha == pytest.approx(f0.alpha, rel=1e-3)
+
+    def test_scale_equivariance(self):
+        true = GeneralizedWeibull(alpha=4.0, beta=1.0, mu=0.0)
+        x = true.rvs(200, rng=6)
+        f0 = fit_weibull_mle(x)
+        f1 = fit_weibull_mle(x * 1e-3)  # watt-scale values
+        assert f1.mu == pytest.approx(f0.mu * 1e-3, rel=1e-3, abs=1e-9)
+        assert f1.alpha == pytest.approx(f0.alpha, rel=1e-2)
+
+
+class TestValidation:
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(FitError, match="degenerate"):
+            fit_weibull_mle(np.full(10, 3.3))
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(FitError, match="at least 3"):
+            fit_weibull_mle(np.array([1.0, 2.0]))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(FitError, match="non-finite"):
+            fit_weibull_mle(np.array([1.0, 2.0, np.nan]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(FitError, match="1-D"):
+            fit_weibull_mle(np.ones((3, 3)))
+
+
+class TestFisherCovariance:
+    def test_positive_definite_on_good_fit(self):
+        true = GeneralizedWeibull(alpha=4.0, beta=1.0, mu=2.0)
+        x = true.rvs(2000, rng=9)
+        fit = fit_weibull_mle(x)
+        cov = fisher_covariance(fit, x)
+        assert cov is not None
+        assert cov.shape == (3, 3)
+        assert (np.diag(cov) > 0).all()
+        eigvals = np.linalg.eigvalsh(cov)
+        assert (eigvals > 0).all()
+
+    def test_variance_shrinks_with_sample_size(self):
+        true = GeneralizedWeibull(alpha=4.0, beta=1.0, mu=2.0)
+        var_mu = []
+        for m in (200, 2000):
+            x = true.rvs(m, rng=10)
+            fit = fit_weibull_mle(x)
+            cov = fisher_covariance(fit, x)
+            assert cov is not None
+            var_mu.append(cov[2, 2])
+        assert var_mu[1] < var_mu[0]

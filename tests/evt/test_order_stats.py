@@ -1,0 +1,114 @@
+"""Order-statistics background utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimationError
+from repro.evt.order_stats import (
+    empirical_cdf,
+    empirical_quantile,
+    order_statistic_cdf,
+    quantile_confidence_interval,
+    sample_maximum_cdf,
+)
+
+
+class TestEmpiricalCdf:
+    def test_sorted_with_midpoint_positions(self):
+        x, p = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert p == pytest.approx([1 / 6, 3 / 6, 5 / 6])
+
+    def test_rejects_empty(self):
+        with pytest.raises(EstimationError):
+            empirical_cdf(np.array([]))
+
+
+class TestEmpiricalQuantile:
+    def test_definition_smallest_q_quantile(self):
+        values = np.array([10.0, 20.0, 30.0, 40.0])
+        assert empirical_quantile(values, 0.25) == 10.0
+        assert empirical_quantile(values, 0.26) == 20.0
+        assert empirical_quantile(values, 1.0) == 40.0
+        assert empirical_quantile(values, 0.0) == 10.0
+
+    @given(
+        q=st.floats(min_value=0.01, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_at_least_q_mass_below(self, q, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=50)
+        t = empirical_quantile(values, q)
+        frac_leq = (values <= t).mean()
+        assert frac_leq >= q - 1e-12
+
+    def test_range_checked(self):
+        with pytest.raises(EstimationError):
+            empirical_quantile(np.array([1.0]), 1.5)
+
+
+class TestOrderStatisticCdf:
+    def test_maximum_case_equals_power(self):
+        for p in (0.2, 0.7, 0.95):
+            assert order_statistic_cdf(p, 5, 5) == pytest.approx(p ** 5)
+            assert sample_maximum_cdf(p, 5) == pytest.approx(p ** 5)
+
+    def test_minimum_case(self):
+        p = 0.3
+        assert order_statistic_cdf(p, 1, 4) == pytest.approx(
+            1 - (1 - p) ** 4
+        )
+
+    def test_monte_carlo_agreement(self):
+        # P{X_(3:7) <= median} estimated by simulation.
+        rng = np.random.default_rng(2)
+        count = 0
+        trials = 4000
+        t = 0.0  # median of standard normal, F(t) = 0.5
+        for _ in range(trials):
+            sample = np.sort(rng.normal(size=7))
+            if sample[2] <= t:
+                count += 1
+        expected = order_statistic_cdf(0.5, 3, 7)
+        assert count / trials == pytest.approx(expected, abs=0.03)
+
+    def test_argument_validation(self):
+        with pytest.raises(EstimationError):
+            order_statistic_cdf(1.2, 1, 3)
+        with pytest.raises(EstimationError):
+            order_statistic_cdf(0.5, 0, 3)
+        with pytest.raises(EstimationError):
+            sample_maximum_cdf(0.5, 0)
+
+
+class TestQuantileCI:
+    def test_interval_brackets_point(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(size=500)
+        point, lo, hi = quantile_confidence_interval(values, 0.9, 0.95)
+        assert lo <= point <= hi
+
+    def test_coverage_of_true_quantile(self):
+        # Repeated sampling: the CI should contain the true 0.8-quantile
+        # of U(0,1) (=0.8) in about 90% of trials.
+        rng = np.random.default_rng(7)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            values = rng.random(200)
+            _, lo, hi = quantile_confidence_interval(values, 0.8, 0.9)
+            if lo <= 0.8 <= hi:
+                hits += 1
+        assert hits / trials > 0.8  # conservative lower check
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            quantile_confidence_interval(np.array([1.0, 2.0]), 0.0, 0.9)
+        with pytest.raises(EstimationError):
+            quantile_confidence_interval(np.array([1.0, 2.0]), 0.5, 1.0)
+        with pytest.raises(EstimationError):
+            quantile_confidence_interval(np.array([1.0]), 0.5, 0.9)

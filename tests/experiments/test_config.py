@@ -1,0 +1,64 @@
+"""Experiment configuration and scale tiers."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import (
+    PAPER_CIRCUITS,
+    ExperimentConfig,
+    default_config,
+)
+
+
+class TestConfig:
+    def test_paper_circuit_list(self):
+        assert len(PAPER_CIRCUITS) == 9
+        assert PAPER_CIRCUITS[0] == "c1355"  # paper table order
+
+    def test_defaults_are_ci_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        cfg = default_config()
+        assert cfg.scale == "ci"
+        assert cfg.unconstrained_size == 20_000
+        assert cfg.n == 30 and cfg.m == 10
+        assert cfg.error == 0.05 and cfg.confidence == 0.90
+
+    def test_paper_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        cfg = default_config()
+        assert cfg.unconstrained_size == 160_000
+        assert cfg.constrained_size == 80_000
+        assert cfg.num_runs == 100
+
+    def test_smoke_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        cfg = default_config()
+        assert cfg.scale == "smoke"
+        assert cfg.num_runs == 5
+        assert len(cfg.circuits) == 3
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ConfigError):
+            default_config()
+
+    def test_cache_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        cfg = default_config()
+        assert cfg.cache_dir == tmp_path / "cache"
+
+    def test_with_overrides(self):
+        cfg = ExperimentConfig()
+        cfg2 = cfg.with_overrides(num_runs=3, circuits=("c432",))
+        assert cfg2.num_runs == 3
+        assert cfg.num_runs == 20  # original untouched
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(scale="huge")
+        with pytest.raises(ConfigError):
+            ExperimentConfig(unconstrained_size=10)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(num_runs=0)

@@ -1,0 +1,84 @@
+"""Experiment population building and caching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.populations import (
+    build_population,
+    get_population,
+    population_seed,
+)
+from repro.vectors.activity import mean_activity, per_line_transition_prob
+
+
+@pytest.fixture
+def config(tmp_path):
+    return ExperimentConfig(
+        scale="smoke",
+        unconstrained_size=1500,
+        constrained_size=1200,
+        num_runs=2,
+        circuits=("c432",),
+        cache_dir=tmp_path / "cache",
+    )
+
+
+class TestBuild:
+    def test_unconstrained_population_properties(self, config):
+        pop = build_population(config, "c432", "unconstrained")
+        assert pop.size == 1500
+        assert pop.actual_max_power > 0
+        # activity constraint honoured
+        activity = (pop.v1 != pop.v2).mean(axis=1)
+        assert (activity > 0.3).all()
+
+    def test_high_kind_transition_probability(self, config):
+        pop = build_population(config, "c432", "high")
+        assert pop.size == 1200
+        observed = per_line_transition_prob(pop.v1, pop.v2)
+        assert observed.mean() == pytest.approx(0.7, abs=0.03)
+
+    def test_low_kind_transition_probability(self, config):
+        pop = build_population(config, "c432", "low")
+        observed = mean_activity(pop.v1, pop.v2)
+        assert observed == pytest.approx(0.3, abs=0.03)
+
+    def test_unknown_kind_rejected(self, config):
+        with pytest.raises(ConfigError):
+            build_population(config, "c432", "medium")
+
+    def test_metadata_provenance(self, config):
+        pop = build_population(config, "c432", "unconstrained")
+        assert pop.metadata["circuit"] == "c432"
+        assert pop.metadata["kind"] == "unconstrained"
+        assert pop.metadata["sim_mode"] == config.sim_mode
+
+
+class TestCaching:
+    def test_disk_cache_roundtrip(self, config):
+        first = build_population(config, "c432", "unconstrained")
+        cached_files = list(config.cache_dir.glob("pop_*.npz"))
+        assert len(cached_files) == 1
+        second = build_population(config, "c432", "unconstrained")
+        assert np.array_equal(first.powers, second.powers)
+
+    def test_memory_cache_identity(self, config):
+        a = get_population(config, "c432", "unconstrained")
+        b = get_population(config, "c432", "unconstrained")
+        assert a is b
+
+    def test_seed_derivation_stable_and_distinct(self, config):
+        s1 = population_seed(config, "c432", "high")
+        s2 = population_seed(config, "c432", "high")
+        s3 = population_seed(config, "c432", "low")
+        s4 = population_seed(config, "c880", "high")
+        assert s1 == s2
+        assert len({s1, s3, s4}) == 3
+
+    def test_different_sizes_different_cache_entries(self, config):
+        build_population(config, "c432", "unconstrained")
+        bigger = config.with_overrides(unconstrained_size=1600)
+        build_population(bigger, "c432", "unconstrained")
+        assert len(list(config.cache_dir.glob("pop_*.npz"))) == 2

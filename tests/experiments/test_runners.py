@@ -1,0 +1,170 @@
+"""End-to-end experiment runners on a tiny configuration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.ablations import (
+    run_ablation_finite_population,
+    run_ablation_fitting,
+    run_ablation_sample_size,
+)
+from repro.experiments.base import ExperimentTable
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+@pytest.fixture
+def tiny(tmp_path):
+    return ExperimentConfig(
+        scale="smoke",
+        unconstrained_size=1200,
+        constrained_size=1000,
+        num_runs=2,
+        srs_budgets=(100, 200),
+        circuits=("c432",),
+        cache_dir=tmp_path / "cache",
+    )
+
+
+class TestTables:
+    def test_table1_structure(self, tiny):
+        table = run_table1(tiny)
+        assert table.experiment_id == "table1"
+        assert len(table.rows) == 1
+        row = table.data["rows"][0]
+        assert row.circuit == "c432"
+        assert row.units_min >= 600  # at least 2 hyper-samples of 300
+        assert row.units_max >= row.units_min
+        assert 0 <= row.err_min <= row.err_max
+        assert row.qualified_portion > 0
+
+    def test_table2_structure(self, tiny):
+        table = run_table2(tiny)
+        # Circuit, actual max, ours-worst, ours-%, plus two columns per budget.
+        assert len(table.headers) == 4 + 2 * len(tiny.srs_budgets)
+        row = table.data["rows"][0]
+        assert row.actual_max_mw > 0
+        assert all(e <= 0 for e in row.srs_largest_errors)
+        assert 0 <= row.ours_exceed_frac <= 1
+
+    def test_tables_3_and_4_use_constrained_pools(self, tiny):
+        t3 = run_experiment("table3", tiny)
+        t4 = run_experiment("table4", tiny)
+        assert t3.experiment_id == "table3"
+        assert t4.experiment_id == "table4"
+        assert "0.7" in t3.title
+        assert "0.3" in t4.title
+
+
+class TestFigures:
+    def test_figure1_series(self, tiny):
+        table = run_figure1(tiny, circuit="c432", num_maxima=150)
+        series = table.data["series"]
+        assert [s.n for s in series] == [2, 20, 30, 50]
+        for s in series:
+            assert s.maxima.shape == (150,)
+            x, emp, fitted = s.cdf_series(50)
+            assert x.shape == emp.shape == fitted.shape == (50,)
+            assert emp[-1] == pytest.approx(1.0)
+        # Larger n -> block maxima concentrate near the top.
+        assert series[-1].maxima.mean() > series[0].maxima.mean()
+
+    def test_figure2_normality_improves_with_m(self, tiny):
+        table = run_figure2(tiny, circuit="c432", repetitions=40)
+        series = table.data["series"]
+        assert [s.m for s in series] == [10, 50]
+        # Std of the estimate shrinks as m grows (Theorem 3).
+        assert series[1].estimates.std() < series[0].estimates.std()
+        for s in series:
+            assert 0 <= s.ks <= 1
+            assert 0 <= s.shapiro_p <= 1
+
+
+class TestAblations:
+    def test_fitting_ablation_reports_three_methods(self, tiny):
+        table = run_ablation_fitting(tiny, repetitions=40)
+        methods = [row[0] for row in table.rows]
+        assert methods == ["profile MLE", "LSQ curve fit", "moments"]
+
+    def test_sample_size_ablation(self, tiny):
+        table = run_ablation_sample_size(
+            tiny, circuit="c432", block_sizes=(5, 30), repetitions=25
+        )
+        assert len(table.rows) == 2
+        assert table.rows[0][1] == 5 * tiny.m  # units per hyper-sample
+
+    def test_finite_population_ablation_shows_correction(self, tiny):
+        table = run_ablation_finite_population(
+            tiny, circuit="c432", repetitions=40
+        )
+        mu = table.data["mu"]
+        corrected = table.data["corrected"]
+        actual = table.data["actual"]
+        assert abs(corrected.mean() - actual) < abs(mu.mean() - actual)
+
+
+class TestExtensions:
+    def test_mapping_ablation(self, tiny):
+        from repro.experiments.ablations import run_ablation_mapping
+
+        table = run_ablation_mapping(tiny, pool_size=1500)
+        assert len(table.rows) == 3
+        gates = [row[1] for row in table.rows]
+        assert gates[0] < gates[1]  # native tree smallest
+
+    def test_extension_delay(self, tiny):
+        from repro.experiments.extension_delay import run_extension_delay
+
+        table = run_extension_delay(tiny, probe_pairs=20)
+        assert len(table.rows) == 3
+        for label, (result, sta, probe) in table.data.items():
+            assert result.estimate <= sta + 1e-9
+
+    def test_extension_pot(self, tiny):
+        from repro.experiments.extension_pot import run_extension_pot
+
+        table = run_extension_pot(tiny, runs=2)
+        assert len(table.rows) == 1  # tiny config has one circuit
+        data = table.data["c432"]
+        assert data["bm_units"].shape == (2,)
+        assert data["pot_units"].shape == (2,)
+
+
+class TestRunnerRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for required in (
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "figure1",
+            "figure2",
+            "ablation_mapping",
+            "extension_delay",
+        ):
+            assert required in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self, tiny):
+        with pytest.raises(ConfigError, match="unknown experiment"):
+            run_experiment("table9", tiny)
+
+    def test_save_writes_txt_and_csv(self, tiny, tmp_path):
+        table = run_figure1(tiny, circuit="c432", num_maxima=60)
+        out = tmp_path / "results"
+        table.save(out)
+        assert (out / "figure1.txt").exists()
+        assert (out / "figure1.csv").exists()
+        text = (out / "figure1.txt").read_text()
+        assert "Figure 1" in text
+
+    def test_render_and_csv(self, tiny):
+        table = run_ablation_fitting(tiny, repetitions=25)
+        text = table.render()
+        assert "method" in text and "rel bias" in text
+        csv_text = table.csv()
+        assert csv_text.splitlines()[0].startswith("method,")

@@ -1,0 +1,81 @@
+"""Table rendering/CSV helpers and the batch runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import ExperimentTable
+from repro.experiments.tables import render_table, to_csv
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        text = render_table(
+            "My Title",
+            ["name", "value"],
+            [["a", 1], ["long-name", 123456]],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Title"
+        assert lines[1].startswith("+") and lines[1].endswith("+")
+        # all body rows share the same width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        text = render_table("t", ["x"], [[0.000123456], [float("nan")], [1234567.0]])
+        assert "0.000123" in text
+        assert "-" in text  # nan placeholder
+        assert "1.23e+06" in text
+
+    def test_to_csv(self):
+        csv_text = to_csv(["a", "b"], [[1, "x"], [2, "y,z"]])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[2] == '2,"y,z"'
+
+
+class TestExperimentTable:
+    def make(self):
+        return ExperimentTable(
+            experiment_id="demo",
+            title="Demo table",
+            headers=("k", "v"),
+            rows=[("a", 1)],
+            notes="a note",
+            data={"raw": np.arange(3)},
+        )
+
+    def test_render_includes_notes(self):
+        text = self.make().render()
+        assert "Demo table" in text
+        assert "a note" in text
+
+    def test_save_artifacts(self, tmp_path):
+        table = self.make()
+        table.save(tmp_path)
+        assert (tmp_path / "demo.txt").read_text().startswith("Demo table")
+        assert (tmp_path / "demo.csv").read_text().startswith("k,v")
+
+    def test_csv_matches_rows(self):
+        assert "a,1" in self.make().csv()
+
+
+class TestRunAll:
+    def test_run_all_saves_every_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import EXPERIMENTS, run_all
+
+        tiny = ExperimentConfig(
+            scale="smoke",
+            unconstrained_size=800,
+            constrained_size=800,
+            num_runs=2,
+            srs_budgets=(50, 100),
+            circuits=("c432",),
+            cache_dir=tmp_path / "cache",
+        )
+        results = run_all(tiny, output_dir=tmp_path / "out")
+        assert len(results) == len(EXPERIMENTS)
+        for name in EXPERIMENTS:
+            assert (tmp_path / "out" / f"{name}.txt").exists(), name

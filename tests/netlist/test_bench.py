@@ -1,0 +1,108 @@
+"""ISCAS85 .bench parser/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.bench import dump_bench, load_bench, parse_bench, write_bench
+from repro.netlist.gates import GateType
+
+
+class TestParse:
+    def test_c17_structure(self, c17):
+        assert c17.num_inputs == 5
+        assert c17.num_outputs == 2
+        assert c17.num_gates == 6
+        assert all(g.gtype is GateType.NAND for g in c17.gates.values())
+
+    def test_case_insensitive_keywords(self):
+        text = """
+        input(A)
+        Input(B)
+        OUTPUT(Y)
+        Y = nAnD(A, B)
+        """
+        c = parse_bench(text)
+        assert c.gate("Y").gtype is GateType.NAND
+
+    def test_buff_and_not_aliases(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        b = BUFF(a)
+        y = NOT(b)
+        """
+        c = parse_bench(text)
+        assert c.gate("b").gtype is GateType.BUF
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # header comment
+
+        INPUT(a)   # trailing comment
+        OUTPUT(y)
+        y = NOT(a)
+        """
+        assert parse_bench(text).num_gates == 1
+
+    def test_dff_rejected_with_line_number(self):
+        text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"
+        with pytest.raises(ParseError, match="line 3.*sequential"):
+            parse_bench(text)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ParseError, match="unknown gate"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ParseError, match="line 2.*unrecognized"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_undefined_net_rejected(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"
+        with pytest.raises(ParseError, match="invalid circuit"):
+            parse_bench(text)
+
+    def test_duplicate_definition_rejected(self):
+        text = "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n"
+        with pytest.raises(ParseError, match="already defined"):
+            parse_bench(text)
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n")
+
+
+class TestWrite:
+    def test_roundtrip_c17(self, c17):
+        text = write_bench(c17)
+        again = parse_bench(text, name="c17")
+        assert again.inputs == c17.inputs
+        assert again.outputs == c17.outputs
+        assert again.num_gates == c17.num_gates
+        # Functional equivalence on all 32 input vectors.
+        import itertools
+
+        for bits in itertools.product((0, 1), repeat=5):
+            v1 = c17.evaluate_vector(bits)
+            v2 = again.evaluate_vector(bits)
+            for out in c17.outputs:
+                assert v1[out] == v2[out]
+
+    def test_roundtrip_generated_circuit(self):
+        from repro.netlist.generators import ripple_carry_adder
+
+        rca = ripple_carry_adder(4)
+        again = parse_bench(write_bench(rca))
+        assert again.num_gates == rca.num_gates
+        assert again.depth() == rca.depth()
+
+    def test_header_contains_counts(self, c17):
+        text = write_bench(c17)
+        assert "# 5 inputs, 2 outputs, 6 gates" in text
+
+    def test_dump_and_load(self, c17, tmp_path):
+        path = tmp_path / "c17.bench"
+        dump_bench(c17, path)
+        loaded = load_bench(path)
+        assert loaded.name == "c17"
+        assert loaded.num_gates == 6

@@ -1,0 +1,104 @@
+"""Simulation-based equivalence checking."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.equivalence import check_equivalence
+from repro.netlist.gates import GateType
+from repro.netlist.generators import build_circuit
+
+
+def xor_circuit(style: str) -> Circuit:
+    c = Circuit(f"xor_{style}")
+    c.add_input("a")
+    c.add_input("b")
+    if style == "native":
+        c.add_gate("y", GateType.XOR, ["a", "b"])
+    elif style == "nand":
+        c.add_gate("t", GateType.NAND, ["a", "b"])
+        c.add_gate("ta", GateType.NAND, ["a", "t"])
+        c.add_gate("tb", GateType.NAND, ["b", "t"])
+        c.add_gate("y", GateType.NAND, ["ta", "tb"])
+    else:  # buggy: actually computes OR
+        c.add_gate("y", GateType.OR, ["a", "b"])
+    c.set_outputs(["y"])
+    c.validate()
+    return c
+
+
+class TestExhaustive:
+    def test_equivalent_implementations(self):
+        result = check_equivalence(xor_circuit("native"), xor_circuit("nand"))
+        assert result.equivalent
+        assert result.exhaustive
+        assert result.vectors_checked == 4
+        assert bool(result)
+
+    def test_inequivalent_yields_counterexample(self):
+        result = check_equivalence(xor_circuit("native"), xor_circuit("bug"))
+        assert not result.equivalent
+        assert result.counterexample is not None
+        bits, out_name = result.counterexample
+        assert out_name == "y"
+        assert bits == (1, 1)  # XOR=0, OR=1 only at a=b=1
+
+    def test_self_equivalence_of_suite_circuit(self):
+        a = build_circuit("c432")
+        b = build_circuit("c432")
+        result = check_equivalence(a, b)
+        assert result.equivalent
+        assert not result.exhaustive  # 36 inputs -> random mode
+
+
+class TestRandomMode:
+    def test_random_mode_detects_single_minterm_region(self):
+        # Differ only on one of 2^20 inputs? Use a wide AND so the
+        # difference region is tiny; dense random sim may miss it —
+        # verify the API reports non-exhaustive honestly instead.
+        a = Circuit("wide_and")
+        b = Circuit("wide_and")
+        for c in (a, b):
+            for i in range(20):
+                c.add_input(f"i{i}")
+        a.add_gate("y", GateType.AND, [f"i{i}" for i in range(20)])
+        b.add_gate("t", GateType.AND, [f"i{i}" for i in range(20)])
+        b.add_gate("y", GateType.BUF, ["t"])
+        a.set_outputs(["y"])
+        b.set_outputs(["y"])
+        result = check_equivalence(a, b, random_vectors=2048)
+        assert result.equivalent  # genuinely equivalent
+        assert not result.exhaustive
+        assert result.vectors_checked == 2048
+
+    def test_gross_difference_caught_randomly(self):
+        a = build_circuit("c880")
+        b = a.copy("mutant")
+        # Re-type one output gate: find an output driven by a gate and
+        # replace it with an inverter of the same fanin head.
+        target = a.outputs[0]
+        gate = a.gate(target)
+        mutated = Circuit("mutant")
+        for net in a.inputs:
+            mutated.add_input(net)
+        for name in a.topological_order():
+            g = a.gate(name)
+            if name == target:
+                mutated.add_gate(name, GateType.NOT, [g.fanin[0]])
+            else:
+                mutated.add_gate(name, g.gtype, g.fanin)
+        mutated.set_outputs(a.outputs)
+        result = check_equivalence(a, mutated, random_vectors=4096)
+        assert not result.equivalent
+
+
+class TestInterface:
+    def test_mismatched_inputs_rejected(self, c17, half_adder):
+        with pytest.raises(NetlistError):
+            check_equivalence(c17, half_adder)
+
+    def test_mismatched_outputs_rejected(self, c17):
+        other = c17.copy()
+        other.set_outputs(["G22"])  # drop one output
+        with pytest.raises(NetlistError):
+            check_equivalence(c17, other)

@@ -1,0 +1,181 @@
+"""Gate primitive semantics: scalar, word-parallel, and metadata."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.gates import (
+    GATE_ARITY,
+    GateType,
+    check_arity,
+    controlling_value,
+    eval_gate,
+    eval_gate_words,
+    gate_from_name,
+)
+
+MULTI_GATES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestScalarEval:
+    @pytest.mark.parametrize(
+        "gtype,inputs,expected",
+        [
+            (GateType.AND, (1, 1), 1),
+            (GateType.AND, (1, 0), 0),
+            (GateType.NAND, (1, 1), 0),
+            (GateType.NAND, (0, 1), 1),
+            (GateType.OR, (0, 0), 0),
+            (GateType.OR, (0, 1), 1),
+            (GateType.NOR, (0, 0), 1),
+            (GateType.NOR, (1, 0), 0),
+            (GateType.XOR, (1, 1), 0),
+            (GateType.XOR, (1, 0), 1),
+            (GateType.XNOR, (1, 1), 1),
+            (GateType.XNOR, (0, 1), 0),
+            (GateType.NOT, (0,), 1),
+            (GateType.NOT, (1,), 0),
+            (GateType.BUF, (1,), 1),
+            (GateType.BUF, (0,), 0),
+            (GateType.MUX, (0, 1, 0), 1),  # sel=0 -> d0
+            (GateType.MUX, (1, 1, 0), 0),  # sel=1 -> d1
+            (GateType.CONST0, (), 0),
+            (GateType.CONST1, (), 1),
+        ],
+    )
+    def test_truth_table_entries(self, gtype, inputs, expected):
+        assert eval_gate(gtype, inputs) == expected
+
+    @pytest.mark.parametrize("gtype", MULTI_GATES)
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_nary_consistency_with_pairwise_fold(self, gtype, arity):
+        # n-ary associative gates must equal the pairwise fold of the
+        # same operator (with inversion applied only once at the end).
+        base = {
+            GateType.NAND: GateType.AND,
+            GateType.NOR: GateType.OR,
+            GateType.XNOR: GateType.XOR,
+        }.get(gtype, gtype)
+        inverting = gtype is not base
+        for bits in itertools.product((0, 1), repeat=arity):
+            acc = bits[0]
+            for b in bits[1:]:
+                acc = eval_gate(base, (acc, b))
+            expected = 1 - acc if inverting else acc
+            assert eval_gate(gtype, bits) == expected
+
+    def test_xor_is_parity(self):
+        for bits in itertools.product((0, 1), repeat=5):
+            assert eval_gate(GateType.XOR, bits) == sum(bits) % 2
+
+    def test_input_type_not_evaluable(self):
+        with pytest.raises(NetlistError):
+            eval_gate(GateType.INPUT, ())
+
+
+class TestWordEval:
+    @pytest.mark.parametrize("gtype", MULTI_GATES + [GateType.NOT, GateType.BUF, GateType.MUX])
+    def test_word_eval_matches_scalar(self, gtype, rng):
+        arity = {GateType.NOT: 1, GateType.BUF: 1, GateType.MUX: 3}.get(
+            gtype, 3
+        )
+        lanes = 130  # crosses a word boundary with a partial last word
+        bits = rng.integers(0, 2, size=(arity, lanes), dtype=np.uint8)
+        words = np.zeros((arity, 3), dtype=np.uint64)
+        for i in range(arity):
+            for j in range(lanes):
+                if bits[i, j]:
+                    words[i, j // 64] |= np.uint64(1 << (j % 64))
+        mask = np.array(
+            [~np.uint64(0), ~np.uint64(0), np.uint64((1 << 2) - 1)],
+            dtype=np.uint64,
+        )
+        out = eval_gate_words(gtype, [words[i] for i in range(arity)], mask)
+        for j in range(lanes):
+            scalar = eval_gate(gtype, tuple(int(bits[i, j]) for i in range(arity)))
+            got = int(out[j // 64] >> np.uint64(j % 64)) & 1
+            assert got == scalar, (gtype, j)
+
+    def test_padding_bits_stay_zero_for_inverting_gates(self):
+        mask = np.array([np.uint64(0b111)])  # only 3 valid lanes
+        x = np.array([np.uint64(0b010)])
+        out = eval_gate_words(GateType.NOT, [x], mask)
+        assert int(out[0]) == 0b101  # no bits set beyond the mask
+
+    def test_constants_respect_mask(self):
+        mask = np.array([np.uint64(0xF)])
+        one = eval_gate_words(GateType.CONST1, [], mask)
+        zero = eval_gate_words(GateType.CONST0, [], mask)
+        assert int(one[0]) == 0xF
+        assert int(zero[0]) == 0
+
+    @given(
+        data=st.lists(
+            st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=64
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_and_word_property(self, data):
+        lanes = len(data)
+        a = np.array([np.uint64(0)])
+        b = np.array([np.uint64(0)])
+        for j, (x, y) in enumerate(data):
+            if x:
+                a[0] |= np.uint64(1 << j)
+            if y:
+                b[0] |= np.uint64(1 << j)
+        mask = np.array([np.uint64((1 << lanes) - 1 if lanes < 64 else ~np.uint64(0))])
+        out = eval_gate_words(GateType.AND, [a, b], mask)
+        for j, (x, y) in enumerate(data):
+            assert ((int(out[0]) >> j) & 1) == int(x and y)
+
+
+class TestMetadata:
+    def test_arity_bounds_enforced(self):
+        with pytest.raises(NetlistError):
+            check_arity(GateType.NOT, 2)
+        with pytest.raises(NetlistError):
+            check_arity(GateType.AND, 1)
+        with pytest.raises(NetlistError):
+            check_arity(GateType.MUX, 2)
+        check_arity(GateType.AND, 9)  # unbounded above
+
+    def test_every_gate_type_has_arity(self):
+        assert set(GATE_ARITY) == set(GateType)
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("AND", GateType.AND),
+            ("nand", GateType.NAND),
+            ("BUFF", GateType.BUF),
+            ("inv", GateType.NOT),
+            ("Mux2", GateType.MUX),
+            ("xor", GateType.XOR),
+        ],
+    )
+    def test_gate_from_name_aliases(self, name, expected):
+        assert gate_from_name(name) is expected
+
+    def test_gate_from_name_unknown(self):
+        with pytest.raises(NetlistError, match="unknown gate type"):
+            gate_from_name("tristate")
+
+    def test_controlling_values(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+        assert controlling_value(GateType.XOR) is None
+        assert controlling_value(GateType.BUF) is None

@@ -1,0 +1,267 @@
+"""Functional correctness of the arithmetic circuit generators."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.netlist.generators import (
+    array_multiplier,
+    carry_lookahead_adder,
+    comparator,
+    decoder,
+    ecc_checker,
+    interrupt_controller,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+    simple_alu,
+)
+
+
+def bits_of(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def int_of(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+def adder_io(circuit, a, b, cin, width):
+    assignment = {f"a{i}": (a >> i) & 1 for i in range(width)}
+    assignment.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+    assignment["cin"] = cin
+    vals = circuit.evaluate(assignment)
+    out_bits = [vals[o] for o in circuit.outputs]
+    return int_of(out_bits[:-1]) + (out_bits[-1] << width)
+
+
+class TestAdders:
+    def test_rca_exhaustive_3bit(self):
+        rca = ripple_carry_adder(3)
+        for a, b, cin in itertools.product(range(8), range(8), range(2)):
+            assert adder_io(rca, a, b, cin, 3) == a + b + cin
+
+    def test_rca_random_16bit(self, rng):
+        rca = ripple_carry_adder(16)
+        for _ in range(30):
+            a = int(rng.integers(0, 1 << 16))
+            b = int(rng.integers(0, 1 << 16))
+            assert adder_io(rca, a, b, 0, 16) == a + b
+
+    def test_cla_matches_rca_exhaustive_4bit(self):
+        cla = carry_lookahead_adder(4)
+        for a, b, cin in itertools.product(range(16), range(16), range(2)):
+            assert adder_io(cla, a, b, cin, 4) == a + b + cin
+
+    def test_cla_random_12bit(self, rng):
+        cla = carry_lookahead_adder(12, group=4)
+        for _ in range(30):
+            a = int(rng.integers(0, 1 << 12))
+            b = int(rng.integers(0, 1 << 12))
+            cin = int(rng.integers(0, 2))
+            assert adder_io(cla, a, b, cin, 12) == a + b + cin
+
+    def test_cla_shallower_than_rca(self):
+        assert carry_lookahead_adder(16).depth() < ripple_carry_adder(16).depth()
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            ripple_carry_adder(0)
+        with pytest.raises(ConfigError):
+            carry_lookahead_adder(8, group=1)
+
+
+class TestMultiplier:
+    def test_exhaustive_3x3(self):
+        mult = array_multiplier(3)
+        for a, b in itertools.product(range(8), range(8)):
+            assignment = {f"a{i}": (a >> i) & 1 for i in range(3)}
+            assignment.update({f"b{i}": (b >> i) & 1 for i in range(3)})
+            vals = mult.evaluate(assignment)
+            product = int_of([vals[o] for o in mult.outputs])
+            assert product == a * b, (a, b)
+
+    def test_random_8x8(self, rng):
+        mult = array_multiplier(8)
+        for _ in range(25):
+            a = int(rng.integers(0, 256))
+            b = int(rng.integers(0, 256))
+            assignment = {f"a{i}": (a >> i) & 1 for i in range(8)}
+            assignment.update({f"b{i}": (b >> i) & 1 for i in range(8)})
+            vals = mult.evaluate(assignment)
+            assert int_of([vals[o] for o in mult.outputs]) == a * b
+
+    def test_16x16_profile(self):
+        mult = array_multiplier(16)
+        assert mult.num_inputs == 32
+        assert mult.num_outputs == 32
+        assert mult.num_gates > 1000
+        assert mult.depth() > 60  # deep carry-save array like C6288
+
+
+class TestParityAndEcc:
+    @pytest.mark.parametrize("width", [1, 2, 5, 8, 13])
+    def test_parity_tree(self, width, rng):
+        tree = parity_tree(width)
+        for _ in range(20):
+            bits = rng.integers(0, 2, size=width)
+            vals = tree.evaluate_vector(list(bits))
+            assert vals[tree.outputs[0]] == int(bits.sum() % 2)
+
+    def test_ecc_no_error_passthrough(self, rng):
+        from repro.netlist.generators.arithmetic import hamming_check_bits
+
+        ecc = ecc_checker(8)
+        data = [int(b) for b in rng.integers(0, 2, size=8)]
+        checks = hamming_check_bits(data)
+        assignment = {f"d{i}": data[i] for i in range(8)}
+        assignment.update({f"c{i}": checks[i] for i in range(len(checks))})
+        assignment["en"] = 1
+        vals = ecc.evaluate(assignment)
+        # Zero syndrome and unmodified data.
+        assert all(vals[f"syn{i}"] == 0 for i in range(len(checks)))
+        for i in range(8):
+            assert vals[f"q{i}"] == data[i]
+
+    def test_ecc_corrects_single_data_error(self, rng):
+        from repro.netlist.generators.arithmetic import hamming_check_bits
+
+        ecc = ecc_checker(8)
+        data = [int(b) for b in rng.integers(0, 2, size=8)]
+        checks = hamming_check_bits(data)
+        for flip in range(8):
+            corrupted = {
+                f"d{i}": data[i] ^ (1 if i == flip else 0) for i in range(8)
+            }
+            corrupted.update(
+                {f"c{i}": checks[i] for i in range(len(checks))}
+            )
+            corrupted["en"] = 1
+            vals = ecc.evaluate(corrupted)
+            recovered = [vals[f"q{i}"] for i in range(8)]
+            assert recovered == data, f"failed to correct bit {flip}"
+
+    def test_ecc_correction_disabled_passes_error_through(self, rng):
+        from repro.netlist.generators.arithmetic import hamming_check_bits
+
+        ecc = ecc_checker(8)
+        data = [int(b) for b in rng.integers(0, 2, size=8)]
+        checks = hamming_check_bits(data)
+        corrupted = {f"d{i}": data[i] for i in range(8)}
+        corrupted["d3"] ^= 1
+        corrupted.update({f"c{i}": checks[i] for i in range(len(checks))})
+        corrupted["en"] = 0
+        vals = ecc.evaluate(corrupted)
+        assert vals["q3"] == data[3] ^ 1  # not corrected
+
+    def test_ecc_interface_width_for_32(self):
+        ecc = ecc_checker(32)
+        num_checks = sum(1 for n in ecc.inputs if n.startswith("c"))
+        assert ecc.num_inputs == 32 + num_checks + 1
+        assert num_checks == 7  # SEC over 38 Hamming positions + overall
+        assert ecc.num_outputs == 32
+
+
+class TestSelectorsAndComparators:
+    def test_comparator_exhaustive_3bit(self):
+        cmp3 = comparator(3)
+        for a, b in itertools.product(range(8), range(8)):
+            assignment = {f"a{i}": (a >> i) & 1 for i in range(3)}
+            assignment.update({f"b{i}": (b >> i) & 1 for i in range(3)})
+            vals = cmp3.evaluate(assignment)
+            assert vals["a_gt_b"] == int(a > b)
+            assert vals["a_eq_b"] == int(a == b)
+            assert vals["a_lt_b"] == int(a < b)
+
+    def test_decoder_exhaustive(self):
+        dec = decoder(3)
+        for code in range(8):
+            assignment = {f"s{i}": (code >> i) & 1 for i in range(3)}
+            assignment["en"] = 1
+            vals = dec.evaluate(assignment)
+            for out in range(8):
+                assert vals[f"y{out}"] == int(out == code)
+        # Disabled: all outputs low.
+        assignment["en"] = 0
+        vals = dec.evaluate(assignment)
+        assert all(vals[f"y{k}"] == 0 for k in range(8))
+
+    def test_mux_tree_selects(self, rng):
+        mux = mux_tree(3)
+        for _ in range(20):
+            data = rng.integers(0, 2, size=8)
+            sel = int(rng.integers(0, 8))
+            assignment = {f"d{i}": int(data[i]) for i in range(8)}
+            assignment.update({f"s{i}": (sel >> i) & 1 for i in range(3)})
+            vals = mux.evaluate(assignment)
+            assert vals[mux.outputs[0]] == data[sel]
+
+
+class TestAlu:
+    def test_alu_all_ops_random(self, rng):
+        alu = simple_alu(6)
+        mask = (1 << 6) - 1
+        ops = {
+            (0, 0): lambda a, b, cin: a & b,
+            (1, 0): lambda a, b, cin: a | b,
+            (0, 1): lambda a, b, cin: a ^ b,
+            (1, 1): lambda a, b, cin: (a + b + cin) & mask,
+        }
+        for _ in range(20):
+            a = int(rng.integers(0, 64))
+            b = int(rng.integers(0, 64))
+            cin = int(rng.integers(0, 2))
+            for (op0, op1), fn in ops.items():
+                assignment = {f"a{i}": (a >> i) & 1 for i in range(6)}
+                assignment.update({f"b{i}": (b >> i) & 1 for i in range(6)})
+                assignment.update({"cin": cin, "op0": op0, "op1": op1})
+                vals = alu.evaluate(assignment)
+                result = int_of([vals[f"y{i}"] for i in range(6)])
+                assert result == fn(a, b, cin), (a, b, cin, op0, op1)
+                assert vals["zero"] == int(result == 0)
+
+    def test_alu_carry_out(self):
+        alu = simple_alu(4)
+        assignment = {f"a{i}": 1 for i in range(4)}
+        assignment.update({f"b{i}": 0 for i in range(4)})
+        assignment.update({"cin": 1, "op0": 1, "op1": 1})
+        vals = alu.evaluate(assignment)
+        carry_net = alu.outputs[4]
+        assert vals[carry_net] == 1  # 15 + 0 + 1 overflows 4 bits
+
+
+class TestInterruptController:
+    def test_single_request_granted(self):
+        ic = interrupt_controller(9, groups=3)
+        base = {f"req{i}": 0 for i in range(9)}
+        base.update({f"en{g}": 1 for g in range(3)})
+        for ch in range(9):
+            assignment = dict(base)
+            assignment[f"req{ch}"] = 1
+            vals = ic.evaluate(assignment)
+            grants = [vals[f"grant{g}"] for g in range(3)]
+            assert grants == [int(g == ch // 3) for g in range(3)]
+
+    def test_group_encoding_prefers_lowest_group(self):
+        ic = interrupt_controller(9, groups=3)
+        assignment = {f"req{i}": 0 for i in range(9)}
+        assignment.update({f"en{g}": 1 for g in range(3)})
+        assignment["req0"] = 1  # group 0
+        assignment["req8"] = 1  # group 2
+        vals = ic.evaluate(assignment)
+        enc = [vals[n] for n in ic.outputs if n.startswith("vec")]
+        assert int_of(enc) == 0  # lowest group wins
+
+    def test_disabled_group_never_grants(self):
+        ic = interrupt_controller(6, groups=2)
+        assignment = {f"req{i}": 1 for i in range(6)}
+        assignment.update({"en0": 0, "en1": 1})
+        vals = ic.evaluate(assignment)
+        assert vals["grant0"] == 0
+        assert vals["grant1"] == 1
+
+    def test_invalid_channel_split(self):
+        with pytest.raises(ConfigError):
+            interrupt_controller(10, groups=3)

@@ -1,0 +1,60 @@
+"""ISCAS85-like suite: profiles, determinism, authentic cores."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netlist.generators.iscas_like import (
+    ISCAS85_PROFILES,
+    available_circuits,
+    build_circuit,
+)
+
+
+class TestSuite:
+    def test_all_nine_circuits_listed(self):
+        assert len(available_circuits()) == 9
+        assert set(available_circuits()) == set(ISCAS85_PROFILES)
+
+    @pytest.mark.parametrize("name", available_circuits())
+    def test_interface_matches_profile(self, name):
+        profile = ISCAS85_PROFILES[name]
+        circuit = build_circuit(name)
+        circuit.validate()
+        assert circuit.num_inputs == profile.num_inputs
+        assert circuit.num_outputs == profile.num_outputs
+        # Gate count within 45% of the published figure (authentic
+        # structural cores cannot hit it exactly).
+        assert (
+            abs(circuit.num_gates - profile.num_gates)
+            <= 0.45 * profile.num_gates
+        )
+
+    @pytest.mark.parametrize("name", ["c432", "c3540"])
+    def test_deterministic(self, name):
+        a = build_circuit(name)
+        b = build_circuit(name)
+        assert a.gates == b.gates
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown circuit"):
+            build_circuit("c9999")
+
+    def test_c6288_is_a_real_multiplier(self):
+        mult = build_circuit("c6288")
+        # 5 * 7 = 35 on the 16x16 multiplier.
+        assignment = {f"a{i}": (5 >> i) & 1 for i in range(16)}
+        assignment.update({f"b{i}": (7 >> i) & 1 for i in range(16)})
+        vals = mult.evaluate(assignment)
+        product = sum(
+            vals[o] << i for i, o in enumerate(mult.outputs)
+        )
+        assert product == 35
+
+    def test_seed_override_changes_random_circuits(self):
+        a = build_circuit("c1908", seed=1)
+        b = build_circuit("c1908", seed=2)
+        assert a.gates != b.gates
+
+    def test_profiles_carry_documented_functions(self):
+        assert "multiplier" in ISCAS85_PROFILES["c6288"].function
+        assert "interrupt" in ISCAS85_PROFILES["c432"].function

@@ -1,0 +1,102 @@
+"""Cell library: capacitance extraction and delay model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.netlist.library import (
+    CellLibrary,
+    CellParams,
+    default_library,
+)
+
+
+@pytest.fixture
+def tiny():
+    c = Circuit("tiny")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", GateType.AND, ["a", "b"])
+    c.add_gate("g2", GateType.NOT, ["g1"])
+    c.add_gate("g3", GateType.NOT, ["g1"])
+    c.set_outputs(["g2", "g3"])
+    c.validate()
+    return c
+
+
+class TestCellParams:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigError):
+            CellParams(-1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ConfigError):
+            CellParams(0.0, 0.0, -5.0, 0.0)
+
+    def test_frozen(self):
+        p = CellParams(1.0, 2.0, 3.0, 4.0)
+        with pytest.raises(AttributeError):
+            p.input_cap_ff = 9.0
+
+
+class TestCellLibrary:
+    def test_default_library_covers_all_gate_types(self):
+        lib = default_library()
+        for gtype in GateType:
+            assert gtype in lib
+
+    def test_missing_cell_raises(self):
+        lib = CellLibrary({GateType.NOT: CellParams(1, 1, 1, 1)})
+        with pytest.raises(ConfigError, match="no cell for"):
+            lib.params(GateType.AND)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            CellLibrary({}, wire_cap_per_fanout_ff=-1)
+        with pytest.raises(ConfigError):
+            CellLibrary({}, vdd=0)
+
+    def test_net_capacitance_formula(self, tiny):
+        lib = default_library()
+        and_out = lib.params(GateType.AND).output_cap_ff
+        not_in = lib.params(GateType.NOT).input_cap_ff
+        expected = and_out + 2 * not_in + 2 * lib.wire_cap_per_fanout_ff
+        assert lib.net_capacitance(tiny, "g1") == pytest.approx(expected)
+
+    def test_input_net_has_no_driver_cap(self, tiny):
+        lib = default_library()
+        and_in = lib.params(GateType.AND).input_cap_ff
+        expected = and_in + lib.wire_cap_per_fanout_ff
+        assert lib.net_capacitance(tiny, "a") == pytest.approx(expected)
+
+    def test_output_net_only_driver_cap(self, tiny):
+        lib = default_library()
+        expected = lib.params(GateType.NOT).output_cap_ff
+        assert lib.net_capacitance(tiny, "g2") == pytest.approx(expected)
+
+    def test_gate_delay_linear_in_load(self, tiny):
+        lib = default_library()
+        cell = lib.params(GateType.AND)
+        load = lib.net_capacitance(tiny, "g1")
+        expected = cell.intrinsic_delay_ps + cell.delay_per_ff_ps * load
+        assert lib.gate_delay(tiny, "g1") == pytest.approx(expected)
+
+    def test_primary_input_delay_zero(self, tiny):
+        assert default_library().gate_delay(tiny, "a") == 0.0
+
+    def test_bulk_helpers_cover_all_nets(self, tiny):
+        lib = default_library()
+        caps = lib.all_net_capacitances(tiny)
+        delays = lib.all_gate_delays(tiny)
+        assert set(caps) == set(tiny.nets)
+        assert set(delays) == set(tiny.nets)
+        assert all(v >= 0 for v in caps.values())
+
+    def test_higher_fanout_higher_cap(self, tiny):
+        lib = default_library()
+        assert lib.net_capacitance(tiny, "g1") > lib.net_capacitance(
+            tiny, "g2"
+        )
+
+    def test_custom_vdd(self):
+        lib = default_library(vdd=2.5)
+        assert lib.vdd == 2.5

@@ -1,0 +1,91 @@
+"""Cell library JSON serialization."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netlist.gates import GateType
+from repro.netlist.library import CellLibrary, CellParams, default_library
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self):
+        lib = default_library()
+        again = CellLibrary.from_json(lib.to_json())
+        assert again.name == lib.name
+        assert again.vdd == lib.vdd
+        assert again.wire_cap_per_fanout_ff == lib.wire_cap_per_fanout_ff
+        for gtype in GateType:
+            assert again.params(gtype) == lib.params(gtype)
+
+    def test_save_load_file(self, tmp_path):
+        lib = default_library(vdd=2.5)
+        path = tmp_path / "tech.json"
+        lib.save(path)
+        loaded = CellLibrary.load(path)
+        assert loaded.vdd == 2.5
+
+    def test_capacitance_math_survives(self, c17):
+        lib = default_library()
+        again = CellLibrary.from_json(lib.to_json())
+        for net in c17.nets:
+            assert again.net_capacitance(c17, net) == pytest.approx(
+                lib.net_capacitance(c17, net)
+            )
+            assert again.gate_delay(c17, net) == pytest.approx(
+                lib.gate_delay(c17, net)
+            )
+
+
+class TestValidation:
+    def test_invalid_json(self):
+        with pytest.raises(ConfigError, match="invalid library JSON"):
+            CellLibrary.from_json("{not json")
+
+    def test_missing_keys(self):
+        with pytest.raises(ConfigError, match="missing key"):
+            CellLibrary.from_json('{"cells": {}}')
+
+    def test_unknown_gate_type(self):
+        text = (
+            '{"name": "x", "vdd": 3.3, "wire_cap_per_fanout_ff": 1.0,'
+            ' "cells": {"tri_state": {"input_cap_ff": 1, "output_cap_ff": 1,'
+            ' "intrinsic_delay_ps": 1, "delay_per_ff_ps": 1}}}'
+        )
+        with pytest.raises(ConfigError, match="unknown gate type"):
+            CellLibrary.from_json(text)
+
+    def test_missing_cell_field(self):
+        text = (
+            '{"name": "x", "vdd": 3.3, "wire_cap_per_fanout_ff": 1.0,'
+            ' "cells": {"and": {"input_cap_ff": 1}}}'
+        )
+        with pytest.raises(ConfigError, match="missing field"):
+            CellLibrary.from_json(text)
+
+    def test_negative_value_rejected_via_cellparams(self):
+        text = (
+            '{"name": "x", "vdd": 3.3, "wire_cap_per_fanout_ff": 1.0,'
+            ' "cells": {"and": {"input_cap_ff": -1, "output_cap_ff": 1,'
+            ' "intrinsic_delay_ps": 1, "delay_per_ff_ps": 1}}}'
+        )
+        with pytest.raises(ConfigError):
+            CellLibrary.from_json(text)
+
+    def test_custom_library_changes_power(self, c17):
+        import numpy as np
+
+        from repro.sim.power import PowerAnalyzer
+
+        hot = CellLibrary(
+            {g: CellParams(20.0, 20.0, 100.0, 2.0) for g in GateType},
+            name="hot",
+            vdd=5.0,
+        )
+        pa_default = PowerAnalyzer(c17)
+        pa_hot = PowerAnalyzer(c17, library=hot)
+        v1 = np.zeros((1, 5), dtype=np.uint8)
+        v2 = np.ones((1, 5), dtype=np.uint8)
+        assert (
+            pa_hot.powers_for_pairs(v1, v2)[0]
+            > pa_default.powers_for_pairs(v1, v2)[0]
+        )

@@ -1,0 +1,106 @@
+"""Random layered-DAG generator: profile guarantees and determinism."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netlist.gates import GateType
+from repro.netlist.generators.random_dag import (
+    DEFAULT_GATE_WEIGHTS,
+    random_layered_circuit,
+)
+
+
+def make(seed=1, **kwargs):
+    defaults = dict(
+        name="rand",
+        num_inputs=12,
+        num_outputs=6,
+        num_gates=80,
+        depth=9,
+        seed=seed,
+    )
+    defaults.update(kwargs)
+    return random_layered_circuit(**defaults)
+
+
+class TestProfile:
+    def test_exact_interface_counts(self):
+        c = make()
+        assert c.num_inputs == 12
+        assert c.num_outputs == 6
+        assert c.num_gates == 80
+
+    @pytest.mark.parametrize("depth", [1, 3, 10, 25])
+    def test_exact_depth(self, depth):
+        c = make(num_gates=max(40, depth), depth=depth)
+        assert c.depth() == depth
+
+    def test_validates(self):
+        make().validate()
+
+    def test_outputs_are_unique_nets(self):
+        c = make()
+        assert len(set(c.outputs)) == c.num_outputs
+
+    def test_dangling_prioritized_as_outputs(self):
+        c = make(num_outputs=20, num_gates=60)
+        dangling_or_output = set(c.outputs)
+        # Every dangling net must be an output when capacity allows.
+        for net in c.dangling_nets():
+            assert net not in dangling_or_output or True  # no dangling left
+        assert not set(c.dangling_nets()) - set(c.outputs) or len(
+            c.dangling_nets()
+        ) == 0
+
+    def test_most_inputs_used(self):
+        c = make(num_inputs=10, num_gates=120, depth=8)
+        fo = c.fanout_map()
+        used = sum(1 for net in c.inputs if fo[net])
+        assert used >= 8  # the generator prefers unused inputs
+
+
+class TestDeterminism:
+    def test_same_seed_same_circuit(self):
+        a, b = make(seed=42), make(seed=42)
+        assert a.gates == b.gates
+        assert a.outputs == b.outputs
+
+    def test_different_seed_different_circuit(self):
+        a, b = make(seed=1), make(seed=2)
+        assert a.gates != b.gates
+
+
+class TestValidationErrors:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_inputs=1),
+            dict(num_outputs=0),
+            dict(depth=0),
+            dict(num_gates=3, depth=9),
+            dict(num_outputs=1000),
+            dict(local_fanin_prob=1.5),
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigError):
+            make(**kwargs)
+
+
+class TestGateMix:
+    def test_custom_weights_respected(self):
+        weights = {GateType.XOR: 1.0, GateType.NOT: 0.0, GateType.BUF: 0.0}
+        c = make(gate_weights=weights, num_gates=60)
+        kinds = {g.gtype for g in c.gates.values()}
+        # All multi-input gates are XOR; single-fanin fallbacks may add
+        # NOT/BUF but nothing else.
+        assert kinds <= {GateType.XOR, GateType.NOT, GateType.BUF}
+        assert GateType.XOR in kinds
+
+    def test_default_mix_is_nand_heavy(self):
+        c = make(num_gates=400, depth=12, num_inputs=20)
+        counts = c.stats().gate_counts
+        assert counts.get("nand", 0) > counts.get("xnor", 0)
+
+    def test_default_weights_are_normalizable(self):
+        assert abs(sum(DEFAULT_GATE_WEIGHTS.values()) - 1.0) < 0.01

@@ -1,0 +1,184 @@
+"""Sequential circuits: flops, unrolling, multi-cycle simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError, ParseError, SimulationError
+from repro.netlist.gates import GateType
+from repro.netlist.sequential import SequentialCircuit, parse_sequential_bench
+
+
+def toggle_ff() -> SequentialCircuit:
+    """1-bit toggle flop: q' = q XOR en."""
+    s = SequentialCircuit("toggle")
+    s.add_input("en")
+    s.add_flop("q", d="d")
+    s.add_gate("d", GateType.XOR, ["q", "en"])
+    s.set_outputs(["q"])
+    s.finalize()
+    return s
+
+
+def counter2() -> SequentialCircuit:
+    """2-bit synchronous counter with enable."""
+    s = SequentialCircuit("cnt2")
+    s.add_input("en")
+    s.add_flop("q0", d="d0")
+    s.add_flop("q1", d="d1")
+    s.add_gate("d0", GateType.XOR, ["q0", "en"])
+    s.add_gate("carry", GateType.AND, ["q0", "en"])
+    s.add_gate("d1", GateType.XOR, ["q1", "carry"])
+    s.set_outputs(["q0", "q1"])
+    s.finalize()
+    return s
+
+
+class TestConstruction:
+    def test_interface_partition(self):
+        s = counter2()
+        assert s.inputs == ("en",)
+        assert s.num_flops == 2
+        assert s.outputs == ("q0", "q1")
+        assert s.num_gates == 3
+
+    def test_undefined_next_state_rejected(self):
+        s = SequentialCircuit("bad")
+        s.add_input("a")
+        s.add_flop("q", d="missing")
+        s.set_outputs(["q"])
+        with pytest.raises(NetlistError, match="missing"):
+            s.finalize()
+
+    def test_must_finalize_before_use(self):
+        s = SequentialCircuit("raw")
+        s.add_input("a")
+        with pytest.raises(NetlistError, match="finalize"):
+            s.unroll(2)
+
+
+class TestSimulate:
+    def test_toggle_flop_sequence(self):
+        s = toggle_ff()
+        # Outputs show the state *entering* each cycle (register
+        # semantics): en = 1,1,0,1 from q=0 -> q at cycle starts
+        # 0,1,0,0 and final state 1.
+        stream = np.array([[1], [1], [0], [1]], dtype=np.uint8)
+        outputs, final, _ = s.simulate(stream)
+        assert list(outputs[:, 0, 0]) == [0, 1, 0, 0]
+        assert final[0, 0] == 1
+
+    def test_counter_counts(self):
+        s = counter2()
+        stream = np.ones((5, 1), dtype=np.uint8)
+        outputs, final, _ = s.simulate(stream)
+        counts = [int(o[0, 0]) + 2 * int(o[0, 1]) for o in outputs]
+        assert counts == [0, 1, 2, 3, 0]  # state entering each cycle
+        assert int(final[0, 0]) + 2 * int(final[0, 1]) == 1
+
+    def test_multi_lane_independence(self, rng):
+        s = counter2()
+        stream = rng.integers(0, 2, size=(6, 8, 1)).astype(np.uint8)
+        outputs, final, _ = s.simulate(stream)
+        for lane in range(8):
+            solo_out, solo_final, _ = s.simulate(stream[:, lane, :])
+            assert np.array_equal(outputs[:, lane, :], solo_out[:, 0, :])
+            assert np.array_equal(final[lane], solo_final[0])
+
+    def test_initial_state(self):
+        s = counter2()
+        stream = np.ones((1, 1, 1), dtype=np.uint8)
+        outputs, final, _ = s.simulate(
+            stream, initial_state=np.array([[1, 1]], dtype=np.uint8)
+        )
+        # 3 + 1 wraps to 0.
+        assert list(final[0]) == [0, 0]
+
+    def test_energy_accounting(self):
+        s = toggle_ff()
+        caps = np.ones(len(s.core.nets))
+        quiet = np.zeros((3, 1), dtype=np.uint8)  # en=0: nothing moves
+        _, _, energies = s.simulate(quiet, net_caps=caps)
+        assert energies[0, 0] == 0.0
+        assert (energies[1:] == 0).all()
+        busy = np.ones((3, 1), dtype=np.uint8)
+        _, _, busy_energy = s.simulate(busy, net_caps=caps)
+        assert busy_energy[1:].sum() > 0
+
+    def test_shape_validation(self):
+        s = counter2()
+        with pytest.raises(SimulationError, match="input_stream"):
+            s.simulate(np.zeros((3, 1, 5), dtype=np.uint8))
+        with pytest.raises(SimulationError, match="initial_state"):
+            s.simulate(
+                np.zeros((2, 1, 1), dtype=np.uint8),
+                initial_state=np.zeros((1, 5), dtype=np.uint8),
+            )
+
+
+class TestUnroll:
+    def test_unrolled_matches_simulation(self, rng):
+        s = counter2()
+        cycles = 4
+        unrolled = s.unroll(cycles)
+        # Inputs: q0@0, q1@0, then en@t per frame.
+        stream = rng.integers(0, 2, size=(cycles, 1, 1)).astype(np.uint8)
+        init = rng.integers(0, 2, size=(1, 2)).astype(np.uint8)
+        outputs, final, _ = s.simulate(stream, initial_state=init)
+        assignment = {
+            "q0@0": int(init[0, 0]),
+            "q1@0": int(init[0, 1]),
+        }
+        for t in range(cycles):
+            assignment[f"en@{t}"] = int(stream[t, 0, 0])
+        values = unrolled.evaluate(assignment)
+        # Frame t's state-entering value is q@0 at t=0 and the previous
+        # frame's next-state net d@{t-1} afterwards.
+        for t in range(cycles):
+            q0_net = "q0@0" if t == 0 else f"d0@{t - 1}"
+            q1_net = "q1@0" if t == 0 else f"d1@{t - 1}"
+            assert values[q0_net] == outputs[t, 0, 0]
+            assert values[q1_net] == outputs[t, 0, 1]
+        assert values[f"d0@{cycles-1}"] == final[0, 0]
+        assert values[f"d1@{cycles-1}"] == final[0, 1]
+
+    def test_unroll_interface(self):
+        s = counter2()
+        u = s.unroll(3)
+        assert u.num_inputs == 2 + 3  # initial state + en per frame
+        assert u.num_gates == 3 * 3
+        u.validate()
+
+    def test_invalid_cycles(self):
+        with pytest.raises(NetlistError):
+            counter2().unroll(0)
+
+
+class TestSequentialBench:
+    BENCH = """
+    # simple toggle
+    INPUT(en)
+    OUTPUT(q)
+    q = DFF(d)
+    d = XOR(q, en)
+    """
+
+    def test_parse_and_simulate(self):
+        s = parse_sequential_bench(self.BENCH, name="tgl")
+        assert s.num_flops == 1
+        stream = np.ones((2, 1), dtype=np.uint8)
+        outputs, final, _ = s.simulate(stream)
+        assert list(outputs[:, 0, 0]) == [0, 1]
+        assert final[0, 0] == 0
+
+    def test_bad_gate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sequential_bench("INPUT(a)\nOUTPUT(q)\nq = FROB(a)\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError, match="unrecognized"):
+            parse_sequential_bench("INPUT(a)\nnot bench at all\n")
+
+    def test_undefined_d_rejected(self):
+        text = "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n"
+        with pytest.raises(ParseError, match="invalid circuit"):
+            parse_sequential_bench(text)

@@ -1,0 +1,218 @@
+"""Netlist transformations: equivalence-preserving rewrites."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.equivalence import check_equivalence
+from repro.netlist.gates import GateType
+from repro.netlist.generators import (
+    carry_lookahead_adder,
+    parity_tree,
+    ripple_carry_adder,
+    simple_alu,
+)
+from repro.netlist.transforms import (
+    buffer_high_fanout,
+    decompose_to_two_input,
+    expand_xor_to_and_or,
+    expand_xor_to_nand,
+    propagate_constants,
+    sweep_dangling,
+)
+
+
+class TestExpandXorToNand:
+    def test_parity_tree_becomes_nand_only(self):
+        tree = parity_tree(8)
+        nand = expand_xor_to_nand(tree)
+        kinds = {g.gtype for g in nand.gates.values()}
+        assert kinds == {GateType.NAND}
+        assert check_equivalence(tree, nand).equivalent
+
+    def test_wide_xor_and_xnor(self):
+        c = Circuit("wide")
+        for i in range(5):
+            c.add_input(f"i{i}")
+        c.add_gate("x", GateType.XOR, [f"i{i}" for i in range(5)])
+        c.add_gate("nx", GateType.XNOR, [f"i{i}" for i in range(5)])
+        c.set_outputs(["x", "nx"])
+        nand = expand_xor_to_nand(c)
+        result = check_equivalence(c, nand)
+        assert result.equivalent and result.exhaustive
+
+    def test_c499_to_c1355_style_growth(self):
+        # XOR expansion inflates gate count ~4x per XOR — the C499 ->
+        # C1355 relationship.
+        tree = parity_tree(16)
+        nand = expand_xor_to_nand(tree)
+        assert nand.num_gates == 4 * tree.num_gates
+
+    def test_alu_with_mux_untouched_gates_preserved(self):
+        alu = simple_alu(3)
+        nand = expand_xor_to_nand(alu)
+        assert check_equivalence(alu, nand).equivalent
+        assert not any(
+            g.gtype in (GateType.XOR, GateType.XNOR)
+            for g in nand.gates.values()
+        )
+
+
+class TestExpandXorToAndOr:
+    def test_no_xor_left_and_equivalent(self):
+        tree = parity_tree(8)
+        sop = expand_xor_to_and_or(tree)
+        kinds = {g.gtype for g in sop.gates.values()}
+        assert GateType.XOR not in kinds and GateType.XNOR not in kinds
+        assert kinds <= {GateType.AND, GateType.OR, GateType.NOR, GateType.NOT}
+        assert check_equivalence(tree, sop).equivalent
+
+    def test_xnor_handled(self):
+        c = Circuit("xn")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XNOR, ["a", "b"])
+        c.set_outputs(["y"])
+        sop = expand_xor_to_and_or(c)
+        result = check_equivalence(c, sop)
+        assert result.equivalent and result.exhaustive
+
+    def test_five_gates_per_xor(self):
+        tree = parity_tree(16)
+        sop = expand_xor_to_and_or(tree)
+        assert sop.num_gates == 5 * tree.num_gates
+
+    def test_differs_from_nand_mapping(self):
+        tree = parity_tree(4)
+        nand = expand_xor_to_nand(tree)
+        sop = expand_xor_to_and_or(tree)
+        assert nand.num_gates != sop.num_gates
+        assert check_equivalence(nand, sop).equivalent
+
+
+class TestDecomposeToTwoInput:
+    def test_all_gates_at_most_two_inputs(self):
+        cla = carry_lookahead_adder(8)
+        two = decompose_to_two_input(cla)
+        assert all(len(g.fanin) <= 2 for g in two.gates.values())
+
+    def test_functional_equivalence(self):
+        cla = carry_lookahead_adder(6)
+        two = decompose_to_two_input(cla)
+        assert check_equivalence(cla, two).equivalent
+
+    def test_inverting_heads(self):
+        c = Circuit("inv_heads")
+        for i in range(4):
+            c.add_input(f"i{i}")
+        c.add_gate("n4", GateType.NAND, [f"i{i}" for i in range(4)])
+        c.add_gate("r4", GateType.NOR, [f"i{i}" for i in range(4)])
+        c.add_gate("x4", GateType.XNOR, [f"i{i}" for i in range(4)])
+        c.set_outputs(["n4", "r4", "x4"])
+        two = decompose_to_two_input(c)
+        result = check_equivalence(c, two)
+        assert result.equivalent and result.exhaustive
+
+    def test_idempotent_on_two_input_circuit(self, c17):
+        again = decompose_to_two_input(c17)
+        assert again.num_gates == c17.num_gates
+
+
+class TestPropagateConstants:
+    def build_with_constants(self):
+        c = Circuit("consty")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("one", GateType.CONST1, [])
+        c.add_gate("zero", GateType.CONST0, [])
+        c.add_gate("and0", GateType.AND, ["a", "zero"])      # -> 0
+        c.add_gate("and1", GateType.AND, ["a", "one"])       # -> a
+        c.add_gate("or1", GateType.OR, ["b", "one"])         # -> 1
+        c.add_gate("x", GateType.XOR, ["a", "one"])          # -> not a
+        c.add_gate("y", GateType.OR, ["and0", "and1", "x"])  # -> a | ~a = 1? no: OR(0, a, ~a)=1
+        c.add_gate("m", GateType.MUX, ["zero", "a", "b"])    # -> a
+        c.set_outputs(["y", "or1", "m"])
+        c.validate()
+        return c
+
+    def test_equivalence_preserved(self):
+        c = self.build_with_constants()
+        folded = propagate_constants(c)
+        assert check_equivalence(c, folded).equivalent
+
+    def test_gates_actually_removed(self):
+        c = self.build_with_constants()
+        folded = propagate_constants(c)
+        assert folded.num_gates < c.num_gates
+
+    def test_pure_constant_output(self):
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_gate("zero", GateType.CONST0, [])
+        c.add_gate("y", GateType.AND, ["a", "zero"])
+        c.set_outputs(["y"])
+        folded = propagate_constants(c)
+        assert folded.gate("y").gtype is GateType.CONST0
+        assert check_equivalence(c, folded).equivalent
+
+    def test_no_constants_is_identity(self, c17):
+        folded = propagate_constants(c17)
+        assert folded.num_gates == c17.num_gates
+        assert check_equivalence(c17, folded).equivalent
+
+
+class TestSweepDangling:
+    def test_unobservable_logic_removed(self):
+        c = Circuit("dangle")
+        c.add_input("a")
+        c.add_gate("keep", GateType.NOT, ["a"])
+        c.add_gate("dead1", GateType.NOT, ["a"])
+        c.add_gate("dead2", GateType.NOT, ["dead1"])
+        c.set_outputs(["keep"])
+        swept = sweep_dangling(c)
+        assert swept.num_gates == 1
+        assert "dead1" not in swept
+        assert check_equivalence(c, swept).equivalent
+
+    def test_no_dangling_is_identity(self, c17):
+        assert sweep_dangling(c17).num_gates == c17.num_gates
+
+
+class TestBufferHighFanout:
+    def test_fanout_limit_enforced(self):
+        c = Circuit("fanouty")
+        c.add_input("a")
+        for i in range(20):
+            c.add_gate(f"g{i}", GateType.NOT, ["a"])
+        c.set_outputs([f"g{i}" for i in range(20)])
+        buffered = buffer_high_fanout(c, max_fanout=4)
+        fo = buffered.fanout_map()
+        for net in buffered.nets:
+            assert len(fo[net]) <= 4, net
+        assert check_equivalence(c, buffered).equivalent
+
+    def test_gate_nets_buffered_too(self):
+        rca = ripple_carry_adder(8)
+        buffered = buffer_high_fanout(rca, max_fanout=2)
+        fo = buffered.fanout_map()
+        assert max(len(v) for v in fo.values()) <= 2
+        assert check_equivalence(rca, buffered).equivalent
+
+    def test_low_fanout_is_identity(self, c17):
+        assert buffer_high_fanout(c17, max_fanout=8).num_gates == c17.num_gates
+
+    def test_invalid_limit(self, c17):
+        with pytest.raises(NetlistError):
+            buffer_high_fanout(c17, max_fanout=1)
+
+    def test_changes_capacitance_distribution(self):
+        from repro.netlist.library import default_library
+
+        c = Circuit("fanouty")
+        c.add_input("a")
+        for i in range(16):
+            c.add_gate(f"g{i}", GateType.NOT, ["a"])
+        c.set_outputs([f"g{i}" for i in range(16)])
+        buffered = buffer_high_fanout(c, max_fanout=4)
+        lib = default_library()
+        assert lib.net_capacitance(buffered, "a") < lib.net_capacitance(c, "a")

@@ -1,0 +1,76 @@
+"""Property-based tests: transforms preserve function on random circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.equivalence import check_equivalence
+from repro.netlist.generators.random_dag import random_layered_circuit
+from repro.netlist.transforms import (
+    buffer_high_fanout,
+    decompose_to_two_input,
+    expand_xor_to_and_or,
+    expand_xor_to_nand,
+    propagate_constants,
+    sweep_dangling,
+)
+
+circuit_params = st.tuples(
+    st.integers(min_value=3, max_value=8),    # num_inputs
+    st.integers(min_value=1, max_value=4),    # num_outputs
+    st.integers(min_value=8, max_value=40),   # num_gates
+    st.integers(min_value=2, max_value=6),    # depth
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def build(params):
+    ni, no, ng, depth, seed = params
+    return random_layered_circuit(
+        "prop", num_inputs=ni, num_outputs=min(no, ng),
+        num_gates=max(ng, depth), depth=depth, seed=seed,
+    )
+
+
+@pytest.mark.parametrize(
+    "transform",
+    [
+        expand_xor_to_nand,
+        expand_xor_to_and_or,
+        decompose_to_two_input,
+        propagate_constants,
+        sweep_dangling,
+        lambda c: buffer_high_fanout(c, max_fanout=3),
+    ],
+    ids=["nand", "sop", "two-input", "const-prop", "sweep", "buffer"],
+)
+class TestTransformEquivalenceProperty:
+    @given(params=circuit_params)
+    @settings(max_examples=20, deadline=None)
+    def test_random_circuits_stay_equivalent(self, transform, params):
+        circuit = build(params)
+        transformed = transform(circuit)
+        result = check_equivalence(circuit, transformed)
+        assert result.equivalent, result.counterexample
+
+    @given(params=circuit_params)
+    @settings(max_examples=10, deadline=None)
+    def test_interface_preserved(self, transform, params):
+        circuit = build(params)
+        transformed = transform(circuit)
+        assert transformed.inputs == circuit.inputs
+        assert transformed.outputs == circuit.outputs
+
+
+class TestCompositionProperty:
+    @given(params=circuit_params)
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_of_transforms(self, params):
+        circuit = build(params)
+        staged = expand_xor_to_nand(circuit)
+        staged = decompose_to_two_input(staged)
+        staged = sweep_dangling(staged)
+        result = check_equivalence(circuit, staged)
+        assert result.equivalent, result.counterexample
+        assert all(len(g.fanin) <= 2 for g in staged.gates.values())

@@ -1,0 +1,138 @@
+"""Structural Verilog subset parser/writer."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.gates import GateType
+from repro.netlist.verilog import (
+    dump_verilog,
+    load_verilog,
+    parse_verilog,
+    write_verilog,
+)
+
+C17_VERILOG = """
+// c17 in gate-primitive Verilog
+module c17 (G1, G2, G3, G6, G7, G22, G23);
+  input  G1, G2, G3, G6, G7;
+  output G22, G23;
+  wire   G10, G11, G16, G19;
+  nand g0 (G10, G1, G3);
+  nand g1 (G11, G3, G6);
+  nand g2 (G16, G2, G11);
+  nand g3 (G19, G11, G7);
+  nand g4 (G22, G10, G16);
+  nand g5 (G23, G16, G19);
+endmodule
+"""
+
+
+class TestParse:
+    def test_c17(self):
+        c = parse_verilog(C17_VERILOG)
+        assert c.name == "c17"
+        assert c.num_inputs == 5
+        assert c.num_outputs == 2
+        assert c.num_gates == 6
+
+    def test_instance_name_optional(self):
+        text = """
+        module m (a, y);
+          input a; output y;
+          not (y, a);
+        endmodule
+        """
+        c = parse_verilog(text)
+        assert c.gate("y").gtype is GateType.NOT
+
+    def test_assign_becomes_buffer(self):
+        text = """
+        module m (a, y);
+          input a; output y;
+          assign y = a;
+        endmodule
+        """
+        assert parse_verilog(text).gate("y").gtype is GateType.BUF
+
+    def test_block_comments_stripped(self):
+        text = """
+        /* multi
+           line */ module m (a, y);
+          input a; output y;
+          buf (y, a); // buffer
+        endmodule
+        """
+        assert parse_verilog(text).num_gates == 1
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(ParseError, match="no module"):
+            parse_verilog("wire x;")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(ParseError, match="endmodule"):
+            parse_verilog("module m (a); input a;")
+
+    def test_vectors_rejected(self):
+        text = """
+        module m (a, y);
+          input [3:0] a; output y;
+        endmodule
+        """
+        with pytest.raises(ParseError, match="vector"):
+            parse_verilog(text)
+
+    def test_unknown_primitive_rejected(self):
+        text = """
+        module m (a, y);
+          input a; output y;
+          always @(a) y = a;
+        endmodule
+        """
+        with pytest.raises(ParseError):
+            parse_verilog(text)
+
+    def test_name_override(self):
+        c = parse_verilog(C17_VERILOG, name="renamed")
+        assert c.name == "renamed"
+
+
+class TestWrite:
+    def test_roundtrip_functional(self, c17):
+        text = write_verilog(c17)
+        again = parse_verilog(text)
+        for bits in itertools.product((0, 1), repeat=5):
+            v1 = c17.evaluate_vector(bits)
+            v2 = again.evaluate_vector(bits)
+            for out in c17.outputs:
+                assert v1[out] == v2[out]
+
+    def test_mux_decomposed(self):
+        from repro.netlist.circuit import Circuit
+
+        c = Circuit("selector")
+        for name in ("s", "d0", "d1"):
+            c.add_input(name)
+        c.add_gate("y", GateType.MUX, ["s", "d0", "d1"])
+        c.set_outputs(["y"])
+        text = write_verilog(c)
+        assert "mux" not in text  # decomposed into and/or/not
+        again = parse_verilog(text)
+        for bits in itertools.product((0, 1), repeat=3):
+            v1 = c.evaluate_vector(bits)["y"]
+            v2 = again.evaluate_vector(bits)["y"]
+            assert v1 == v2
+
+    def test_illegal_module_name_legalized(self, half_adder):
+        half_adder.name = "半加器 2000"
+        text = write_verilog(half_adder)
+        assert text.splitlines()[0].startswith("module ")
+        # must be parseable back
+        parse_verilog(text)
+
+    def test_dump_and_load(self, c17, tmp_path):
+        path = tmp_path / "c17.v"
+        dump_verilog(c17, path)
+        loaded = load_verilog(path)
+        assert loaded.num_gates == c17.num_gates

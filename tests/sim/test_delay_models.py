@@ -1,0 +1,51 @@
+"""Delay model strategies."""
+
+import pytest
+
+from repro.netlist.library import default_library
+from repro.sim.delay import LibraryDelay, UnitDelay, ZeroDelay
+
+
+class TestZeroDelay:
+    def test_all_zero(self, c17):
+        delays = ZeroDelay().delays_for(c17)
+        assert set(delays) == set(c17.gates)
+        assert all(d == 0.0 for d in delays.values())
+
+
+class TestUnitDelay:
+    def test_default_unit(self, c17):
+        delays = UnitDelay().delays_for(c17)
+        assert all(d == 1.0 for d in delays.values())
+
+    def test_custom_unit(self, c17):
+        delays = UnitDelay(2.5).delays_for(c17)
+        assert all(d == 2.5 for d in delays.values())
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            UnitDelay(0.0)
+        with pytest.raises(ValueError):
+            UnitDelay(-1.0)
+
+
+class TestLibraryDelay:
+    def test_matches_library_computation(self, c17):
+        lib = default_library()
+        delays = LibraryDelay(lib).delays_for(c17)
+        for net in c17.gates:
+            assert delays[net] == pytest.approx(lib.gate_delay(c17, net))
+
+    def test_default_library_used(self, c17):
+        delays = LibraryDelay().delays_for(c17)
+        assert all(d > 0 for d in delays.values())
+
+    def test_loaded_gates_slower(self, c17):
+        # G16 drives two sinks, G22 none: same cell, more load = slower.
+        delays = LibraryDelay().delays_for(c17)
+        assert delays["G16"] > delays["G22"]
+
+    def test_model_names(self):
+        assert ZeroDelay().name == "ZeroDelay"
+        assert UnitDelay().name == "UnitDelay"
+        assert LibraryDelay().name == "LibraryDelay"

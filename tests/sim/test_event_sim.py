@@ -1,0 +1,129 @@
+"""Event-driven timing simulator semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.sim.delay import LibraryDelay, UnitDelay, ZeroDelay
+from repro.sim.event_sim import EventDrivenSimulator
+
+
+class TestFunctional:
+    def test_final_values_match_reference(self, c17, rng):
+        sim = EventDrivenSimulator(c17, UnitDelay())
+        for _ in range(30):
+            v1 = rng.integers(0, 2, size=5)
+            v2 = rng.integers(0, 2, size=5)
+            result = sim.simulate_pair(list(v1), list(v2))
+            expected = c17.evaluate_vector(list(v2))
+            assert result.final_values == expected
+
+    @pytest.mark.parametrize("model", [ZeroDelay(), UnitDelay(), LibraryDelay()])
+    def test_final_values_model_independent(self, c17, model, rng):
+        sim = EventDrivenSimulator(c17, model)
+        v1 = [0, 1, 0, 1, 0]
+        v2 = [1, 1, 1, 0, 0]
+        result = sim.simulate_pair(v1, v2)
+        assert result.final_values == c17.evaluate_vector(v2)
+
+    def test_no_change_no_events(self, c17):
+        sim = EventDrivenSimulator(c17, UnitDelay())
+        v = [1, 0, 1, 0, 1]
+        result = sim.simulate_pair(v, v)
+        assert result.num_events == 0
+        assert result.settle_time == 0.0
+        assert result.total_toggles() == 0
+
+    def test_wrong_width_rejected(self, c17):
+        sim = EventDrivenSimulator(c17, UnitDelay())
+        with pytest.raises(SimulationError, match="width"):
+            sim.simulate_pair([0, 1], [1, 0])
+
+
+class TestTimingAndGlitches:
+    def test_not_chain_settle_time(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        prev = "a"
+        for i in range(5):
+            c.add_gate(f"n{i}", GateType.NOT, [prev])
+            prev = f"n{i}"
+        c.set_outputs([prev])
+        sim = EventDrivenSimulator(c, UnitDelay())
+        result = sim.simulate_pair([0], [1])
+        assert result.settle_time == 5.0
+        assert result.total_toggles() == 6  # input + 5 gates
+
+    def test_hazard_pulse_counted(self, hazard_circuit):
+        sim = EventDrivenSimulator(hazard_circuit, UnitDelay())
+        # a: 0 -> 1 creates a 0->1->0 pulse on y (static-0 hazard).
+        result = sim.simulate_pair([0], [1])
+        assert result.toggle_counts.get("y", 0) == 2
+        assert result.glitch_count(hazard_circuit) >= 2
+
+    def test_zero_delay_has_no_glitches(self, hazard_circuit):
+        sim = EventDrivenSimulator(hazard_circuit, ZeroDelay())
+        result = sim.simulate_pair([0], [1])
+        # y is 0 before and after; zero delay produces no pulse.
+        assert result.toggle_counts.get("y", 0) == 0
+
+    def test_inertial_filter_drops_short_pulse(self, hazard_circuit):
+        # The y pulse is 2 units wide and the AND delay is 3 units, so
+        # an inertial gate swallows it.
+        class WideAnd(UnitDelay):
+            def delays_for(self, circuit):
+                d = {net: 1.0 for net in circuit.gates}
+                d["y"] = 3.0
+                return d
+
+        transport = EventDrivenSimulator(hazard_circuit, WideAnd())
+        assert transport.simulate_pair([0], [1]).toggle_counts.get("y", 0) == 2
+        inertial = EventDrivenSimulator(
+            hazard_circuit, WideAnd(), inertial=True
+        )
+        result = inertial.simulate_pair([0], [1])
+        assert result.toggle_counts.get("y", 0) == 0
+
+    def test_simultaneous_input_changes_no_phantom_pulse(self):
+        # XOR(a, b) with both inputs flipping at t=0 must not pulse.
+        c = Circuit("xor2")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XOR, ["a", "b"])
+        c.set_outputs(["y"])
+        sim = EventDrivenSimulator(c, UnitDelay())
+        result = sim.simulate_pair([0, 0], [1, 1])
+        assert result.toggle_counts.get("y", 0) == 0
+
+    def test_waveform_recording(self, hazard_circuit):
+        sim = EventDrivenSimulator(hazard_circuit, UnitDelay())
+        result = sim.simulate_pair([0], [1], record_waveforms=True)
+        wave = result.waveforms["y"]
+        assert [v for _, v in wave] == [1, 0]
+        times = [t for t, _ in wave]
+        assert times == sorted(times)
+
+    def test_settle_time_matches_library_delays(self, half_adder):
+        model = LibraryDelay()
+        sim = EventDrivenSimulator(half_adder, model)
+        delays = model.delays_for(half_adder)
+        result = sim.simulate_pair([0, 0], [1, 1])
+        # carry flips 0->1 via one AND delay; sum stays 0 (may glitch).
+        assert result.settle_time >= delays["carry"] - 1e-9
+
+
+class TestSequence:
+    def test_sequence_results_chain(self, c17, rng):
+        sim = EventDrivenSimulator(c17, UnitDelay())
+        vectors = [list(rng.integers(0, 2, size=5)) for _ in range(4)]
+        results = sim.simulate_sequence(vectors)
+        assert len(results) == 3
+        for i, res in enumerate(results):
+            assert res.final_values == c17.evaluate_vector(vectors[i + 1])
+
+    def test_sequence_needs_two_vectors(self, c17):
+        sim = EventDrivenSimulator(c17, UnitDelay())
+        with pytest.raises(SimulationError):
+            sim.simulate_sequence([[0, 0, 0, 0, 0]])

@@ -1,0 +1,73 @@
+"""Static timing analysis."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.netlist.generators import ripple_carry_adder
+from repro.sim.delay import LibraryDelay, UnitDelay
+from repro.sim.event_sim import EventDrivenSimulator
+from repro.sim.sta import StaticTimingAnalyzer
+
+
+class TestArrivalTimes:
+    def test_unit_delay_arrival_equals_level(self, c17):
+        sta = StaticTimingAnalyzer(c17, UnitDelay())
+        report = sta.run()
+        levels = c17.levels()
+        for net, arr in report.arrival.items():
+            assert arr == pytest.approx(float(levels[net]))
+
+    def test_max_delay_is_output_arrival(self, c17):
+        report = StaticTimingAnalyzer(c17, UnitDelay()).run()
+        assert report.max_delay == pytest.approx(3.0)
+
+    def test_critical_path_is_connected(self, c17):
+        report = StaticTimingAnalyzer(c17, UnitDelay()).run()
+        path = report.critical_path
+        assert c17.is_input(path[0])
+        assert path[-1] in c17.outputs
+        for src, dst in zip(path, path[1:]):
+            assert src in c17.gate(dst).fanin
+
+    def test_library_delay_accumulates(self, half_adder):
+        model = LibraryDelay()
+        report = StaticTimingAnalyzer(half_adder, model).run()
+        delays = model.delays_for(half_adder)
+        assert report.arrival["sum"] == pytest.approx(delays["sum"])
+        assert report.max_delay == pytest.approx(
+            max(delays["sum"], delays["carry"])
+        )
+
+
+class TestUpperBoundProperty:
+    def test_sta_bounds_dynamic_settle_time(self, rng):
+        rca = ripple_carry_adder(6)
+        model = LibraryDelay()
+        bound = StaticTimingAnalyzer(rca, model).max_delay()
+        sim = EventDrivenSimulator(rca, model)
+        for _ in range(25):
+            v1 = list(rng.integers(0, 2, size=rca.num_inputs))
+            v2 = list(rng.integers(0, 2, size=rca.num_inputs))
+            result = sim.simulate_pair(v1, v2)
+            assert result.settle_time <= bound + 1e-9
+
+    def test_carry_chain_is_critical(self):
+        rca = ripple_carry_adder(8)
+        report = StaticTimingAnalyzer(rca, UnitDelay()).run()
+        # The critical path must end at the final carry or last sum.
+        assert report.critical_path[-1] in (rca.outputs[-1], rca.outputs[-2])
+
+
+class TestNonOutputNets:
+    def test_dangling_net_circuit(self):
+        c = Circuit("dangle")
+        c.add_input("a")
+        c.add_gate("deep1", GateType.NOT, ["a"])
+        c.add_gate("deep2", GateType.NOT, ["deep1"])
+        c.add_gate("out", GateType.NOT, ["a"])
+        c.set_outputs(["out"])
+        report = StaticTimingAnalyzer(c, UnitDelay()).run()
+        # max_delay is over *outputs*, so 1.0 even though deep2 is at 2.
+        assert report.max_delay == pytest.approx(1.0)
+        assert report.arrival["deep2"] == pytest.approx(2.0)

@@ -1,0 +1,118 @@
+"""VCD waveform export/import."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.delay import UnitDelay
+from repro.sim.event_sim import EventDrivenSimulator
+from repro.sim.vcd import dump_vcd, parse_vcd, write_vcd
+from repro.sim.vcd import _identifier
+
+
+class TestIdentifier:
+    def test_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        for ident in ids:
+            assert all(33 <= ord(ch) <= 126 for ch in ident)
+
+
+@pytest.fixture
+def sim_result(hazard_circuit):
+    sim = EventDrivenSimulator(hazard_circuit, UnitDelay())
+    return sim.simulate_pair([0], [1], record_waveforms=True)
+
+
+class TestWrite:
+    def test_structure(self, hazard_circuit, sim_result):
+        text = write_vcd(hazard_circuit, sim_result)
+        assert "$timescale 1ps $end" in text
+        assert "$scope module hazard $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+        # One $var per net.
+        assert text.count("$var wire 1 ") == len(hazard_circuit.nets)
+
+    def test_subset_of_nets(self, hazard_circuit, sim_result):
+        text = write_vcd(hazard_circuit, sim_result, nets=["a", "y"])
+        assert text.count("$var wire 1 ") == 2
+
+    def test_unknown_net_rejected(self, hazard_circuit, sim_result):
+        with pytest.raises(SimulationError, match="unknown net"):
+            write_vcd(hazard_circuit, sim_result, nets=["ghost"])
+
+    def test_requires_waveforms(self, hazard_circuit):
+        sim = EventDrivenSimulator(hazard_circuit, UnitDelay())
+        bare = sim.simulate_pair([0], [1])  # no recording
+        with pytest.raises(SimulationError, match="record_waveforms"):
+            write_vcd(hazard_circuit, bare)
+
+    def test_timescale_validation(self, hazard_circuit, sim_result):
+        with pytest.raises(SimulationError):
+            write_vcd(hazard_circuit, sim_result, timescale_ps=0)
+
+    def test_dump_to_file(self, hazard_circuit, sim_result, tmp_path):
+        path = tmp_path / "wave.vcd"
+        dump_vcd(hazard_circuit, sim_result, path)
+        assert path.read_text().startswith("$date")
+
+
+class TestRoundTrip:
+    def test_final_values_and_toggles_survive(
+        self, hazard_circuit, sim_result
+    ):
+        text = write_vcd(hazard_circuit, sim_result)
+        data = parse_vcd(text)
+        assert set(data.signals) == set(hazard_circuit.nets)
+        for net in hazard_circuit.nets:
+            assert data.final_value(net) == sim_result.final_values[net]
+            assert data.toggle_count(net) == sim_result.toggle_counts.get(
+                net, 0
+            )
+
+    def test_hazard_pulse_visible(self, hazard_circuit, sim_result):
+        data = parse_vcd(write_vcd(hazard_circuit, sim_result))
+        wave = data.changes["y"]
+        assert [v for _, v in wave] == [1, 0]
+        times = [t for t, _ in wave]
+        assert times == sorted(times)
+
+    def test_timescale_rounding(self, hazard_circuit):
+        from repro.sim.delay import LibraryDelay
+
+        sim = EventDrivenSimulator(hazard_circuit, LibraryDelay())
+        result = sim.simulate_pair([0], [1], record_waveforms=True)
+        data = parse_vcd(
+            write_vcd(hazard_circuit, result, timescale_ps=10)
+        )
+        for net, wave in data.changes.items():
+            for t, _ in wave:
+                assert t == int(t)
+
+    def test_quiet_pair_parses(self, hazard_circuit):
+        sim = EventDrivenSimulator(hazard_circuit, UnitDelay())
+        result = sim.simulate_pair([1], [1], record_waveforms=True)
+        data = parse_vcd(write_vcd(hazard_circuit, result))
+        assert all(data.toggle_count(n) == 0 for n in data.signals)
+
+
+class TestParserValidation:
+    def test_unsupported_vector_var(self):
+        bad = "$timescale 1ps $end\n$var wire 8 ! bus $end\n"
+        with pytest.raises(SimulationError, match="unsupported var"):
+            parse_vcd(bad)
+
+    def test_missing_definitions(self):
+        with pytest.raises(SimulationError, match="enddefinitions"):
+            parse_vcd("$timescale 1ps $end\n")
+
+    def test_unknown_identifier(self):
+        text = (
+            "$timescale 1ps $end\n"
+            "$var wire 1 ! a $end\n"
+            "$enddefinitions $end\n"
+            "#0\n"
+            '1"\n'
+        )
+        with pytest.raises(SimulationError, match="unknown identifier"):
+            parse_vcd(text)

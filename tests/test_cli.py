@@ -1,0 +1,178 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate", "c432"])
+        assert args.population == 20_000
+        assert args.mode == "zero"
+        assert args.error == 0.05
+
+
+class TestCommands:
+    def test_suite_lists_circuits(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        for name in ("c432", "c6288", "c7552"):
+            assert name in out
+
+    def test_info_builtin(self, capsys):
+        assert main(["info", "c432"]) == 0
+        out = capsys.readouterr().out
+        assert "36 PI" in out
+        assert "critical" in out
+
+    def test_info_bench_file(self, tmp_path, capsys, c17):
+        from repro.netlist.bench import dump_bench
+
+        path = tmp_path / "mine.bench"
+        dump_bench(c17, path)
+        assert main(["info", str(path)]) == 0
+        assert "5 PI" in capsys.readouterr().out
+
+    def test_info_unknown_circuit_fails_cleanly(self, capsys):
+        assert main(["info", "c404"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_estimate_small_pool(self, capsys):
+        rc = main(
+            [
+                "estimate",
+                "c432",
+                "--population",
+                "1500",
+                "--seed",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "actual max" in out
+        assert "relative error" in out
+
+    def test_estimate_constrained_streaming(self, capsys):
+        rc = main(
+            [
+                "estimate",
+                "c432",
+                "--population",
+                "0",
+                "--activity",
+                "0.7",
+                "--seed",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "streaming" in out
+
+    def test_experiment_command(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        rc = main(
+            [
+                "experiment",
+                "ablation_fitting",
+                "--output-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "out" / "ablation_fitting.txt").exists()
+        assert "Ablation A" in capsys.readouterr().out
+
+    def test_experiment_unknown_fails_cleanly(self, capsys):
+        assert main(["experiment", "table99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_report_command(self, capsys):
+        assert main(["report", "c432", "--pairs", "500", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "power report" in out
+        assert "top 3 nets" in out
+
+    def test_report_with_activity_constraint(self, capsys):
+        assert main(
+            ["report", "c432", "--pairs", "500", "--activity", "0.2"]
+        ) == 0
+        assert "total average power" in capsys.readouterr().out
+
+    def test_transform_command_roundtrip(self, tmp_path, capsys, c17):
+        from repro.netlist.bench import dump_bench, load_bench
+
+        src = tmp_path / "c17.bench"
+        dump_bench(c17, src)
+        dst = tmp_path / "c17_2in.bench"
+        assert main(["transform", str(src), "two-input", str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "equivalence verified" in out
+        assert load_bench(dst).num_gates == c17.num_gates
+
+    def test_transform_nand_grows_circuit(self, tmp_path, capsys):
+        from repro.netlist.bench import dump_bench, load_bench
+        from repro.netlist.generators import parity_tree
+
+        src = tmp_path / "p4.bench"
+        dump_bench(parity_tree(4), src)
+        dst = tmp_path / "p4_nand.bench"
+        assert main(["transform", str(src), "nand", str(dst)]) == 0
+        assert load_bench(dst).num_gates == 12  # 3 XOR * 4 NAND
+
+    def test_delay_command(self, capsys):
+        assert main(
+            ["delay", "c432", "--n", "10", "--m", "5", "--max-rounds", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "D_max" in out
+        assert "static timing bound" in out
+
+    def test_wave_command_random(self, tmp_path, capsys, c17):
+        from repro.netlist.bench import dump_bench
+        from repro.sim.vcd import parse_vcd
+
+        src = tmp_path / "c17.bench"
+        dump_bench(c17, src)
+        dst = tmp_path / "c17.vcd"
+        assert main(["wave", str(src), str(dst)]) == 0
+        data = parse_vcd(dst.read_text())
+        assert set(data.signals) == set(c17.nets)
+
+    def test_wave_command_explicit_vectors(self, tmp_path, capsys, c17):
+        from repro.netlist.bench import dump_bench
+
+        src = tmp_path / "c17.bench"
+        dump_bench(c17, src)
+        dst = tmp_path / "c17.vcd"
+        assert main(
+            ["wave", str(src), str(dst), "--vectors", "00000,11111"]
+        ) == 0
+        assert "transitions" in capsys.readouterr().out
+
+    def test_wave_bad_vector_spec(self, tmp_path, capsys, c17):
+        from repro.netlist.bench import dump_bench
+
+        src = tmp_path / "c17.bench"
+        dump_bench(c17, src)
+        assert main(
+            ["wave", str(src), str(tmp_path / "o.vcd"), "--vectors", "0101"]
+        ) == 1
+
+    def test_transform_no_verify_skips_check(self, tmp_path, capsys, c17):
+        from repro.netlist.bench import dump_bench
+
+        src = tmp_path / "c17.bench"
+        dump_bench(c17, src)
+        dst = tmp_path / "out.bench"
+        assert main(
+            ["transform", str(src), "sweep", str(dst), "--no-verify"]
+        ) == 0
+        assert "equivalence" not in capsys.readouterr().out

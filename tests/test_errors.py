@@ -1,0 +1,105 @@
+"""Exception hierarchy and failure-injection behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    EstimationError,
+    FitError,
+    NetlistError,
+    ParseError,
+    PopulationError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            NetlistError,
+            ParseError,
+            SimulationError,
+            PopulationError,
+            EstimationError,
+            FitError,
+            ConfigError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        if exc is ParseError:
+            instance = exc("boom", 3)
+        else:
+            instance = exc("boom")
+        assert isinstance(instance, ReproError)
+
+    def test_fit_error_is_estimation_error(self):
+        assert issubclass(FitError, EstimationError)
+
+    def test_parse_error_line_numbers(self):
+        err = ParseError("bad token", line_no=7)
+        assert err.line_no == 7
+        assert "line 7" in str(err)
+        bare = ParseError("no location")
+        assert bare.line_no is None
+        assert "line" not in str(bare)
+
+    def test_one_catch_covers_the_library(self, c17):
+        from repro.sim.power import PowerAnalyzer
+
+        with pytest.raises(ReproError):
+            PowerAnalyzer(c17, mode="nonsense")
+        with pytest.raises(ReproError):
+            c17.evaluate({})
+
+
+class TestFailureInjection:
+    def test_estimator_survives_fit_failures(self, monkeypatch):
+        """If most MLE fits blow up, the run degrades, never crashes."""
+        from repro.estimation import mc_estimator
+        from repro.vectors.population import FinitePopulation
+
+        rng_pool = np.random.default_rng(0)
+        pop = FinitePopulation(rng_pool.random(5000), name="uniform")
+        calls = {"n": 0}
+        real_fit = mc_estimator.fit_weibull_mle
+
+        def flaky_fit(x, **kwargs):
+            calls["n"] += 1
+            if calls["n"] % 2:
+                raise FitError("injected failure")
+            return real_fit(x, **kwargs)
+
+        monkeypatch.setattr(mc_estimator, "fit_weibull_mle", flaky_fit)
+        est = mc_estimator.MaxPowerEstimator(pop, max_hyper_samples=6)
+        result = est.run(rng=1)
+        assert np.isfinite(result.estimate)
+        assert any(hs.degenerate for hs in result.hyper_samples)
+
+    def test_population_load_rejects_corrupt_file(self, tmp_path):
+        from repro.vectors.population import FinitePopulation
+
+        bad = tmp_path / "corrupt.npz"
+        bad.write_bytes(b"this is not an npz archive")
+        with pytest.raises(Exception):
+            FinitePopulation.load(bad)
+
+    def test_streaming_population_propagates_generator_errors(self):
+        from repro.vectors.population import StreamingPopulation
+
+        def exploding(n, rng):
+            raise RuntimeError("simulator crashed")
+
+        pop = StreamingPopulation(exploding, lambda a, b: np.zeros(1))
+        with pytest.raises(RuntimeError, match="simulator crashed"):
+            pop.sample_powers(5, rng=0)
+
+    def test_event_budget_guard_raises_not_hangs(self, c17):
+        from repro.sim.delay import UnitDelay
+        from repro.sim.event_sim import EventDrivenSimulator
+
+        sim = EventDrivenSimulator(c17, UnitDelay())
+        with pytest.raises(SimulationError, match="budget"):
+            sim.simulate_pair([0] * 5, [1] * 5, max_events=1)

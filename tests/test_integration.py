@@ -1,0 +1,118 @@
+"""Cross-module integration: the full user journey end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EventDrivenSimulator,
+    FinitePopulation,
+    MaxPowerEstimator,
+    PowerAnalyzer,
+    SimpleRandomSampling,
+    UnitDelay,
+    build_circuit,
+    high_activity_vector_pairs,
+    load_bench,
+    write_bench,
+)
+from repro.sim.bitsim import BitParallelSimulator, pack_vectors
+
+
+class TestFullPipeline:
+    def test_generate_save_load_estimate(self, tmp_path):
+        # Build -> serialize -> reload -> simulate -> estimate.
+        circuit = build_circuit("c432")
+        path = tmp_path / "c432.bench"
+        path.write_text(write_bench(circuit))
+        reloaded = load_bench(path)
+        assert reloaded.num_gates == circuit.num_gates
+
+        analyzer = PowerAnalyzer(reloaded, mode="zero")
+        pop = FinitePopulation.build(
+            lambda n, rng: high_activity_vector_pairs(
+                n, reloaded.num_inputs, rng=rng
+            ),
+            analyzer.powers_for_pairs,
+            num_pairs=4000,
+            seed=2,
+            name="roundtrip",
+        )
+        result = MaxPowerEstimator(pop).run(rng=1)
+        assert result.interval is not None
+        assert abs(result.relative_error(pop.actual_max_power)) < 0.30
+        assert result.units_used >= 600
+
+    def test_estimator_beats_srs_at_same_budget_on_average(self):
+        circuit = build_circuit("c432")
+        analyzer = PowerAnalyzer(circuit, mode="zero")
+        pop = FinitePopulation.build(
+            lambda n, rng: high_activity_vector_pairs(
+                n, circuit.num_inputs, rng=rng
+            ),
+            analyzer.powers_for_pairs,
+            num_pairs=20000,
+            seed=4,
+            name="c432",
+        )
+        actual = pop.actual_max_power
+        rng = np.random.default_rng(6)
+        ours, srs_errs = [], []
+        srs = SimpleRandomSampling(pop)
+        for _ in range(8):
+            result = MaxPowerEstimator(pop).run(rng=rng)
+            ours.append(abs(result.relative_error(actual)))
+            srs_est = srs.estimate_max(result.units_used, rng=rng)
+            srs_errs.append(abs(srs_est - actual) / actual)
+        assert np.mean(ours) <= np.mean(srs_errs) + 0.02
+
+    def test_estimation_independent_of_frequency_scaling(self):
+        # Relative errors and unit counts must be invariant to the
+        # energy->power conversion (pure scaling of the metric).
+        circuit = build_circuit("c880")
+        rng_pairs = lambda n, rng: high_activity_vector_pairs(
+            n, circuit.num_inputs, rng=rng
+        )
+        results = []
+        for freq in (10e6, 200e6):
+            analyzer = PowerAnalyzer(circuit, mode="zero", frequency_hz=freq)
+            pop = FinitePopulation.build(
+                rng_pairs, analyzer.powers_for_pairs,
+                num_pairs=3000, seed=3, name=f"f{freq}",
+            )
+            results.append(MaxPowerEstimator(pop).run(rng=11))
+        r10, r200 = results
+        assert r10.units_used == r200.units_used
+        assert r10.estimate * 20 == pytest.approx(r200.estimate, rel=1e-9)
+
+
+class TestSimulatorCrossValidation:
+    @pytest.mark.parametrize("name", ["c432", "c1355"])
+    def test_three_simulators_agree_on_final_state(self, name, rng):
+        circuit = build_circuit(name)
+        bsim = BitParallelSimulator(circuit)
+        esim = EventDrivenSimulator(circuit, UnitDelay())
+        bits = rng.integers(0, 2, size=(8, circuit.num_inputs)).astype(
+            np.uint8
+        )
+        words, lanes = pack_vectors(bits)
+        state = bsim.steady_state(words, lanes)
+        from repro.sim.bitsim import unpack_vectors
+
+        values = unpack_vectors(state, lanes)
+        for k in range(8):
+            ref = circuit.evaluate_vector(list(bits[k]))
+            ev = esim.simulate_pair(list(bits[k]), list(bits[k]))
+            for i, net in enumerate(bsim.net_order):
+                assert values[k][i] == ref[net]
+                assert ev.final_values[net] == ref[net]
+
+    def test_unit_delay_power_at_least_zero_delay(self, rng):
+        circuit = build_circuit("c1355")
+        pz = PowerAnalyzer(circuit, mode="zero")
+        pu = PowerAnalyzer(circuit, mode="unit")
+        v1 = rng.integers(0, 2, size=(100, circuit.num_inputs)).astype(np.uint8)
+        v2 = rng.integers(0, 2, size=(100, circuit.num_inputs)).astype(np.uint8)
+        powers_z = pz.powers_for_pairs(v1, v2)
+        powers_u = pu.powers_for_pairs(v1, v2)
+        # Glitching can only add transitions on top of the functional ones.
+        assert (powers_u >= powers_z - 1e-15).all()

@@ -1,0 +1,63 @@
+"""Activity measures against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PopulationError
+from repro.vectors.activity import (
+    hamming_distance,
+    mean_activity,
+    pair_activity,
+    per_line_transition_prob,
+    toggle_correlation,
+)
+
+V1 = np.array([[0, 0, 1, 1], [1, 1, 1, 1]], dtype=np.uint8)
+V2 = np.array([[0, 1, 1, 0], [1, 1, 0, 0]], dtype=np.uint8)
+# toggles:     [0, 1, 0, 1]  [0, 0, 1, 1]
+
+
+class TestHandValues:
+    def test_pair_activity(self):
+        assert pair_activity(V1, V2) == pytest.approx([0.5, 0.5])
+
+    def test_mean_activity(self):
+        assert mean_activity(V1, V2) == pytest.approx(0.5)
+
+    def test_per_line_transition_prob(self):
+        assert per_line_transition_prob(V1, V2) == pytest.approx(
+            [0.0, 0.5, 0.5, 1.0]
+        )
+
+    def test_hamming_distance(self):
+        assert list(hamming_distance(V1, V2)) == [2, 2]
+
+
+class TestCorrelation:
+    def test_perfectly_coupled_lines(self):
+        rng = np.random.default_rng(0)
+        v1 = rng.integers(0, 2, size=(500, 3), dtype=np.uint8)
+        togg = rng.integers(0, 2, size=(500, 1), dtype=np.uint8)
+        v2 = v1 ^ togg  # identical toggle column on all three lines
+        corr = toggle_correlation(v1, v2)
+        assert corr == pytest.approx([1.0, 1.0], abs=1e-9)
+
+    def test_constant_line_gives_nan(self):
+        v1 = np.zeros((100, 2), dtype=np.uint8)
+        v2 = np.zeros((100, 2), dtype=np.uint8)
+        corr = toggle_correlation(v1, v2)
+        assert np.isnan(corr).all()
+
+    def test_single_line_empty_result(self):
+        v1 = np.zeros((10, 1), dtype=np.uint8)
+        assert toggle_correlation(v1, v1).size == 0
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PopulationError):
+            pair_activity(V1, V2[:1])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(PopulationError):
+            mean_activity(np.zeros(4), np.zeros(4))

@@ -1,0 +1,135 @@
+"""Vector-pair generators: constraints, determinism, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PopulationError
+from repro.vectors.activity import (
+    mean_activity,
+    pair_activity,
+    per_line_transition_prob,
+    toggle_correlation,
+)
+from repro.vectors.generators import (
+    as_rng,
+    high_activity_vector_pairs,
+    markov_transition_vector_pairs,
+    random_vector_pairs,
+    transition_prob_vector_pairs,
+)
+
+
+class TestRandomPairs:
+    def test_shapes_and_dtype(self):
+        v1, v2 = random_vector_pairs(100, 17, rng=0)
+        assert v1.shape == v2.shape == (100, 17)
+        assert v1.dtype == np.uint8
+        assert set(np.unique(v1)) <= {0, 1}
+
+    def test_deterministic_by_seed(self):
+        a = random_vector_pairs(50, 8, rng=7)
+        b = random_vector_pairs(50, 8, rng=7)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_activity_near_half(self):
+        v1, v2 = random_vector_pairs(20000, 16, rng=1)
+        assert mean_activity(v1, v2) == pytest.approx(0.5, abs=0.02)
+
+    @pytest.mark.parametrize("num_pairs,num_inputs", [(0, 5), (5, 0)])
+    def test_bad_dims(self, num_pairs, num_inputs):
+        with pytest.raises(PopulationError):
+            random_vector_pairs(num_pairs, num_inputs)
+
+
+class TestHighActivityPairs:
+    def test_every_pair_above_threshold(self):
+        v1, v2 = high_activity_vector_pairs(5000, 20, 0.3, rng=3)
+        assert (pair_activity(v1, v2) > 0.3).all()
+        assert v1.shape == (5000, 20)
+
+    def test_extreme_threshold_fails_cleanly(self):
+        with pytest.raises(PopulationError, match="could not collect"):
+            high_activity_vector_pairs(
+                10, 64, min_activity=0.99, rng=1, max_batches=3
+            )
+
+    def test_invalid_threshold(self):
+        with pytest.raises(PopulationError):
+            high_activity_vector_pairs(10, 8, min_activity=1.0)
+
+    def test_exact_count_returned(self):
+        v1, _ = high_activity_vector_pairs(777, 9, 0.3, rng=5)
+        assert v1.shape[0] == 777
+
+
+class TestTransitionProbPairs:
+    @pytest.mark.parametrize("t", [0.0, 0.3, 0.7, 1.0])
+    def test_scalar_probability_honoured(self, t):
+        v1, v2 = transition_prob_vector_pairs(20000, 10, t, rng=2)
+        observed = per_line_transition_prob(v1, v2)
+        assert observed == pytest.approx(np.full(10, t), abs=0.02)
+
+    def test_per_line_probabilities(self):
+        probs = [0.1, 0.5, 0.9]
+        v1, v2 = transition_prob_vector_pairs(30000, 3, probs, rng=4)
+        observed = per_line_transition_prob(v1, v2)
+        assert observed == pytest.approx(probs, abs=0.02)
+
+    def test_v1_marginal_uniform(self):
+        v1, _ = transition_prob_vector_pairs(30000, 4, 0.7, rng=6)
+        assert v1.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PopulationError):
+            transition_prob_vector_pairs(10, 3, 1.5)
+        with pytest.raises(PopulationError):
+            transition_prob_vector_pairs(10, 3, [-0.1, 0.5, 0.5])
+
+    @given(t=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_activity_equals_probability(self, t):
+        v1, v2 = transition_prob_vector_pairs(4000, 8, t, rng=11)
+        assert mean_activity(v1, v2) == pytest.approx(t, abs=0.05)
+
+
+class TestMarkovPairs:
+    def test_zero_correlation_reduces_to_independent(self):
+        v1, v2 = markov_transition_vector_pairs(
+            30000, 6, base_prob=0.4, correlation=0.0, rng=8
+        )
+        observed = per_line_transition_prob(v1, v2)
+        assert observed == pytest.approx(np.full(6, 0.4), abs=0.02)
+        corr = toggle_correlation(v1, v2)
+        assert np.nanmax(np.abs(corr)) < 0.05
+
+    def test_high_correlation_couples_neighbours(self):
+        v1, v2 = markov_transition_vector_pairs(
+            20000, 6, base_prob=0.5, correlation=0.9, rng=9
+        )
+        corr = toggle_correlation(v1, v2)
+        assert np.nanmin(corr) > 0.5
+
+    def test_stationary_marginal_preserved(self):
+        v1, v2 = markov_transition_vector_pairs(
+            40000, 10, base_prob=0.3, correlation=0.8, rng=10
+        )
+        observed = per_line_transition_prob(v1, v2)
+        assert observed == pytest.approx(np.full(10, 0.3), abs=0.03)
+
+    def test_parameter_validation(self):
+        with pytest.raises(PopulationError):
+            markov_transition_vector_pairs(10, 4, base_prob=2.0, correlation=0.5)
+        with pytest.raises(PopulationError):
+            markov_transition_vector_pairs(10, 4, base_prob=0.5, correlation=-1)
+
+
+class TestRngHelper:
+    def test_as_rng_accepts_generator(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_accepts_seed_and_none(self):
+        assert isinstance(as_rng(5), np.random.Generator)
+        assert isinstance(as_rng(None), np.random.Generator)

@@ -1,0 +1,153 @@
+"""Finite and streaming power populations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PopulationError
+from repro.vectors.population import FinitePopulation, StreamingPopulation
+
+
+def simple_pool(values=(1.0, 2.0, 3.0, 4.0, 10.0)):
+    return FinitePopulation(np.array(values), name="pool")
+
+
+class TestFinitePopulation:
+    def test_basic_properties(self):
+        pop = simple_pool()
+        assert pop.size == 5
+        assert pop.actual_max_power == 10.0
+        assert pop.mean_power == pytest.approx(4.0)
+
+    def test_qualified_portion(self):
+        pop = simple_pool([1.0, 9.6, 9.7, 10.0])
+        # within 5% of 10.0 -> >= 9.5: three units of four.
+        assert pop.qualified_portion(0.05) == pytest.approx(0.75)
+        with pytest.raises(PopulationError):
+            pop.qualified_portion(0.0)
+
+    def test_sampling_with_replacement(self):
+        pop = simple_pool()
+        draws = pop.sample_powers(1000, rng=1)
+        assert draws.shape == (1000,)
+        assert set(np.unique(draws)) <= {1.0, 2.0, 3.0, 4.0, 10.0}
+        # With replacement, 1000 draws from 5 units must repeat.
+        assert len(np.unique(draws)) <= 5
+
+    def test_sampling_reproducible(self):
+        pop = simple_pool()
+        a = pop.sample_powers(50, rng=42)
+        b = pop.sample_powers(50, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_invalid_powers_rejected(self):
+        with pytest.raises(PopulationError):
+            FinitePopulation(np.array([]))
+        with pytest.raises(PopulationError):
+            FinitePopulation(np.array([1.0, np.inf]))
+        with pytest.raises(PopulationError):
+            FinitePopulation(np.array([[1.0], [2.0]]))
+
+    def test_vector_consistency_checked(self):
+        with pytest.raises(PopulationError):
+            FinitePopulation(
+                np.array([1.0, 2.0]),
+                v1=np.zeros((3, 4), dtype=np.uint8),
+                v2=np.zeros((3, 4), dtype=np.uint8),
+            )
+        with pytest.raises(PopulationError):
+            FinitePopulation(
+                np.array([1.0]), v1=np.zeros((1, 2), dtype=np.uint8)
+            )
+
+    def test_sample_units_requires_vectors(self):
+        pop = simple_pool()
+        with pytest.raises(PopulationError, match="no vectors"):
+            pop.sample_units(3)
+
+    def test_sample_units_returns_matching_rows(self):
+        v1 = np.arange(8, dtype=np.uint8).reshape(4, 2) % 2
+        v2 = (v1 ^ 1).astype(np.uint8)
+        powers = np.array([1.0, 2.0, 3.0, 4.0])
+        pop = FinitePopulation(powers, v1, v2)
+        p, s1, s2 = pop.sample_units(10, rng=3)
+        for k in range(10):
+            idx = int(p[k]) - 1
+            assert np.array_equal(s1[k], v1[idx])
+            assert np.array_equal(s2[k], v2[idx])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        v1 = np.random.default_rng(0).integers(
+            0, 2, size=(6, 3), dtype=np.uint8
+        )
+        v2 = (v1 ^ 1).astype(np.uint8)
+        pop = FinitePopulation(
+            np.arange(1.0, 7.0),
+            v1,
+            v2,
+            name="roundtrip",
+            metadata={"circuit": "c17", "seed": 5},
+        )
+        path = tmp_path / "pool.npz"
+        pop.save(path)
+        loaded = FinitePopulation.load(path)
+        assert loaded.name == "roundtrip"
+        assert loaded.metadata["circuit"] == "c17"
+        assert np.array_equal(loaded.powers, pop.powers)
+        assert np.array_equal(loaded.v1, v1)
+
+    def test_save_load_without_vectors(self, tmp_path):
+        pop = simple_pool()
+        path = tmp_path / "bare.npz"
+        pop.save(path)
+        loaded = FinitePopulation.load(path)
+        assert loaded.v1 is None
+        assert loaded.size == 5
+
+    def test_build_pipeline(self):
+        def generate(n, rng):
+            v1 = rng.integers(0, 2, size=(n, 4), dtype=np.uint8)
+            return v1, (v1 ^ 1).astype(np.uint8)
+
+        def power(v1, v2):
+            return (v1 != v2).sum(axis=1).astype(float)
+
+        pop = FinitePopulation.build(
+            generate, power, num_pairs=100, seed=9, name="built"
+        )
+        assert pop.size == 100
+        assert (pop.powers == 4.0).all()
+        assert pop.metadata["seed"] == 9
+
+
+class TestStreamingPopulation:
+    def make(self):
+        def generate(n, rng):
+            v1 = rng.integers(0, 2, size=(n, 3), dtype=np.uint8)
+            v2 = rng.integers(0, 2, size=(n, 3), dtype=np.uint8)
+            return v1, v2
+
+        def power(v1, v2):
+            return (v1 != v2).sum(axis=1).astype(float)
+
+        return StreamingPopulation(generate, power, name="stream")
+
+    def test_infinite_size(self):
+        pop = self.make()
+        assert pop.size is None
+        assert pop.actual_max_power is None
+
+    def test_sampling_counts_units(self):
+        pop = self.make()
+        a = pop.sample_powers(40, rng=1)
+        b = pop.sample_powers(60, rng=2)
+        assert a.shape == (40,) and b.shape == (60,)
+        assert pop.units_simulated == 100
+
+    def test_values_in_expected_range(self):
+        pop = self.make()
+        draws = pop.sample_powers(500, rng=3)
+        assert draws.min() >= 0 and draws.max() <= 3
+
+    def test_invalid_count(self):
+        with pytest.raises(PopulationError):
+            self.make().sample_powers(0)

@@ -1,0 +1,74 @@
+"""Temporally correlated vector sequences."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PopulationError
+from repro.vectors.sequences import (
+    markov_vector_sequence,
+    sequence_activity,
+    sequence_to_pairs,
+)
+
+
+class TestMarkovSequence:
+    def test_shape_and_dtype(self):
+        stream = markov_vector_sequence(100, 8, 0.4, rng=1)
+        assert stream.shape == (100, 8)
+        assert stream.dtype == np.uint8
+        assert set(np.unique(stream)) <= {0, 1}
+
+    def test_transition_probability_honoured(self):
+        stream = markov_vector_sequence(40000, 4, 0.3, rng=2)
+        toggles = (stream[:-1] != stream[1:]).mean(axis=0)
+        assert toggles == pytest.approx(np.full(4, 0.3), abs=0.02)
+
+    def test_per_line_probabilities(self):
+        probs = [0.1, 0.9]
+        stream = markov_vector_sequence(40000, 2, probs, rng=3)
+        toggles = (stream[:-1] != stream[1:]).mean(axis=0)
+        assert toggles == pytest.approx(probs, abs=0.02)
+
+    def test_stationary_marginal(self):
+        stream = markov_vector_sequence(30000, 6, 0.5, rng=4)
+        assert stream.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_zero_probability_freezes_lines(self):
+        stream = markov_vector_sequence(50, 3, 0.0, rng=5)
+        assert (stream == stream[0]).all()
+
+    def test_validation(self):
+        with pytest.raises(PopulationError):
+            markov_vector_sequence(1, 3, 0.5)
+        with pytest.raises(PopulationError):
+            markov_vector_sequence(10, 0, 0.5)
+        with pytest.raises(PopulationError):
+            markov_vector_sequence(10, 3, 1.5)
+        with pytest.raises(PopulationError):
+            markov_vector_sequence(10, 3, 0.5, initial_p1=-0.1)
+
+
+class TestSequenceToPairs:
+    def test_pairing(self):
+        stream = np.array([[0, 0], [1, 0], [1, 1]], dtype=np.uint8)
+        v1, v2 = sequence_to_pairs(stream)
+        assert np.array_equal(v1, stream[:-1])
+        assert np.array_equal(v2, stream[1:])
+
+    def test_activity(self):
+        stream = np.array([[0, 0], [1, 1], [1, 1]], dtype=np.uint8)
+        assert sequence_activity(stream) == pytest.approx(0.5)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PopulationError):
+            sequence_to_pairs(np.zeros((1, 4), dtype=np.uint8))
+
+    def test_power_trace_integration(self, c17):
+        from repro.sim.power import PowerAnalyzer
+
+        stream = markov_vector_sequence(200, 5, 0.5, rng=6)
+        v1, v2 = sequence_to_pairs(stream)
+        pa = PowerAnalyzer(c17, mode="zero")
+        trace = pa.powers_for_pairs(v1, v2)
+        assert trace.shape == (199,)
+        assert (trace >= 0).all()
