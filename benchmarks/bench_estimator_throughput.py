@@ -1,0 +1,88 @@
+"""Estimation-loop throughput — the Table 1-4 / Figure 2 hot path.
+
+A Table-1-style experiment repeats the full iterative estimator 100
+times per circuit.  The repetitions are independent, so
+:func:`repro.estimation.run_many` shards them over worker processes
+while keeping results bit-for-bit identical to a serial run (per-run
+streams are spawned from the base seed independently of the worker
+count).
+
+Two checks here:
+
+* **identity** — serial and parallel runs with the same base seed
+  produce exactly the same estimates and unit counts (always asserted);
+* **speedup** — with >= 2 CPUs, ``workers = cpu_count`` completes the
+  100-run experiment >= 2x faster than serial (skipped on single-core
+  machines, where process-pool overhead can only lose).
+
+The population is a synthetic Weibull pool, so the benchmark times the
+estimation loop itself rather than circuit simulation (covered by
+``bench_sim_throughput.py``).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.estimation import MaxPowerEstimator, run_many
+from repro.evt.distributions import GeneralizedWeibull
+from repro.vectors.population import FinitePopulation
+
+NUM_RUNS = 100
+BASE_SEED = 1998
+POOL_SIZE = 20_000
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    dist = GeneralizedWeibull.from_scale(alpha=4.0, scale=0.3, mu=1.0)
+    powers = np.clip(dist.rvs(POOL_SIZE, rng=0), 0.0, None)
+    pop = FinitePopulation(powers, name="synthetic-weibull")
+    return MaxPowerEstimator(pop, error=0.05, confidence=0.90)
+
+
+def _timed(estimator, workers):
+    start = time.perf_counter()
+    results = run_many(
+        estimator, NUM_RUNS, base_seed=BASE_SEED, workers=workers
+    )
+    return time.perf_counter() - start, results
+
+
+def test_serial_and_parallel_runs_identical(estimator):
+    _, serial = _timed(estimator, workers=1)
+    _, parallel = _timed(estimator, workers=2)
+    assert [r.estimate for r in serial] == [r.estimate for r in parallel]
+    assert [r.units_used for r in serial] == [r.units_used for r in parallel]
+    assert [r.converged for r in serial] == [r.converged for r in parallel]
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs >= 2 CPUs",
+)
+def test_parallel_speedup(estimator):
+    workers = os.cpu_count()
+    serial_time, serial = _timed(estimator, workers=1)
+    parallel_time, parallel = _timed(estimator, workers=workers)
+    speedup = serial_time / parallel_time
+    print(
+        f"\n{NUM_RUNS}-run experiment: serial {serial_time:.2f}s, "
+        f"{workers} workers {parallel_time:.2f}s -> {speedup:.2f}x"
+    )
+    assert [r.estimate for r in serial] == [r.estimate for r in parallel]
+    # 2x is the theoretical ceiling on a 2-core machine, so the full
+    # >= 2x bar applies from 3 cores up.
+    assert speedup >= (2.0 if workers >= 3 else 1.4)
+
+
+def test_serial_loop_throughput(benchmark, estimator):
+    """Reference number: serial runs/second of the full estimator."""
+    results = benchmark.pedantic(
+        lambda: run_many(estimator, 10, base_seed=BASE_SEED, workers=1),
+        iterations=1,
+        rounds=3,
+    )
+    assert len(results) == 10

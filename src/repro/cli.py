@@ -86,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument(
         "--frequency-mhz", type=float, default=50.0, help="clock frequency"
     )
+    est.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads for the pool simulation (same result)",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", help="experiment id (or 'all')")
@@ -94,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="also save .txt/.csv artifacts here",
+    )
+    exp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for population builds and the repeated "
+            "estimation loops (default: REPRO_WORKERS or 1); results "
+            "are identical for any value"
+        ),
     )
 
     rep = sub.add_parser(
@@ -215,6 +231,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             num_pairs=args.population,
             seed=args.seed,
             name=f"{circuit.name} [{constraint}]",
+            workers=args.workers,
         )
         print(
             f"pool of {pop.size} pairs simulated; actual max = "
@@ -240,13 +257,17 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import run_all, run_experiment
+    from .experiments.config import default_config
 
+    config = default_config()
+    if args.workers is not None:
+        config = config.with_overrides(workers=args.workers)
     if args.name == "all":
-        for table in run_all(output_dir=args.output_dir):
+        for table in run_all(config=config, output_dir=args.output_dir):
             print(table.render())
             print()
         return 0
-    table = run_experiment(args.name)
+    table = run_experiment(args.name, config)
     if args.output_dir is not None:
         table.save(args.output_dir)
     print(table.render())

@@ -7,6 +7,7 @@ from .finite_population import finite_population_estimate, finite_population_qua
 from .genetic import GeneticMaxPowerSearch, GeneticSearchResult
 from .gradient import ContinuousMaxPowerSearch, GradientSearchResult
 from .mc_estimator import MaxPowerEstimator
+from .parallel import hyper_sample_many, run_many, spawn_run_seeds
 from .pot import PeaksOverThresholdEstimator
 from .tuner import BlockSizeTuner, TunerReport
 from .quantile_est import HighQuantileEstimator, QuantileEstimate
@@ -15,6 +16,9 @@ from .srs import SimpleRandomSampling, SRSStudy, srs_required_units
 
 __all__ = [
     "MaxPowerEstimator",
+    "run_many",
+    "hyper_sample_many",
+    "spawn_run_seeds",
     "PeaksOverThresholdEstimator",
     "BlockSizeTuner",
     "TunerReport",

@@ -20,13 +20,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from ..errors import ConfigError, FitError
 from ..evt.block_maxima import (
     DEFAULT_NUM_SAMPLES,
     DEFAULT_SAMPLE_SIZE,
-    block_maxima,
 )
 from ..evt.confidence import t_mean_interval
 from ..evt.mle import fit_weibull_mle
@@ -132,7 +129,8 @@ class MaxPowerEstimator:
         ``fit=None`` rather than failing the whole run.
         """
         gen = as_rng(rng)
-        maxima = block_maxima(self.population, self.n, self.m, gen)
+        # Batched fast path: all n*m units in one vectorized draw.
+        maxima = self.population.sample_block_maxima(self.n, self.m, gen)
         units = self.n * self.m
         try:
             fit = fit_weibull_mle(maxima)
@@ -186,5 +184,11 @@ class MaxPowerEstimator:
             if interval.rel_half_width <= self.error:
                 result.converged = True
                 return result
-        result.estimate = float(np.mean(estimates))
+        # Budget exhausted: report the final interval over *all* k
+        # hyper-samples so that estimate == interval.mean always holds
+        # (previously the estimate was overwritten with the plain mean
+        # while the interval could lag behind it).
+        interval = t_mean_interval(estimates, self.confidence)
+        result.interval = interval
+        result.estimate = interval.mean
         return result

@@ -40,13 +40,17 @@ def block_maxima(
 ) -> np.ndarray:
     """Draw ``m`` block maxima of block size ``n`` from a population.
 
-    Consumes exactly ``n * m`` unit simulations/samples.
+    Consumes exactly ``n * m`` unit simulations/samples.  Delegates to
+    the population's batched
+    :meth:`~repro.vectors.population.PowerPopulation.sample_block_maxima`
+    fast path (one vectorized draw for all units); every implementation
+    consumes the RNG exactly like one ``sample_powers(n * m)`` call, so
+    results are seed-reproducible across population kinds.
     """
     if n < 1 or m < 1:
         raise EstimationError("n and m must be >= 1")
     gen = as_rng(rng)
-    draws = population.sample_powers(n * m, gen)
-    return draws.reshape(m, n).max(axis=1)
+    return population.sample_block_maxima(n, m, gen)
 
 
 def block_maxima_from_values(values: np.ndarray, n: int) -> np.ndarray:

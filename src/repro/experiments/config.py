@@ -64,6 +64,12 @@ class ExperimentConfig:
         overrides; defaults to ``.repro_cache`` under the CWD).
     seed:
         Base seed; per-population seeds derive deterministically.
+    workers:
+        Worker processes/threads for population simulation and the
+        repeated estimation loops (``REPRO_WORKERS`` env overrides;
+        default 1 = serial).  Results are identical for any value —
+        per-run/per-chunk RNG streams are spawned from the base seed
+        independently of the worker count.
     """
 
     scale: str = "ci"
@@ -80,6 +86,7 @@ class ExperimentConfig:
     m: int = 10
     cache_dir: Path = field(default_factory=lambda: Path(".repro_cache"))
     seed: int = 1998
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.scale not in ("smoke", "ci", "paper"):
@@ -88,6 +95,8 @@ class ExperimentConfig:
             raise ConfigError("population sizes must be >= 100")
         if self.num_runs < 1:
             raise ConfigError("num_runs must be >= 1")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Functional update (frozen dataclass)."""
@@ -98,10 +107,15 @@ def default_config() -> ExperimentConfig:
     """Build the configuration for the current environment.
 
     ``REPRO_SCALE`` selects the scale tier; ``REPRO_CACHE`` relocates
-    the population cache.
+    the population cache; ``REPRO_WORKERS`` sets the parallel worker
+    count (results are worker-count independent).
     """
     scale = os.environ.get("REPRO_SCALE", "ci").lower()
     cache = Path(os.environ.get("REPRO_CACHE", ".repro_cache"))
+    try:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    except ValueError:
+        raise ConfigError("REPRO_WORKERS must be an integer") from None
     if scale == "paper":
         return ExperimentConfig(
             scale="paper",
@@ -109,6 +123,7 @@ def default_config() -> ExperimentConfig:
             constrained_size=80_000,
             num_runs=100,
             cache_dir=cache,
+            workers=workers,
         )
     if scale == "smoke":
         return ExperimentConfig(
@@ -119,7 +134,8 @@ def default_config() -> ExperimentConfig:
             srs_budgets=(500, 1_000, 2_000),
             circuits=("c432", "c880", "c1355"),
             cache_dir=cache,
+            workers=workers,
         )
     if scale != "ci":
         raise ConfigError(f"unknown REPRO_SCALE {scale!r}")
-    return ExperimentConfig(cache_dir=cache)
+    return ExperimentConfig(cache_dir=cache, workers=workers)

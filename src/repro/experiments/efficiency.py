@@ -17,6 +17,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..estimation.mc_estimator import MaxPowerEstimator
+from ..estimation.parallel import run_many
 from ..estimation.srs import SimpleRandomSampling
 from ..vectors.population import FinitePopulation
 from .base import ExperimentTable
@@ -52,7 +53,13 @@ def run_circuit_efficiency(
     circuit: str,
     run_seed: int,
 ) -> EfficiencyRow:
-    """Repeat the estimator ``config.num_runs`` times on one population."""
+    """Repeat the estimator ``config.num_runs`` times on one population.
+
+    The repetitions are independent and run through
+    :func:`~repro.estimation.parallel.run_many`, sharded over
+    ``config.workers`` processes; the per-run seed streams are spawned
+    from ``run_seed`` so results do not depend on the worker count.
+    """
     actual = population.actual_max_power
     estimator = MaxPowerEstimator(
         population,
@@ -61,13 +68,14 @@ def run_circuit_efficiency(
         error=config.error,
         confidence=config.confidence,
     )
-    rng = np.random.default_rng(run_seed)
-    errors = np.empty(config.num_runs)
-    units = np.empty(config.num_runs, dtype=np.int64)
-    for i in range(config.num_runs):
-        result = estimator.run(rng)
-        errors[i] = abs(result.relative_error(actual))
-        units[i] = result.units_used
+    results = run_many(
+        estimator,
+        config.num_runs,
+        base_seed=run_seed,
+        workers=config.workers,
+    )
+    errors = np.array([abs(r.relative_error(actual)) for r in results])
+    units = np.array([r.units_used for r in results], dtype=np.int64)
     srs_avg = SimpleRandomSampling(population).theoretical_units(
         epsilon=config.error, level=config.confidence
     )

@@ -19,6 +19,7 @@ import numpy as np
 from scipy import stats
 
 from ..estimation.mc_estimator import MaxPowerEstimator
+from ..estimation.parallel import hyper_sample_many
 from ..evt.fitting import NormalFit, fit_normal_lsq, ks_statistic
 from .base import ExperimentTable
 from .config import ExperimentConfig, default_config
@@ -50,18 +51,21 @@ def run_figure2(
     config = config or default_config()
     population = get_population(config, circuit, "unconstrained")
     actual = population.actual_max_power
-    rng = np.random.default_rng(config.seed + 47)
 
     series: List[Figure2Series] = []
     rows = []
     for m in m_values:
         estimator = MaxPowerEstimator(population, n=config.n, m=m)
-        estimates = np.array(
-            [
-                estimator.hyper_sample(i, rng).estimate
-                for i in range(repetitions)
-            ]
+        # Independent repetitions shard over config.workers processes;
+        # the per-m base seed keeps the two histograms independent and
+        # the result identical for any worker count.
+        hyper_samples = hyper_sample_many(
+            estimator,
+            repetitions,
+            base_seed=np.random.SeedSequence([config.seed, 47, m]),
+            workers=config.workers,
         )
+        estimates = np.array([hs.estimate for hs in hyper_samples])
         fit = fit_normal_lsq(estimates)
         ks = ks_statistic(fit.cdf(np.sort(estimates)))
         shapiro_p = float(stats.shapiro(estimates).pvalue)

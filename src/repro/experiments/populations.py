@@ -37,6 +37,12 @@ __all__ = ["POPULATION_KINDS", "population_seed", "build_population", "get_popul
 
 POPULATION_KINDS = ("unconstrained", "high", "low")
 
+#: Version salt for the on-disk cache key.  Bump whenever the sampling
+#: pipeline changes the pool contents for a given seed (e.g. the move to
+#: chunked SeedSequence-spawned builds), so stale entries from an older
+#: pipeline are never served.
+_PIPELINE_VERSION = "build-v2"
+
 _MEMORY_CACHE: Dict[Tuple, FinitePopulation] = {}
 
 
@@ -54,6 +60,7 @@ def _cache_path(
     key = hashlib.sha256(
         "/".join(
             [
+                _PIPELINE_VERSION,
                 circuit,
                 kind,
                 str(size),
@@ -117,9 +124,11 @@ def build_population(
             "sim_mode": config.sim_mode,
             "frequency_hz": config.frequency_hz,
         },
+        workers=config.workers,
     )
     config.cache_dir.mkdir(parents=True, exist_ok=True)
-    pop.save(path)
+    written = pop.save(path)
+    assert written == path, "cache key must carry the .npz suffix"
     return pop
 
 

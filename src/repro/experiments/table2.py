@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..estimation.mc_estimator import MaxPowerEstimator
+from ..estimation.parallel import run_many
 from ..estimation.srs import SimpleRandomSampling
 from .base import ExperimentTable
 from .config import ExperimentConfig, default_config
@@ -52,7 +53,8 @@ def run_table2(config: Optional[ExperimentConfig] = None) -> ExperimentTable:
     for idx, circuit in enumerate(config.circuits):
         population = get_population(config, circuit, "unconstrained")
         actual = population.actual_max_power
-        rng = np.random.default_rng(config.seed + 104729 * idx)
+        run_seed = config.seed + 104729 * idx
+        rng = np.random.default_rng(run_seed)
 
         estimator = MaxPowerEstimator(
             population,
@@ -61,10 +63,18 @@ def run_table2(config: Optional[ExperimentConfig] = None) -> ExperimentTable:
             error=config.error,
             confidence=config.confidence,
         )
+        # The num_runs repetitions shard over config.workers processes;
+        # per-run streams spawn from run_seed, so results are identical
+        # for any worker count.
         our_errors = np.array(
             [
-                estimator.run(rng).relative_error(actual)
-                for _ in range(config.num_runs)
+                r.relative_error(actual)
+                for r in run_many(
+                    estimator,
+                    config.num_runs,
+                    base_seed=run_seed,
+                    workers=config.workers,
+                )
             ]
         )
 

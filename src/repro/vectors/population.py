@@ -23,18 +23,40 @@ from __future__ import annotations
 
 import abc
 import json
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..errors import PopulationError
 from .generators import RngLike, as_rng
 
-__all__ = ["PowerPopulation", "FinitePopulation", "StreamingPopulation"]
+__all__ = [
+    "PowerPopulation",
+    "FinitePopulation",
+    "StreamingPopulation",
+    "DEFAULT_BUILD_CHUNK",
+]
 
 PairGenerator = Callable[[int, np.random.Generator], Tuple[np.ndarray, np.ndarray]]
 PowerFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+#: Pairs simulated per independent chunk in :meth:`FinitePopulation.build`.
+#: The chunk decomposition is part of the reproducibility contract, so it
+#: must not depend on the worker count.
+DEFAULT_BUILD_CHUNK = 4096
+
+
+def _as_power_array(values: np.ndarray, expected: int) -> np.ndarray:
+    """Cast a power-function output to float64 and validate its shape."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.shape != (expected,):
+        raise PopulationError(
+            f"power function returned shape {arr.shape}, "
+            f"expected ({expected},)"
+        )
+    return arr
 
 
 class PowerPopulation(abc.ABC):
@@ -46,6 +68,27 @@ class PowerPopulation(abc.ABC):
     @abc.abstractmethod
     def sample_powers(self, n: int, rng: RngLike = None) -> np.ndarray:
         """Draw ``n`` unit power values (with replacement)."""
+
+    def sample_block_maxima(
+        self, n: int, m: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Draw ``m`` block maxima of block size ``n`` in one batch.
+
+        The hot path of the estimator: all ``n * m`` units are drawn in
+        a *single* vectorized :meth:`sample_powers` call and reduced to
+        per-block maxima, instead of ``m`` tiny per-block draws.
+
+        Stream contract: this consumes the RNG exactly as one
+        ``sample_powers(n * m, rng)`` call, so block-maxima draws are
+        bit-for-bit reproducible for a given seed regardless of which
+        concrete population (or override) serves them.
+        """
+        if n < 1 or m < 1:
+            raise PopulationError("n and m must be >= 1")
+        draws = np.asarray(
+            self.sample_powers(n * m, rng), dtype=np.float64
+        )
+        return draws.reshape(m, n).max(axis=1)
 
     @property
     def size(self) -> Optional[int]:
@@ -131,6 +174,26 @@ class FinitePopulation(PowerPopulation):
         idx = gen.integers(0, self.size, size=n)
         return self.powers[idx]
 
+    def sample_block_maxima(
+        self, n: int, m: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Batched block maxima: one index draw, one gather, one reduce.
+
+        Consumes the RNG identically to ``sample_powers(n * m, rng)``
+        (a single ``integers`` call), so it is bit-for-bit equivalent to
+        the generic :meth:`PowerPopulation.sample_block_maxima` path.
+        Subclasses that override :meth:`sample_powers` (e.g. to count or
+        transform draws) keep that behavior: the generic path is used
+        for them so every unit still flows through their override.
+        """
+        if type(self).sample_powers is not FinitePopulation.sample_powers:
+            return super().sample_block_maxima(n, m, rng)
+        if n < 1 or m < 1:
+            raise PopulationError("n and m must be >= 1")
+        gen = as_rng(rng)
+        idx = gen.integers(0, self.size, size=n * m)
+        return self.powers[idx].reshape(m, n).max(axis=1)
+
     def sample_units(
         self, n: int, rng: RngLike = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -145,9 +208,17 @@ class FinitePopulation(PowerPopulation):
         return self.powers[idx], self.v1[idx], self.v2[idx]
 
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        """Persist to ``.npz`` (powers, vectors, JSON-encoded metadata)."""
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist to ``.npz`` (powers, vectors, JSON-encoded metadata).
+
+        ``np.savez_compressed`` silently appends ``.npz`` to suffix-less
+        paths, which used to break a ``save(p)`` / ``load(p)`` round
+        trip; the suffix is therefore normalized here and the *actual*
+        written path returned.
+        """
         path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
         arrays = {
             "powers": self.powers,
             "meta": np.frombuffer(
@@ -159,11 +230,18 @@ class FinitePopulation(PowerPopulation):
             arrays["v1"] = self.v1
             arrays["v2"] = self.v2
         np.savez_compressed(path, **arrays)
+        return path
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "FinitePopulation":
-        """Load a pool previously written by :meth:`save`."""
-        with np.load(Path(path)) as data:
+        """Load a pool previously written by :meth:`save`.
+
+        Accepts the suffix-less path that was handed to :meth:`save`.
+        """
+        path = Path(path)
+        if not path.exists() and path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        with np.load(path) as data:
             meta = json.loads(bytes(data["meta"]).decode())
             name = meta.pop("name", "population")
             v1 = data["v1"] if "v1" in data else None
@@ -182,17 +260,66 @@ class FinitePopulation(PowerPopulation):
         seed: int,
         name: str = "population",
         metadata: Optional[Dict[str, object]] = None,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
     ) -> "FinitePopulation":
         """Generate ``num_pairs`` pairs, simulate them, and wrap the pool.
 
-        ``pair_generator(num_pairs, rng)`` must return the two bit
-        matrices; ``power_function(v1, v2)`` the per-pair powers (e.g.
-        :meth:`repro.sim.power.PowerAnalyzer.powers_for_pairs`).
+        ``pair_generator(count, rng)`` must return the two bit matrices;
+        ``power_function(v1, v2)`` the per-pair powers (e.g.
+        :meth:`repro.sim.power.PowerAnalyzer.powers_for_pairs`).  The
+        power output is cast to float64 and shape-validated per chunk,
+        so int- or float32-returning power functions produce the same
+        pools as the streaming path.
+
+        Stream-splitting contract: the pool is simulated in independent
+        chunks of ``chunk_size`` pairs (default
+        :data:`DEFAULT_BUILD_CHUNK`); chunk *i* draws from
+        ``np.random.default_rng(np.random.SeedSequence(seed).spawn(C)[i])``
+        and the chunks are concatenated in order.  The decomposition
+        depends only on ``(num_pairs, chunk_size, seed)`` — never on
+        ``workers`` — so a serial build and a parallel build of the same
+        pool are bit-for-bit identical.
+
+        ``workers > 1`` simulates chunks on a thread pool; the heavy
+        lifting (bit-parallel simulation, numpy RNG) releases the GIL,
+        and threads keep arbitrary closures usable as generators/power
+        functions (no pickling requirement).
         """
-        rng = np.random.default_rng(seed)
-        v1, v2 = pair_generator(num_pairs, rng)
-        powers = power_function(v1, v2)
-        meta = {"seed": seed, **(metadata or {})}
+        if num_pairs < 1:
+            raise PopulationError("num_pairs must be >= 1")
+        if workers < 1:
+            raise PopulationError("workers must be >= 1")
+        if chunk_size is None:
+            chunk_size = DEFAULT_BUILD_CHUNK
+        if chunk_size < 1:
+            raise PopulationError("chunk_size must be >= 1")
+        counts = [chunk_size] * (num_pairs // chunk_size)
+        if num_pairs % chunk_size:
+            counts.append(num_pairs % chunk_size)
+        children = np.random.SeedSequence(seed).spawn(len(counts))
+
+        def simulate_chunk(
+            count: int, seed_seq: np.random.SeedSequence
+        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+            rng = np.random.default_rng(seed_seq)
+            v1, v2 = pair_generator(count, rng)
+            powers = _as_power_array(power_function(v1, v2), count)
+            return v1, v2, powers
+
+        if workers == 1 or len(counts) == 1:
+            parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+                simulate_chunk(c, s) for c, s in zip(counts, children)
+            ]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(counts))
+            ) as pool:
+                parts = list(pool.map(simulate_chunk, counts, children))
+        v1 = np.concatenate([p[0] for p in parts])
+        v2 = np.concatenate([p[1] for p in parts])
+        powers = np.concatenate([p[2] for p in parts])
+        meta = {"seed": seed, "chunk_size": chunk_size, **(metadata or {})}
         return cls(powers=powers, v1=v1, v2=v2, name=name, metadata=meta)
 
 
@@ -220,5 +347,20 @@ class StreamingPopulation(PowerPopulation):
             raise PopulationError("n must be >= 1")
         gen = as_rng(rng)
         v1, v2 = self._generate(n, gen)
+        powers = _as_power_array(self._power(v1, v2), n)
+        # Count the unit budget only after the simulation succeeded; a
+        # raising power function must not inflate ``units_simulated``.
         self.units_simulated += n
-        return np.asarray(self._power(v1, v2), dtype=np.float64)
+        return powers
+
+    def sample_block_maxima(
+        self, n: int, m: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Batched block maxima: one generator call simulates all
+        ``n * m`` fresh pairs, then blocks are reduced in one pass.
+
+        RNG consumption is identical to ``sample_powers(n * m, rng)``.
+        """
+        if n < 1 or m < 1:
+            raise PopulationError("n and m must be >= 1")
+        return self.sample_powers(n * m, rng).reshape(m, n).max(axis=1)

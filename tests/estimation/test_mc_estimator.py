@@ -66,7 +66,17 @@ class TestHyperSample:
         est = MaxPowerEstimator(pop)
         hs = est.hyper_sample(1, rng=1)
         assert hs.degenerate
+        assert hs.fit is None
         assert hs.estimate == 3.0
+        assert hs.units_used == est.n * est.m
+
+    def test_uses_batched_block_maxima_path(self, small_population):
+        """hyper_sample consumes the RNG exactly like one batched
+        sample_block_maxima call (the vectorized hot path)."""
+        est = MaxPowerEstimator(small_population, n=10, m=5)
+        hs = est.hyper_sample(1, rng=77)
+        expected = small_population.sample_block_maxima(10, 5, rng=77)
+        assert np.array_equal(hs.maxima, expected)
 
     def test_upper_bound_clips(self, small_population):
         actual = small_population.actual_max_power
@@ -127,6 +137,22 @@ class TestRun:
         assert not result.converged
         assert result.k == 3
         assert np.isfinite(result.estimate)
+
+    def test_unconverged_estimate_equals_interval_mean(self):
+        """Regression: the unconverged fallback overwrote the estimate
+        with the plain mean while the interval lagged behind it."""
+        rng_pool = np.random.default_rng(1)
+        powers = rng_pool.pareto(0.5, size=5000) + 0.1
+        pop = FinitePopulation(powers, name="pareto")
+        result = MaxPowerEstimator(
+            pop, error=0.0001, max_hyper_samples=4
+        ).run(rng=5)
+        assert not result.converged
+        assert result.interval is not None
+        assert result.estimate == result.interval.mean
+        assert result.interval.k == result.k
+        values = [hs.estimate for hs in result.hyper_samples]
+        assert result.estimate == pytest.approx(np.mean(values))
 
     def test_tighter_error_needs_more_units(self):
         pop = weibull_population(seed=6)

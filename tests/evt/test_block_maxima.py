@@ -47,6 +47,17 @@ class TestBlockMaxima:
         with pytest.raises(EstimationError):
             block_maxima(small_population, m=0)
 
+    def test_delegates_to_batched_population_path(self, small_population):
+        # block_maxima and the population fast path are the same stream.
+        via_helper = block_maxima(small_population, n=12, m=6, rng=19)
+        via_population = small_population.sample_block_maxima(12, 6, rng=19)
+        assert np.array_equal(via_helper, via_population)
+
+    def test_matches_manual_reshape_of_sample_powers(self, small_population):
+        maxima = block_maxima(small_population, n=15, m=8, rng=23)
+        draws = small_population.sample_powers(120, rng=23)
+        assert np.array_equal(maxima, draws.reshape(8, 15).max(axis=1))
+
 
 class TestFromValues:
     def test_partition_and_max(self):

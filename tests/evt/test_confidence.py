@@ -107,6 +107,19 @@ class TestSrsSizing:
         assert srs_required_units(0.0) == math.inf
         assert srs_required_units(1.0) == 1.0
 
+    def test_edge_cases_hold_at_any_level(self):
+        # Y = 0: no qualified unit can ever be drawn; Y = 1: the very
+        # first draw qualifies — independent of the confidence level.
+        for level in (0.1, 0.5, 0.9, 0.999):
+            assert srs_required_units(0.0, level) == math.inf
+            assert srs_required_units(1.0, level) == 1.0
+
+    def test_near_edge_portions_finite_and_ordered(self):
+        almost_all = srs_required_units(1.0 - 1e-12, 0.9)
+        almost_none = srs_required_units(1e-12, 0.9)
+        assert 0.0 < almost_all < 1.0 + 1e-6
+        assert math.isfinite(almost_none) and almost_none > 1e9
+
     def test_monotone_in_portion(self):
         assert srs_required_units(1e-5) > srs_required_units(1e-3)
 

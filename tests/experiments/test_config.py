@@ -62,3 +62,20 @@ class TestConfig:
             ExperimentConfig(unconstrained_size=10)
         with pytest.raises(ConfigError):
             ExperimentConfig(num_runs=0)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(workers=0)
+
+    def test_workers_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_config().workers == 1
+
+    def test_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert default_config().workers == 4
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert default_config().workers == 4
+
+    def test_workers_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigError):
+            default_config()

@@ -61,6 +61,27 @@ class TestTables:
         assert "0.3" in t4.title
 
 
+class TestWorkerIndependence:
+    def test_efficiency_rows_identical_serial_vs_parallel(self, tiny):
+        """Table 1-4 rows are bit-for-bit identical for any workers."""
+        from repro.experiments.efficiency import run_circuit_efficiency
+        from repro.vectors.population import FinitePopulation
+
+        rng = np.random.default_rng(0)
+        population = FinitePopulation(
+            rng.weibull(4.0, size=5000) + 0.5, name="synthetic"
+        )
+        serial = run_circuit_efficiency(
+            tiny.with_overrides(workers=1), population, "syn", run_seed=77
+        )
+        parallel = run_circuit_efficiency(
+            tiny.with_overrides(workers=2), population, "syn", run_seed=77
+        )
+        assert np.array_equal(serial.errors, parallel.errors)
+        assert np.array_equal(serial.units, parallel.units)
+        assert serial.units_avg == parallel.units_avg
+
+
 class TestFigures:
     def test_figure1_series(self, tiny):
         table = run_figure1(tiny, circuit="c432", num_maxima=150)

@@ -15,6 +15,17 @@ class TestParser:
         assert args.population == 20_000
         assert args.mode == "zero"
         assert args.error == 0.05
+        assert args.workers == 1
+
+    def test_experiment_workers_flag(self):
+        args = build_parser().parse_args(
+            ["experiment", "table1", "--workers", "4"]
+        )
+        assert args.workers == 4
+        # default: defer to REPRO_WORKERS / config default
+        assert build_parser().parse_args(
+            ["experiment", "table1"]
+        ).workers is None
 
 
 class TestCommands:

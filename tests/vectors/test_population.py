@@ -119,6 +119,137 @@ class TestFinitePopulation:
         assert pop.metadata["seed"] == 9
 
 
+class TestSaveLoadSuffix:
+    def test_save_without_suffix_roundtrips(self, tmp_path):
+        """Regression: np.savez silently appends .npz, breaking load."""
+        pop = simple_pool()
+        requested = tmp_path / "pool"  # no .npz suffix
+        written = pop.save(requested)
+        assert written == tmp_path / "pool.npz"
+        assert written.exists()
+        loaded = FinitePopulation.load(requested)  # suffix-less path ok
+        assert np.array_equal(loaded.powers, pop.powers)
+
+    def test_save_returns_written_path(self, tmp_path):
+        pop = simple_pool()
+        path = tmp_path / "pool.npz"
+        assert pop.save(path) == path
+
+    def test_load_explicit_suffixed_path(self, tmp_path):
+        pop = simple_pool()
+        written = pop.save(tmp_path / "pool")
+        loaded = FinitePopulation.load(written)
+        assert loaded.size == pop.size
+
+
+class TestBuildChunked:
+    @staticmethod
+    def generate(n, rng):
+        v1 = rng.integers(0, 2, size=(n, 4), dtype=np.uint8)
+        v2 = rng.integers(0, 2, size=(n, 4), dtype=np.uint8)
+        return v1, v2
+
+    @staticmethod
+    def power(v1, v2):
+        return (v1 != v2).sum(axis=1).astype(np.float64)
+
+    def test_serial_vs_parallel_bit_identical(self):
+        serial = FinitePopulation.build(
+            self.generate, self.power, num_pairs=1000, seed=7,
+            workers=1, chunk_size=128,
+        )
+        parallel = FinitePopulation.build(
+            self.generate, self.power, num_pairs=1000, seed=7,
+            workers=4, chunk_size=128,
+        )
+        assert np.array_equal(serial.powers, parallel.powers)
+        assert np.array_equal(serial.v1, parallel.v1)
+        assert np.array_equal(serial.v2, parallel.v2)
+
+    def test_int_power_function_cast_to_float64(self):
+        """Regression: build skipped the float64 cast sample_powers does."""
+        pop = FinitePopulation.build(
+            self.generate,
+            lambda v1, v2: (v1 != v2).sum(axis=1),  # int64 output
+            num_pairs=50,
+            seed=1,
+        )
+        assert pop.powers.dtype == np.float64
+
+    def test_float32_power_function_cast_to_float64(self):
+        pop = FinitePopulation.build(
+            self.generate,
+            lambda v1, v2: (v1 != v2).sum(axis=1).astype(np.float32),
+            num_pairs=50,
+            seed=1,
+        )
+        assert pop.powers.dtype == np.float64
+
+    def test_wrong_shape_power_output_rejected(self):
+        with pytest.raises(PopulationError, match="shape"):
+            FinitePopulation.build(
+                self.generate,
+                lambda v1, v2: np.zeros(3),  # wrong length
+                num_pairs=50,
+                seed=1,
+            )
+
+    def test_chunk_metadata_recorded(self):
+        pop = FinitePopulation.build(
+            self.generate, self.power, num_pairs=10, seed=2, chunk_size=4
+        )
+        assert pop.metadata["chunk_size"] == 4
+        assert pop.metadata["seed"] == 2
+        assert pop.size == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PopulationError):
+            FinitePopulation.build(
+                self.generate, self.power, num_pairs=0, seed=1
+            )
+        with pytest.raises(PopulationError):
+            FinitePopulation.build(
+                self.generate, self.power, num_pairs=10, seed=1, workers=0
+            )
+        with pytest.raises(PopulationError):
+            FinitePopulation.build(
+                self.generate, self.power, num_pairs=10, seed=1,
+                chunk_size=0,
+            )
+
+
+class TestSampleBlockMaxima:
+    def test_matches_sample_powers_stream(self):
+        """The fast path consumes the RNG exactly like sample_powers."""
+        pop = FinitePopulation(
+            np.random.default_rng(0).random(500), name="pool"
+        )
+        maxima = pop.sample_block_maxima(6, 4, rng=31)
+        draws = pop.sample_powers(24, rng=31)
+        assert np.array_equal(maxima, draws.reshape(4, 6).max(axis=1))
+
+    def test_generic_path_used_for_sample_powers_overrides(self):
+        class Doubling(FinitePopulation):
+            def sample_powers(self, n, rng=None):
+                return 2.0 * super().sample_powers(n, rng)
+
+        base = FinitePopulation(
+            np.random.default_rng(1).random(200), name="pool"
+        )
+        doubled = Doubling(base.powers, name="doubled")
+        assert np.array_equal(
+            doubled.sample_block_maxima(5, 3, rng=8),
+            2.0 * base.sample_block_maxima(5, 3, rng=8),
+        )
+
+    def test_validation(self):
+        pop = simple_pool()
+        with pytest.raises(PopulationError):
+            pop.sample_block_maxima(0, 3)
+        with pytest.raises(PopulationError):
+            pop.sample_block_maxima(3, 0)
+
+
 class TestStreamingPopulation:
     def make(self):
         def generate(n, rng):
@@ -151,3 +282,55 @@ class TestStreamingPopulation:
     def test_invalid_count(self):
         with pytest.raises(PopulationError):
             self.make().sample_powers(0)
+
+    def test_failed_simulation_does_not_count_units(self):
+        """Regression: the unit budget was incremented before the power
+        function ran, overcounting when simulation raised."""
+
+        def generate(n, rng):
+            return np.zeros((n, 2), np.uint8), np.zeros((n, 2), np.uint8)
+
+        def power(v1, v2):
+            raise RuntimeError("simulator crashed")
+
+        pop = StreamingPopulation(generate, power, name="crashy")
+        with pytest.raises(RuntimeError):
+            pop.sample_powers(25)
+        assert pop.units_simulated == 0
+
+    def test_wrong_shape_power_output_rejected(self):
+        def generate(n, rng):
+            return np.zeros((n, 2), np.uint8), np.zeros((n, 2), np.uint8)
+
+        pop = StreamingPopulation(
+            generate, lambda v1, v2: np.zeros(1), name="short"
+        )
+        with pytest.raises(PopulationError, match="shape"):
+            pop.sample_powers(5)
+        assert pop.units_simulated == 0
+
+    def test_block_maxima_single_generator_call(self):
+        """The batched path simulates all n*m pairs in one call."""
+        calls = []
+
+        def generate(n, rng):
+            calls.append(n)
+            v1 = rng.integers(0, 2, size=(n, 3), dtype=np.uint8)
+            v2 = rng.integers(0, 2, size=(n, 3), dtype=np.uint8)
+            return v1, v2
+
+        def power(v1, v2):
+            return (v1 != v2).sum(axis=1).astype(float)
+
+        pop = StreamingPopulation(generate, power, name="stream")
+        maxima = pop.sample_block_maxima(10, 4, rng=5)
+        assert maxima.shape == (4,)
+        assert calls == [40]
+        assert pop.units_simulated == 40
+
+    def test_block_maxima_matches_sample_powers_stream(self):
+        a = self.make()
+        b = self.make()
+        maxima = a.sample_block_maxima(7, 3, rng=13)
+        draws = b.sample_powers(21, rng=13)
+        assert np.array_equal(maxima, draws.reshape(3, 7).max(axis=1))
