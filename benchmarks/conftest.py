@@ -19,12 +19,15 @@ so repeated benchmark runs only pay the estimation cost.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig, default_config
+from repro.obs import get_registry, phase_timings
 
 
 @pytest.fixture(scope="session")
@@ -43,9 +46,34 @@ def results_dir() -> Path:
 
 
 def run_and_report(benchmark, runner, config, results_dir, **kwargs):
-    """Run one experiment under pytest-benchmark and save its table."""
+    """Run one experiment under pytest-benchmark and save its table.
+
+    Each run also records pipeline metrics (simulation, fitting,
+    estimation phase timings) and writes them next to the table as
+    ``BENCH_<id>.json``, so benchmark artifacts carry a wall-clock
+    breakdown, not just the end-to-end number.
+    """
+    registry = get_registry()
+    was_enabled = registry.enabled
+    registry.enable()
+    registry.snapshot(reset=True)  # scope metrics to this benchmark
+    start = time.perf_counter()
     table = benchmark.pedantic(
         lambda: runner(config, **kwargs), iterations=1, rounds=1
+    )
+    elapsed = time.perf_counter() - start
+    snapshot = registry.snapshot(reset=True)
+    if not was_enabled:
+        registry.disable()
+    payload = {
+        "experiment": table.experiment_id,
+        "scale": config.scale,
+        "wall_time_s": elapsed,
+        "phases": phase_timings(snapshot),
+        "metrics": snapshot,
+    }
+    (results_dir / f"BENCH_{table.experiment_id}.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
     )
     table.save(results_dir)
     print()

@@ -13,11 +13,21 @@ Subcommands
 ``experiment NAME``
     Run a registered paper experiment (table1..4, figure1/2, ablations)
     and print the resulting table.
+
+Observability
+-------------
+``estimate``, ``experiment`` and ``delay`` accept ``--trace FILE``
+(structured JSONL trace of the estimation pipeline) and
+``--metrics FILE`` (metrics dump: ``.json`` snapshot or Prometheus
+text).  Setting the ``REPRO_TRACE`` environment variable traces any
+command to that path.  ``report --metrics FILE`` reads either artifact
+back and prints the convergence-diagnostics summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -38,6 +48,70 @@ def _load_circuit(spec: str) -> Circuit:
     if path.suffix in (".v", ".verilog") and path.exists():
         return load_verilog(path)
     return build_circuit(spec)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help=(
+            "write a structured JSONL trace of the estimation pipeline "
+            "(REPRO_TRACE env sets a default for every command)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help=(
+            "write pipeline metrics on exit (.json snapshot, "
+            "otherwise Prometheus text format)"
+        ),
+    )
+
+
+class _ObsSession:
+    """Per-invocation observability wiring for the CLI.
+
+    Enables the metrics registry and opens the trace sink before the
+    command runs, and flushes both afterwards — including on error, so
+    a failing run still leaves a usable trace behind.
+    """
+
+    def __init__(self, args: argparse.Namespace):
+        from .obs import get_registry, get_tracer
+
+        self._registry = get_registry()
+        self._tracer = get_tracer()
+        self.trace_path = getattr(args, "trace", None)
+        if self.trace_path is None and os.environ.get("REPRO_TRACE"):
+            self.trace_path = Path(os.environ["REPRO_TRACE"])
+        self.metrics_path = getattr(args, "metrics", None)
+        self._was_enabled = self._registry.enabled
+        if self.trace_path is not None or self.metrics_path is not None:
+            self._registry.enable()
+        if self.trace_path is not None:
+            self._tracer.open(self.trace_path)
+
+    def finish(self) -> None:
+        from .obs import write_metrics_file
+
+        if self.metrics_path is not None:
+            path = write_metrics_file(
+                self.metrics_path, self._registry.snapshot()
+            )
+            print(f"metrics written to {path}", file=sys.stderr)
+        if self.trace_path is not None:
+            self._tracer.close()
+            print(f"trace written to {self.trace_path}", file=sys.stderr)
+        # Restore the registry so repeated in-process main() calls (the
+        # test suite, notebooks) don't leak enablement across commands.
+        if not self._was_enabled and (
+            self.trace_path is not None or self.metrics_path is not None
+        ):
+            self._registry.disable()
+            self._registry.reset()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker threads for the pool simulation (same result)",
     )
+    _add_obs_flags(est)
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", help="experiment id (or 'all')")
@@ -111,11 +186,31 @@ def build_parser() -> argparse.ArgumentParser:
             "are identical for any value"
         ),
     )
+    _add_obs_flags(exp)
 
     rep = sub.add_parser(
-        "report", help="per-net workload power report (top consumers)"
+        "report",
+        help=(
+            "per-net workload power report, or (--metrics) convergence "
+            "diagnostics from a trace/metrics file"
+        ),
     )
-    rep.add_argument("circuit", help="suite name or .bench/.v path")
+    rep.add_argument(
+        "circuit",
+        nargs="?",
+        default=None,
+        help="suite name or .bench/.v path (omit with --metrics)",
+    )
+    rep.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        dest="metrics_in",
+        help=(
+            "read a trace .jsonl or metrics .json file and print the "
+            "convergence-diagnostics report instead"
+        ),
+    )
     rep.add_argument("--pairs", type=int, default=5000, help="workload size")
     rep.add_argument("--top", type=int, default=10, help="nets to list")
     rep.add_argument("--seed", type=int, default=0)
@@ -155,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-rounds", type=int, default=10,
         help="hyper-sample budget (event-driven sim is per-pair costly)",
     )
+    _add_obs_flags(dl)
 
     wv = sub.add_parser(
         "wave", help="simulate one vector pair and dump a VCD waveform"
@@ -283,6 +379,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
         transition_prob_vector_pairs,
     )
 
+    if args.metrics_in is not None:
+        return _cmd_report_metrics(args.metrics_in)
+    if args.circuit is None:
+        print(
+            "error: report needs a circuit (or --metrics FILE)",
+            file=sys.stderr,
+        )
+        return 1
     circuit = _load_circuit(args.circuit)
     rng = np.random.default_rng(args.seed)
     if args.activity is None:
@@ -293,6 +397,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
     report = power_report(circuit, v1, v2)
     print(report.render(top_count=args.top))
+    return 0
+
+
+def _cmd_report_metrics(path: Path) -> int:
+    """Convergence diagnostics from a trace .jsonl or metrics .json."""
+    import json
+
+    from .obs import convergence_report, load_metrics_file, load_trace
+
+    first_line = ""
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                first_line = line.strip()
+                break
+    try:
+        head = json.loads(first_line) if first_line else {}
+    except json.JSONDecodeError:
+        head = {}
+    if isinstance(head, dict) and "event" in head:
+        print(convergence_report(trace_events=load_trace(path)))
+    else:
+        print(convergence_report(snapshot=load_metrics_file(path)))
     return 0
 
 
@@ -391,6 +518,7 @@ def _cmd_wave(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    obs_session = _ObsSession(args)
     try:
         if args.command == "suite":
             return _cmd_suite()
@@ -411,6 +539,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        obs_session.finish()
     raise AssertionError("unreachable")
 
 

@@ -47,7 +47,20 @@ class EstimationError(ReproError):
 
 
 class FitError(EstimationError):
-    """A distribution fit (MLE, curve fit, moments) failed to converge."""
+    """A distribution fit (MLE, curve fit, moments) failed to converge.
+
+    Attributes
+    ----------
+    cause:
+        Machine-readable failure class (``"degenerate"``, ``"no-root"``,
+        ``"profile-failed"``, ``"param-range"``, ...) used to label the
+        ``mle_fit_errors_total`` metric; ``"unknown"`` when the raising
+        site did not classify itself.
+    """
+
+    def __init__(self, message: str, cause: str = "unknown"):
+        self.cause = cause
+        super().__init__(message)
 
 
 class ConfigError(ReproError):

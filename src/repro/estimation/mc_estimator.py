@@ -27,12 +27,58 @@ from ..evt.block_maxima import (
 )
 from ..evt.confidence import t_mean_interval
 from ..evt.mle import fit_weibull_mle
+from ..obs.metrics import (
+    DEFAULT_ALPHA_BUCKETS,
+    DEFAULT_K_BUCKETS,
+    get_registry,
+)
+from ..obs.trace import get_tracer
 from ..vectors.generators import RngLike, as_rng
 from ..vectors.population import PowerPopulation
 from .finite_population import finite_population_estimate
 from .result import EstimationResult, HyperSample
 
 __all__ = ["MaxPowerEstimator"]
+
+# Module-level metric handles: one dict lookup at import, then each
+# record is a branch on the registry's enabled flag (no-op fast path).
+_METRICS = get_registry()
+_TRACER = get_tracer()
+_RUN_TIMER = _METRICS.timer("estimator_run_seconds")
+_HS_TIMER = _METRICS.timer("estimator_hyper_sample_seconds")
+_RUNS_TOTAL = _METRICS.counter("estimator_runs_total")
+_RUNS_CONVERGED = _METRICS.counter("estimator_runs_converged_total")
+_HS_TOTAL = _METRICS.counter("estimator_hyper_samples_total")
+_HS_FALLBACKS = _METRICS.counter("estimator_fallbacks_total")
+_UNITS_TOTAL = _METRICS.counter("estimator_units_total")
+_NONREGULAR = _METRICS.counter("estimator_nonregular_fits_total")
+_ALPHA_HIST = _METRICS.histogram("estimator_alpha", buckets=DEFAULT_ALPHA_BUCKETS)
+_K_HIST = _METRICS.histogram("estimator_k", buckets=DEFAULT_K_BUCKETS)
+
+
+def _hyper_sample_payload(hs: HyperSample) -> dict:
+    """Trace payload for one hyper-sample (field names match
+    :meth:`HyperSample.to_dict` where they overlap)."""
+    maxima = hs.maxima
+    payload = {
+        "k": hs.index,
+        "estimate": hs.estimate,
+        "units_used": hs.units_used,
+        "maxima_min": float(maxima.min()),
+        "maxima_mean": float(maxima.mean()),
+        "maxima_max": float(maxima.max()),
+        "fallback_reason": hs.fallback_reason,
+    }
+    if hs.fit is not None:
+        payload.update(
+            alpha=hs.fit.alpha,
+            beta=hs.fit.beta,
+            mu=hs.fit.mu,
+            shape_gt2=hs.fit.shape_gt2,
+        )
+    else:
+        payload.update(alpha=None, beta=None, mu=None, shape_gt2=None)
+    return payload
 
 
 class MaxPowerEstimator:
@@ -120,42 +166,68 @@ class MaxPowerEstimator:
 
     # ------------------------------------------------------------------
     def hyper_sample(
-        self, index: int, rng: RngLike = None
+        self, index: int, rng: RngLike = None, _trace: bool = True
     ) -> HyperSample:
         """Produce one hyper-sample estimate (n·m simulated units).
 
         Degenerate draws (all block maxima equal — possible in tiny
         populations) fall back to the plain sample maximum with
         ``fit=None`` rather than failing the whole run.
+
+        ``_trace=False`` is used internally by :meth:`run`, which emits
+        an enriched per-k event (with CI half-width and cumulative
+        units) instead of the standalone one — exactly one
+        ``hyper_sample`` trace event fires per hyper-sample either way.
         """
         gen = as_rng(rng)
-        # Batched fast path: all n*m units in one vectorized draw.
-        maxima = self.population.sample_block_maxima(self.n, self.m, gen)
-        units = self.n * self.m
-        try:
-            fit = fit_weibull_mle(maxima)
-        except FitError:
-            return HyperSample(
-                index=index,
-                maxima=maxima,
-                fit=None,
-                estimate=float(maxima.max()),
-                units_used=units,
-            )
-        size = self.population.size if self.finite_correction else None
-        estimate = finite_population_estimate(fit, size)
-        # The corrected quantile can, at very small alpha-hat, fall below
-        # the observed maximum — physically impossible, so clamp.
-        estimate = max(estimate, float(maxima.max()))
-        if self.upper_bound is not None:
-            estimate = min(estimate, self.upper_bound)
-        return HyperSample(
+        with _HS_TIMER.time():
+            # Batched fast path: all n*m units in one vectorized draw.
+            maxima = self.population.sample_block_maxima(self.n, self.m, gen)
+            units = self.n * self.m
+            fallback_reason = None
+            try:
+                fit = fit_weibull_mle(maxima)
+            except FitError as exc:
+                fit = None
+                fallback_reason = str(exc)
+            if fit is None:
+                # Fallback path: report the plain sample maximum
+                # (observed, so never clipped).
+                estimate = float(maxima.max())
+            else:
+                size = self.population.size if self.finite_correction else None
+                estimate = finite_population_estimate(fit, size)
+                # The corrected quantile can, at very small alpha-hat,
+                # fall below the observed maximum — physically
+                # impossible, so clamp.
+                estimate = max(estimate, float(maxima.max()))
+                if self.upper_bound is not None:
+                    estimate = min(estimate, self.upper_bound)
+        hs = HyperSample(
             index=index,
             maxima=maxima,
             fit=fit,
             estimate=estimate,
             units_used=units,
+            fallback_reason=fallback_reason,
         )
+        _HS_TOTAL.inc()
+        _UNITS_TOTAL.inc(units)
+        if fit is None:
+            _HS_FALLBACKS.inc()
+        else:
+            _ALPHA_HIST.observe(fit.alpha)
+            if not fit.shape_gt2:
+                _NONREGULAR.inc()
+        if _trace and _TRACER.enabled:
+            _TRACER.emit(
+                "hyper_sample",
+                population=self.population.name,
+                rel_half_width=None,
+                cumulative_units=None,
+                **_hyper_sample_payload(hs),
+            )
+        return hs
 
     # ------------------------------------------------------------------
     def run(self, rng: RngLike = None) -> EstimationResult:
@@ -170,25 +242,71 @@ class MaxPowerEstimator:
             population_name=self.population.name,
             population_size=self.population.size,
         )
-        estimates = []
-        for k in range(1, self.max_hyper_samples + 1):
-            hs = self.hyper_sample(k, gen)
-            result.hyper_samples.append(hs)
-            result.units_used += hs.units_used
-            estimates.append(hs.estimate)
-            if k < self.min_hyper_samples:
-                continue
-            interval = t_mean_interval(estimates, self.confidence)
-            result.interval = interval
-            result.estimate = interval.mean
-            if interval.rel_half_width <= self.error:
-                result.converged = True
-                return result
-        # Budget exhausted: report the final interval over *all* k
-        # hyper-samples so that estimate == interval.mean always holds
-        # (previously the estimate was overwritten with the plain mean
-        # while the interval could lag behind it).
-        interval = t_mean_interval(estimates, self.confidence)
-        result.interval = interval
-        result.estimate = interval.mean
+        tracing = _TRACER.enabled
+        run_id = _TRACER.next_id("run") if tracing else None
+        if tracing:
+            _TRACER.emit(
+                "run_start",
+                run_id=run_id,
+                population=self.population.name,
+                population_size=self.population.size,
+                n=self.n,
+                m=self.m,
+                error=self.error,
+                confidence=self.confidence,
+                min_hyper_samples=self.min_hyper_samples,
+                max_hyper_samples=self.max_hyper_samples,
+                finite_correction=self.finite_correction,
+            )
+        _RUNS_TOTAL.inc()
+        with _RUN_TIMER.time():
+            estimates = []
+            for k in range(1, self.max_hyper_samples + 1):
+                hs = self.hyper_sample(k, gen, _trace=False)
+                result.hyper_samples.append(hs)
+                result.units_used += hs.units_used
+                estimates.append(hs.estimate)
+                interval = None
+                if k >= self.min_hyper_samples:
+                    interval = t_mean_interval(estimates, self.confidence)
+                    result.interval = interval
+                    result.estimate = interval.mean
+                    result.ci_trajectory.append(interval.rel_half_width)
+                if tracing:
+                    _TRACER.emit(
+                        "hyper_sample",
+                        run_id=run_id,
+                        rel_half_width=(
+                            interval.rel_half_width if interval else None
+                        ),
+                        cumulative_units=result.units_used,
+                        **_hyper_sample_payload(hs),
+                    )
+                if interval is not None and (
+                    interval.rel_half_width <= self.error
+                ):
+                    result.converged = True
+                    break
+            else:
+                # Budget exhausted: report the final interval over *all*
+                # k hyper-samples so that estimate == interval.mean
+                # always holds (previously the estimate was overwritten
+                # with the plain mean while the interval could lag
+                # behind it).
+                interval = t_mean_interval(estimates, self.confidence)
+                result.interval = interval
+                result.estimate = interval.mean
+        _K_HIST.observe(result.k)
+        if result.converged:
+            _RUNS_CONVERGED.inc()
+        if tracing:
+            _TRACER.emit(
+                "run_end",
+                run_id=run_id,
+                converged=result.converged,
+                k=result.k,
+                estimate=result.estimate,
+                units_used=result.units_used,
+                rel_half_width=result.rel_half_width,
+            )
         return result

@@ -20,6 +20,17 @@ per worker.  This requires the estimator — in particular its population
 always is; a :class:`~repro.vectors.population.StreamingPopulation`
 built from module-level callables is, but one closed over local lambdas
 is not (use ``workers=1`` there).
+
+Observability contract
+----------------------
+When the parent's :mod:`repro.obs` metrics registry is enabled, each
+worker enables its own registry (reset in the pool initializer so a
+forked child never re-counts inherited parent values), every task ships
+back a snapshot of exactly its own activity, and the parent merges the
+snapshots — counters and histograms recorded inside ``run_many`` /
+``hyper_sample_many`` therefore aggregate identically for any worker
+count.  Trace recording is parent-process only; the initializer closes
+any inherited sink.
 """
 
 from __future__ import annotations
@@ -30,6 +41,8 @@ from typing import List, Sequence, Union
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .mc_estimator import MaxPowerEstimator
 from .result import EstimationResult, HyperSample
 
@@ -58,20 +71,55 @@ def spawn_run_seeds(
     return root.spawn(num_runs)
 
 
-def _init_worker(estimator: MaxPowerEstimator) -> None:
+def _init_worker(estimator: MaxPowerEstimator, obs_enabled: bool = False) -> None:
     global _WORKER_ESTIMATOR
     _WORKER_ESTIMATOR = estimator
+    # A forked child inherits the parent's registry *values* and an open
+    # trace sink.  Reset the former (so per-task snapshots contain only
+    # this worker's activity and merging never double counts) and close
+    # the latter (two processes appending to one JSONL would interleave;
+    # traces are parent-only, metrics are the cross-process signal).
+    registry = get_registry()
+    registry.reset()
+    if obs_enabled:
+        registry.enable()
+    else:
+        registry.disable()
+    get_tracer().close()
 
 
-def _run_one(seed_seq: np.random.SeedSequence) -> EstimationResult:
-    return _WORKER_ESTIMATOR.run(np.random.default_rng(seed_seq))
+def _task_snapshot():
+    """Metrics recorded by the task that just ran (None when disabled).
+
+    ``reset=True`` keeps worker-side metrics task-scoped: every snapshot
+    shipped back is a disjoint delta, so the parent-side merge is exact
+    regardless of how tasks were chunked onto workers.
+    """
+    registry = get_registry()
+    return registry.snapshot(reset=True) if registry.enabled else None
 
 
-def _hyper_one(item) -> HyperSample:
+def _run_one(seed_seq: np.random.SeedSequence):
+    result = _WORKER_ESTIMATOR.run(np.random.default_rng(seed_seq))
+    return result, _task_snapshot()
+
+
+def _hyper_one(item):
     index, seed_seq = item
-    return _WORKER_ESTIMATOR.hyper_sample(
+    result = _WORKER_ESTIMATOR.hyper_sample(
         index, np.random.default_rng(seed_seq)
     )
+    return result, _task_snapshot()
+
+
+def _gather(pool_output, registry) -> list:
+    """Unzip (result, snapshot) task outputs, merging worker metrics."""
+    results = []
+    for result, snapshot in pool_output:
+        if snapshot is not None:
+            registry.merge(snapshot)
+        results.append(result)
+    return results
 
 
 def _check_workers(workers: int) -> None:
@@ -95,13 +143,14 @@ def run_many(
     seeds = spawn_run_seeds(base_seed, num_runs)
     if workers == 1:
         return [estimator.run(np.random.default_rng(s)) for s in seeds]
+    registry = get_registry()
     with ProcessPoolExecutor(
         max_workers=min(workers, num_runs),
         initializer=_init_worker,
-        initargs=(estimator,),
+        initargs=(estimator, registry.enabled),
     ) as pool:
         chunk = max(1, num_runs // (workers * 4))
-        return list(pool.map(_run_one, seeds, chunksize=chunk))
+        return _gather(pool.map(_run_one, seeds, chunksize=chunk), registry)
 
 
 def hyper_sample_many(
@@ -125,10 +174,11 @@ def hyper_sample_many(
             estimator.hyper_sample(i, np.random.default_rng(s))
             for i, s in items
         ]
+    registry = get_registry()
     with ProcessPoolExecutor(
         max_workers=min(workers, count),
         initializer=_init_worker,
-        initargs=(estimator,),
+        initargs=(estimator, registry.enabled),
     ) as pool:
         chunk = max(1, count // (workers * 4))
-        return list(pool.map(_hyper_one, items, chunksize=chunk))
+        return _gather(pool.map(_hyper_one, items, chunksize=chunk), registry)

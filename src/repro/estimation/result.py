@@ -1,7 +1,15 @@
-"""Result records for the estimators (reported objects, no logic)."""
+"""Result records for the estimators (reported objects, no logic).
+
+Both records serialize to plain JSON (``to_dict``/``to_json`` with
+``from_dict``/``from_json`` round trips), and the dict forms share their
+field names with the ``hyper_sample``/``run_end`` trace events emitted
+by :mod:`repro.obs` — a persisted result and a trace of the run that
+produced it describe the same thing in the same vocabulary.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -10,7 +18,10 @@ import numpy as np
 from ..evt.confidence import MeanInterval
 from ..evt.mle import WeibullFit
 
-__all__ = ["HyperSample", "EstimationResult"]
+__all__ = ["HyperSample", "EstimationResult", "RESULT_SCHEMA"]
+
+#: Schema tag embedded in serialized results (bump on breaking change).
+RESULT_SCHEMA = "repro.estimation_result/v1"
 
 
 @dataclass(frozen=True)
@@ -32,6 +43,9 @@ class HyperSample:
         finite ones, or the sample maximum in the degenerate case.
     units_used:
         Vector pairs simulated for this hyper-sample (n · m).
+    fallback_reason:
+        Why the fit fell back to the plain maximum (the ``FitError``
+        message), or ``None`` when the fit succeeded.
     """
 
     index: int
@@ -39,10 +53,33 @@ class HyperSample:
     fit: Optional[WeibullFit]
     estimate: float
     units_used: int
+    fallback_reason: Optional[str] = None
 
     @property
     def degenerate(self) -> bool:
         return self.fit is None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "maxima": np.asarray(self.maxima, dtype=np.float64).tolist(),
+            "fit": self.fit.to_dict() if self.fit is not None else None,
+            "estimate": self.estimate,
+            "units_used": self.units_used,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HyperSample":
+        fit = data.get("fit")
+        return cls(
+            index=int(data["index"]),
+            maxima=np.asarray(data["maxima"], dtype=np.float64),
+            fit=WeibullFit.from_dict(fit) if fit is not None else None,
+            estimate=float(data["estimate"]),
+            units_used=int(data["units_used"]),
+            fallback_reason=data.get("fallback_reason"),
+        )
 
 
 @dataclass
@@ -68,6 +105,10 @@ class EstimationResult:
         Total simulated vector pairs (the paper's "# of units" columns).
     population_name, population_size:
         Provenance (size ``None`` for infinite populations).
+    ci_trajectory:
+        Relative CI half-width after each hyper-sample from
+        ``min_hyper_samples`` on — the convergence trajectory the
+        iterative procedure walked (one entry per evaluated interval).
     """
 
     estimate: float
@@ -79,6 +120,7 @@ class EstimationResult:
     units_used: int = 0
     population_name: str = ""
     population_size: Optional[int] = None
+    ci_trajectory: List[float] = field(default_factory=list)
 
     @property
     def k(self) -> int:
@@ -108,3 +150,52 @@ class EstimationResult:
             f"({status}, k={self.k}, units={self.units_used}, "
             f"ε={self.error_bound:.0%} @ l={self.confidence:.0%})"
         )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able dump including every hyper-sample fit."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "estimate": self.estimate,
+            "interval": self.interval.to_dict() if self.interval else None,
+            "converged": self.converged,
+            "error_bound": self.error_bound,
+            "confidence": self.confidence,
+            "units_used": self.units_used,
+            "population_name": self.population_name,
+            "population_size": self.population_size,
+            "k": self.k,
+            "ci_trajectory": [float(w) for w in self.ci_trajectory],
+            "hyper_samples": [hs.to_dict() for hs in self.hyper_samples],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EstimationResult":
+        interval = data.get("interval")
+        return cls(
+            estimate=float(data["estimate"]),
+            interval=(
+                MeanInterval.from_dict(interval) if interval is not None else None
+            ),
+            converged=bool(data["converged"]),
+            error_bound=float(data["error_bound"]),
+            confidence=float(data["confidence"]),
+            hyper_samples=[
+                HyperSample.from_dict(hs) for hs in data.get("hyper_samples", ())
+            ],
+            units_used=int(data["units_used"]),
+            population_name=str(data.get("population_name", "")),
+            population_size=(
+                int(data["population_size"])
+                if data.get("population_size") is not None
+                else None
+            ),
+            ci_trajectory=[float(w) for w in data.get("ci_trajectory", ())],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EstimationResult":
+        return cls.from_dict(json.loads(text))

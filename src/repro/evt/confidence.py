@@ -85,6 +85,26 @@ class MeanInterval:
     def contains(self, value: float) -> bool:
         return self.low <= value <= self.high
 
+    def to_dict(self) -> dict:
+        """JSON-able form (shared by result serialization and traces)."""
+        return {
+            "mean": self.mean,
+            "half_width": self.half_width,
+            "level": self.level,
+            "k": self.k,
+            "std": self.std,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MeanInterval":
+        return cls(
+            mean=float(data["mean"]),
+            half_width=float(data["half_width"]),
+            level=float(data["level"]),
+            k=int(data["k"]),
+            std=float(data["std"]),
+        )
+
 
 def t_mean_interval(values: Sequence[float], level: float) -> MeanInterval:
     """Student-t interval over hyper-sample estimates (Eqn. 3.8).

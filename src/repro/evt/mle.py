@@ -29,9 +29,16 @@ import numpy as np
 from scipy import optimize
 
 from ..errors import EstimationError, FitError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .distributions import GeneralizedWeibull
 
 __all__ = ["WeibullFit", "fit_weibull_mle", "fit_weibull_mle_scipy", "fisher_covariance"]
+
+_METRICS = get_registry()
+_TRACER = get_tracer()
+_FIT_TIMER = _METRICS.timer("mle_fit_seconds")
+_FITS_TOTAL = _METRICS.counter("mle_fits_total")
 
 
 @dataclass(frozen=True)
@@ -73,17 +80,46 @@ class WeibullFit:
     def quantile(self, q: float) -> float:
         return float(self.distribution.ppf(q))
 
+    def to_dict(self) -> dict:
+        """JSON-able form (shared by result serialization and traces)."""
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "mu": self.mu,
+            "loglik": self.loglik,
+            "method": self.method,
+            "shape_gt2": self.shape_gt2,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WeibullFit":
+        dist = GeneralizedWeibull(
+            alpha=float(data["alpha"]),
+            beta=float(data["beta"]),
+            mu=float(data["mu"]),
+        )
+        return cls(
+            distribution=dist,
+            loglik=float(data["loglik"]),
+            method=str(data["method"]),
+            shape_gt2=bool(data["shape_gt2"]),
+        )
+
 
 def _validate_sample(x: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 1:
-        raise FitError("sample must be 1-D")
+        raise FitError("sample must be 1-D", cause="bad-shape")
     if x.size < 3:
-        raise FitError(f"need at least 3 block maxima, got {x.size}")
+        raise FitError(
+            f"need at least 3 block maxima, got {x.size}", cause="too-few"
+        )
     if not np.isfinite(x).all():
-        raise FitError("sample contains non-finite values")
+        raise FitError("sample contains non-finite values", cause="non-finite")
     if np.ptp(x) <= 0:
-        raise FitError("degenerate sample: all block maxima are equal")
+        raise FitError(
+            "degenerate sample: all block maxima are equal", cause="degenerate"
+        )
     return x
 
 
@@ -102,7 +138,7 @@ def _solve_shape(y: np.ndarray) -> float:
         hi *= 4.0
         g_hi = _weibull_shape_equation(hi, y, mean_ln)
     if g_hi < 0:
-        raise FitError("Weibull shape equation has no root in range")
+        raise FitError("Weibull shape equation has no root in range", cause="no-root")
     g_lo = _weibull_shape_equation(lo, y, mean_ln)
     if g_lo > 0:
         # Extremely heavy lower tail; the root is below lo.
@@ -184,6 +220,38 @@ def fit_weibull_mle(
     FitError
         On degenerate samples or a failed inner solve.
     """
+    with _FIT_TIMER.time():
+        try:
+            fit, diag = _fit_weibull_mle_impl(
+                x, mu_span, grid_points, min_offset_frac
+            )
+        except FitError as exc:
+            _METRICS.counter("mle_fit_errors_total", cause=exc.cause).inc()
+            if _TRACER.enabled:
+                _TRACER.emit("mle_fit_error", cause=exc.cause, reason=str(exc))
+            raise
+    _FITS_TOTAL.inc()
+    _METRICS.counter("mle_refine_total", path=diag["refine"]).inc()
+    if _TRACER.enabled:
+        _TRACER.emit("mle_fit", **fit.to_dict(), **diag)
+    return fit
+
+
+def _fit_weibull_mle_impl(
+    x: np.ndarray,
+    mu_span: float,
+    grid_points: int,
+    min_offset_frac: float,
+) -> Tuple[WeibullFit, dict]:
+    """Uninstrumented fitter core; returns ``(fit, diagnostics)``.
+
+    The diagnostics dict carries the μ-profile search telemetry the
+    ``mle_fit`` trace event exposes: profile evaluations on the coarse
+    grid (and how many were finite), the refinement bracket around the
+    best offset, and which refinement path ran (``"root"`` when the
+    profile derivative bracketed a sign change, ``"minimize"`` for the
+    bounded-minimizer fallback, ``"none"`` when the bracket collapsed).
+    """
     x = _validate_sample(x)
     top = float(x.max())
     spread = float(np.ptp(x))
@@ -201,7 +269,10 @@ def fit_weibull_mle(
         if best is None or ll > best[0]:
             best = (ll, top + off, a, scale)
     if best is None or not math.isfinite(best[0]):
-        raise FitError("profile likelihood evaluation failed everywhere")
+        raise FitError(
+            "profile likelihood evaluation failed everywhere",
+            cause="profile-failed",
+        )
 
     # Refine around the best grid offset.  When the bracket straddles a
     # sign change of the profile derivative, locate the stationary point
@@ -214,6 +285,7 @@ def fit_weibull_mle(
     lo_off = offsets[max(best_idx - 1, 0)]
     hi_off = offsets[min(best_idx + 1, offsets.size - 1)]
     refined: Optional[float] = None
+    refine_path = "none"
     if hi_off > lo_off:
         try:
             d_lo = _profile_dll(top + lo_off, x)[0]
@@ -221,6 +293,7 @@ def fit_weibull_mle(
         except (FitError, FloatingPointError, OverflowError):
             d_lo = d_hi = math.nan
         if math.isfinite(d_lo) and math.isfinite(d_hi) and d_lo > 0.0 > d_hi:
+            refine_path = "root"
             refined = float(
                 optimize.brentq(
                     lambda off: _profile_dll(top + off, x)[0],
@@ -230,6 +303,7 @@ def fit_weibull_mle(
                 )
             )
         else:
+            refine_path = "minimize"
             result = optimize.minimize_scalar(
                 lambda off: -_profile_loglik(top + off, x)[0],
                 bounds=(lo_off, hi_off),
@@ -254,13 +328,26 @@ def fit_weibull_mle(
     except (EstimationError, OverflowError) as exc:
         # Pathological tails (e.g. extreme heavy-tail samples) can push
         # beta = scale**(-alpha) to under/overflow.
-        raise FitError(f"fitted parameters out of range: {exc}") from None
-    return WeibullFit(
+        raise FitError(
+            f"fitted parameters out of range: {exc}", cause="param-range"
+        ) from None
+    fit = WeibullFit(
         distribution=dist,
         loglik=ll,
         method="profile-mle",
         shape_gt2=alpha > 2.0,
     )
+    diag = {
+        "m": int(x.size),
+        "grid_points": int(offsets.size),
+        "grid_finite": int(np.isfinite(lls).sum()),
+        "refine": refine_path,
+        "refine_accepted": refined is not None and best[1] == top + refined,
+        "bracket_lo": float(lo_off),
+        "bracket_hi": float(hi_off),
+        "mu_offset": float(mu - top),
+    }
+    return fit, diag
 
 
 def fit_weibull_mle_scipy(x: np.ndarray) -> WeibullFit:

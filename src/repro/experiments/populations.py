@@ -25,6 +25,8 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..netlist.generators import build_circuit
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..sim.power import PowerAnalyzer
 from ..vectors.generators import (
     high_activity_vector_pairs,
@@ -44,6 +46,13 @@ POPULATION_KINDS = ("unconstrained", "high", "low")
 _PIPELINE_VERSION = "build-v2"
 
 _MEMORY_CACHE: Dict[Tuple, FinitePopulation] = {}
+
+_METRICS = get_registry()
+_TRACER = get_tracer()
+_CACHE_HITS = _METRICS.counter("population_cache_hits_total")
+_CACHE_MISSES = _METRICS.counter("population_cache_misses_total")
+_MEMCACHE_HITS = _METRICS.counter("population_memcache_hits_total")
+_CACHE_LOAD_TIMER = _METRICS.timer("population_cache_load_seconds")
 
 
 def population_seed(config: ExperimentConfig, circuit: str, kind: str) -> int:
@@ -106,7 +115,14 @@ def build_population(
     )
     path = _cache_path(config, circuit_name, kind, size)
     if path.exists():
-        return FinitePopulation.load(path)
+        _CACHE_HITS.inc()
+        if _TRACER.enabled:
+            _TRACER.emit("population_cache", hit=True, path=str(path))
+        with _CACHE_LOAD_TIMER.time():
+            return FinitePopulation.load(path)
+    _CACHE_MISSES.inc()
+    if _TRACER.enabled:
+        _TRACER.emit("population_cache", hit=False, path=str(path))
 
     circuit = build_circuit(circuit_name)
     analyzer = PowerAnalyzer(
@@ -149,4 +165,6 @@ def get_population(
     if pop is None:
         pop = build_population(config, circuit_name, kind)
         _MEMORY_CACHE[key] = pop
+    else:
+        _MEMCACHE_HITS.inc()
     return pop

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from ..errors import ConfigError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .ablations import (
     run_ablation_finite_population,
     run_ablation_fitting,
@@ -40,30 +43,87 @@ EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentConfig]], ExperimentTable]] 
     "extension_pot": run_extension_pot,
 }
 
+_METRICS = get_registry()
+_TRACER = get_tracer()
+
 
 def run_experiment(
     name: str, config: Optional[ExperimentConfig] = None
 ) -> ExperimentTable:
-    """Run one registered experiment by id."""
+    """Run one registered experiment by id.
+
+    The experiment's wall-clock is recorded in the
+    ``experiment_seconds{experiment=<name>}`` timer and stored in the
+    returned table's ``data["wall_time_s"]``.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise ConfigError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(config)
+    start = time.perf_counter()
+    table = runner(config)
+    elapsed = time.perf_counter() - start
+    _METRICS.timer("experiment_seconds", experiment=name).observe(elapsed)
+    table.data.setdefault("wall_time_s", elapsed)
+    if _TRACER.enabled:
+        _TRACER.emit(
+            "experiment", name=name, seconds=elapsed, rows=len(table.rows)
+        )
+    return table
+
+
+def _prepare_output_dir(output_dir: Path) -> Path:
+    """Validate the artifact directory up front, before any compute.
+
+    Failing here — rather than at the first ``table.save`` mid-sweep —
+    means a bad ``--output-dir`` costs seconds, not the minutes of
+    already-completed experiments.
+    """
+    output_dir = Path(output_dir)
+    try:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        probe = output_dir / ".write_probe"
+        probe.write_text("")
+        probe.unlink()
+    except OSError as exc:
+        raise ConfigError(
+            f"output_dir {output_dir} is not writable: {exc}"
+        ) from exc
+    return output_dir
+
+
+def _save_table(table: ExperimentTable, output_dir: Path) -> None:
+    try:
+        table.save(output_dir)
+    except OSError as exc:
+        raise ConfigError(
+            f"failed to save {table.experiment_id!r} artifacts to "
+            f"{output_dir}: {exc}"
+        ) from exc
 
 
 def run_all(
     config: Optional[ExperimentConfig] = None,
     output_dir: Optional[Path] = None,
 ) -> List[ExperimentTable]:
-    """Run every experiment, optionally saving .txt/.csv per artifact."""
+    """Run every experiment, optionally saving .txt/.csv per artifact.
+
+    Filesystem problems surface as :class:`~repro.errors.ConfigError` —
+    the output directory is probed for writability before the first
+    experiment runs, and each per-table save failure is wrapped with
+    the experiment id.  Per-experiment wall-clock lands in the
+    ``experiment_seconds`` timers and each table's
+    ``data["wall_time_s"]``.
+    """
     config = config or default_config()
+    if output_dir is not None:
+        output_dir = _prepare_output_dir(output_dir)
     results = []
     for name in EXPERIMENTS:
         table = run_experiment(name, config)
         if output_dir is not None:
-            table.save(Path(output_dir))
+            _save_table(table, output_dir)
         results.append(table)
     return results

@@ -1,0 +1,67 @@
+"""``repro.obs`` — observability for the estimation pipeline.
+
+Three zero-dependency layers (stdlib only; nothing here imports numpy
+or scipy):
+
+* :mod:`repro.obs.metrics` — process-wide registry of counters, gauges,
+  timers and fixed-bucket histograms, with thread-safe recording and
+  snapshot/merge aggregation across the ``run_many`` process pools;
+* :mod:`repro.obs.trace` — structured JSONL trace events plus an
+  in-memory ring buffer (one ``hyper_sample`` event per Figure 4
+  iteration is the core signal);
+* :mod:`repro.obs.export` — Prometheus text exposition and the human
+  convergence-diagnostics report.
+
+Everything is **off by default** and adds only a branch per call site
+when off, so library behavior — including every random stream — is
+bit-identical with observability enabled or disabled.  Turn it on via
+``repro ... --trace FILE --metrics FILE``, the ``REPRO_TRACE``
+environment variable, or programmatically::
+
+    from repro.obs import get_registry, get_tracer
+
+    get_registry().enable()
+    get_tracer().open("run.jsonl")
+    ...
+    snapshot = get_registry().snapshot()
+"""
+
+from .export import (
+    convergence_report,
+    load_metrics_file,
+    load_trace,
+    phase_timings,
+    render_prometheus,
+    write_metrics_file,
+)
+from .metrics import (
+    DEFAULT_ALPHA_BUCKETS,
+    DEFAULT_K_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+)
+from .trace import EVENT_TYPES, TraceRecorder, get_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_ALPHA_BUCKETS",
+    "DEFAULT_K_BUCKETS",
+    "TraceRecorder",
+    "get_tracer",
+    "EVENT_TYPES",
+    "render_prometheus",
+    "write_metrics_file",
+    "load_metrics_file",
+    "load_trace",
+    "convergence_report",
+    "phase_timings",
+]

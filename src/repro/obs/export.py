@@ -1,0 +1,335 @@
+"""Exporters: Prometheus text format and a human convergence report.
+
+Two consumers of the observability data:
+
+* machines — :func:`render_prometheus` turns a registry snapshot into
+  the Prometheus text exposition format (``repro_`` prefix, cumulative
+  ``_bucket{le=...}`` histogram series, ``_count``/``_sum`` for timers);
+* humans — :func:`convergence_report` summarizes either a metrics
+  snapshot or a trace JSONL into the diagnostics that matter for the
+  paper's iterative procedure: convergence rate, the k distribution,
+  fallback and non-regular (α̂ ≤ 2) fit rates, the CI half-width
+  trajectory, and where wall-clock went.
+
+:func:`write_metrics_file` picks the format from the file suffix
+(``.json`` → snapshot JSON that :func:`load_metrics_file` and
+``repro report --metrics`` can read back; anything else → Prometheus
+text).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ConfigError
+
+__all__ = [
+    "render_prometheus",
+    "write_metrics_file",
+    "load_metrics_file",
+    "load_trace",
+    "convergence_report",
+    "phase_timings",
+]
+
+_PREFIX = "repro_"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _labels_fragment(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{_sanitize(k)}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value)) if not float(value).is_integer() else str(int(value))
+
+
+def render_prometheus(snapshot: dict, prefix: str = _PREFIX) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for item in snapshot.get("counters", ()):
+        name = prefix + _sanitize(item["name"])
+        type_line(name, "counter")
+        lines.append(f"{name}{_labels_fragment(item['labels'])} {_fmt(item['value'])}")
+    for item in snapshot.get("gauges", ()):
+        name = prefix + _sanitize(item["name"])
+        type_line(name, "gauge")
+        lines.append(f"{name}{_labels_fragment(item['labels'])} {_fmt(item['value'])}")
+    for item in snapshot.get("timers", ()):
+        name = prefix + _sanitize(item["name"])
+        type_line(name, "summary")
+        frag = _labels_fragment(item["labels"])
+        lines.append(f"{name}_count{frag} {_fmt(item['count'])}")
+        lines.append(f"{name}_sum{frag} {_fmt(item['total'])}")
+        if item.get("min") is not None:
+            lines.append(f"{name}_min{frag} {_fmt(item['min'])}")
+        if item.get("max") is not None:
+            lines.append(f"{name}_max{frag} {_fmt(item['max'])}")
+    for item in snapshot.get("histograms", ()):
+        name = prefix + _sanitize(item["name"])
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(item["bounds"], item["counts"]):
+            cumulative += count
+            frag = _labels_fragment(item["labels"], f'le="{_fmt(bound)}"')
+            lines.append(f"{name}_bucket{frag} {cumulative}")
+        cumulative += item["counts"][-1]
+        frag = _labels_fragment(item["labels"], 'le="+Inf"')
+        lines.append(f"{name}_bucket{frag} {cumulative}")
+        frag = _labels_fragment(item["labels"])
+        lines.append(f"{name}_sum{frag} {_fmt(item['sum'])}")
+        lines.append(f"{name}_count{frag} {_fmt(item['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_file(path: Union[str, Path], snapshot: dict) -> Path:
+    """Write a snapshot to disk — ``.json`` snapshot or Prometheus text."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    else:
+        path.write_text(render_prometheus(snapshot))
+    return path
+
+
+def load_metrics_file(path: Union[str, Path]) -> dict:
+    """Read back a ``.json`` snapshot written by :func:`write_metrics_file`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            f"{path} is not a JSON metrics snapshot ({exc}); "
+            "use the .json metrics format or pass a trace .jsonl file"
+        ) from None
+    if not isinstance(data, dict) or "counters" not in data:
+        raise ConfigError(f"{path} does not look like a metrics snapshot")
+    return data
+
+
+def load_trace(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL trace file into a list of event dicts."""
+    events: List[dict] = []
+    path = Path(path)
+    for line_no, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path}:{line_no}: invalid trace line ({exc})") from None
+        if not isinstance(record, dict) or "event" not in record:
+            raise ConfigError(f"{path}:{line_no}: trace line is not an event object")
+        events.append(record)
+    return events
+
+
+def phase_timings(snapshot: dict) -> Dict[str, dict]:
+    """Extract the timer section as ``{name: {count, total, mean}}``.
+
+    Labeled timers are keyed ``name{k=v,...}``; this is the per-phase
+    wall-clock summary the ``BENCH_*.json`` artifacts embed.
+    """
+    phases: Dict[str, dict] = {}
+    for item in snapshot.get("timers", ()):
+        key = item["name"] + _labels_fragment(item["labels"])
+        count = int(item["count"])
+        total = float(item["total"])
+        phases[key] = {
+            "count": count,
+            "total_s": total,
+            "mean_s": total / count if count else 0.0,
+        }
+    return phases
+
+
+# ----------------------------------------------------------------------
+# Convergence diagnostics report
+# ----------------------------------------------------------------------
+
+def _counter_value(snapshot: dict, name: str) -> float:
+    return sum(
+        item["value"]
+        for item in snapshot.get("counters", ())
+        if item["name"] == name
+    )
+
+
+def _counter_by_label(snapshot: dict, name: str, label: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for item in snapshot.get("counters", ()):
+        if item["name"] == name:
+            key = item["labels"].get(label, "")
+            out[key] = out.get(key, 0.0) + item["value"]
+    return out
+
+
+def _histogram(snapshot: dict, name: str) -> Optional[dict]:
+    for item in snapshot.get("histograms", ()):
+        if item["name"] == name:
+            return item
+    return None
+
+
+def _pct(num: float, den: float) -> str:
+    return f"{num / den:.1%}" if den else "n/a"
+
+
+def _num(value) -> Optional[float]:
+    """Undo the trace JSON encoding of non-finite floats."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}.get(value)
+    return float(value)
+
+
+def _metrics_section(snapshot: dict) -> List[str]:
+    lines = ["== metrics =="]
+    runs = _counter_value(snapshot, "estimator_runs_total")
+    converged = _counter_value(snapshot, "estimator_runs_converged_total")
+    hypers = _counter_value(snapshot, "estimator_hyper_samples_total")
+    fallbacks = _counter_value(snapshot, "estimator_fallbacks_total")
+    units = _counter_value(snapshot, "estimator_units_total")
+    nonregular = _counter_value(snapshot, "estimator_nonregular_fits_total")
+    if runs:
+        lines.append(
+            f"runs: {runs:.0f} ({_pct(converged, runs)} converged, "
+            f"avg k = {hypers / runs:.1f}, avg units = {units / runs:.0f})"
+        )
+    if hypers:
+        lines.append(
+            f"hyper-samples: {hypers:.0f} "
+            f"(fallback-to-max rate {_pct(fallbacks, hypers)}, "
+            f"non-regular fits (alpha<=2) {_pct(nonregular, hypers)})"
+        )
+    alpha = _histogram(snapshot, "estimator_alpha")
+    if alpha and alpha["count"]:
+        mean = alpha["sum"] / alpha["count"]
+        le2 = sum(
+            c for b, c in zip(alpha["bounds"], alpha["counts"]) if b <= 2.0
+        )
+        lines.append(
+            f"alpha-hat: mean {mean:.2f} over {alpha['count']} fits, "
+            f"{_pct(le2, alpha['count'])} at alpha <= 2 "
+            "(Smith-regularity boundary)"
+        )
+    fit_errors = _counter_by_label(snapshot, "mle_fit_errors_total", "cause")
+    if fit_errors:
+        causes = ", ".join(
+            f"{cause or 'unknown'}: {count:.0f}"
+            for cause, count in sorted(fit_errors.items())
+        )
+        lines.append(f"mle fit errors: {causes}")
+    hits = _counter_value(snapshot, "population_cache_hits_total")
+    misses = _counter_value(snapshot, "population_cache_misses_total")
+    if hits or misses:
+        lines.append(
+            f"population cache: {hits:.0f} hits / {misses:.0f} misses "
+            f"({_pct(hits, hits + misses)} hit rate)"
+        )
+    phases = phase_timings(snapshot)
+    if phases:
+        lines.append("wall-clock by phase:")
+        width = max(len(k) for k in phases)
+        for key, info in sorted(
+            phases.items(), key=lambda kv: -kv[1]["total_s"]
+        ):
+            lines.append(
+                f"  {key:<{width}}  total {info['total_s']:.3f}s  "
+                f"x{info['count']}  mean {info['mean_s'] * 1e3:.2f}ms"
+            )
+    if len(lines) == 1:
+        lines.append("(no estimation metrics recorded)")
+    return lines
+
+
+def _trace_section(events: Sequence[dict]) -> List[str]:
+    lines = ["== trace =="]
+    runs = [e for e in events if e["event"] == "run_end"]
+    hypers = [e for e in events if e["event"] == "hyper_sample"]
+    if not runs and not hypers:
+        lines.append("(no estimation events in trace)")
+        return lines
+    if runs:
+        converged = sum(1 for e in runs if e.get("converged"))
+        ks = [e.get("k", 0) for e in runs]
+        units = [e.get("units_used", 0) for e in runs]
+        lines.append(
+            f"runs: {len(runs)} ({converged} converged), "
+            f"k: min {min(ks)} / max {max(ks)}, "
+            f"units: min {min(units)} / max {max(units)}"
+        )
+    if hypers:
+        fallbacks = [e for e in hypers if e.get("fallback_reason")]
+        alphas = [
+            _num(e.get("alpha")) for e in hypers if e.get("alpha") is not None
+        ]
+        alphas = [a for a in alphas if a is not None and math.isfinite(a)]
+        lines.append(
+            f"hyper-samples: {len(hypers)}, fallbacks: {len(fallbacks)}"
+        )
+        if alphas:
+            nonreg = sum(1 for a in alphas if a <= 2.0)
+            lines.append(
+                f"alpha-hat: min {min(alphas):.2f} / "
+                f"mean {sum(alphas) / len(alphas):.2f} / max {max(alphas):.2f}"
+                f" ({nonreg} fits at alpha <= 2)"
+            )
+    # Per-run CI half-width trajectory: the convergence picture of
+    # Figure 4.  Group hyper_sample events by run_id.
+    by_run: Dict[str, List[dict]] = {}
+    for e in hypers:
+        run_id = e.get("run_id")
+        if run_id:
+            by_run.setdefault(run_id, []).append(e)
+    for run_id, run_events in sorted(by_run.items()):
+        widths = []
+        for e in sorted(run_events, key=lambda e: e.get("k", 0)):
+            w = _num(e.get("rel_half_width"))
+            widths.append("--" if w is None or not math.isfinite(w) else f"{w:.3f}")
+        trajectory = " ".join(widths[:12]) + (" ..." if len(widths) > 12 else "")
+        lines.append(f"  {run_id}: rel CI half-width by k: {trajectory}")
+    return lines
+
+
+def convergence_report(
+    snapshot: Optional[dict] = None,
+    trace_events: Optional[Sequence[dict]] = None,
+) -> str:
+    """Human-readable convergence diagnostics.
+
+    Either input may be omitted; the report renders whatever is
+    available.  This is what ``repro report --metrics FILE`` prints.
+    """
+    if snapshot is None and trace_events is None:
+        raise ConfigError("convergence_report needs a snapshot or trace events")
+    lines = ["convergence diagnostics"]
+    if snapshot is not None:
+        lines.extend(_metrics_section(snapshot))
+    if trace_events is not None:
+        lines.extend(_trace_section(trace_events))
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Structured trace events: JSONL sink plus an in-memory ring buffer.
+
+Each event is one flat JSON object with two reserved keys — ``ts``
+(UNIX timestamp, float seconds) and ``event`` (the type tag) — plus a
+type-specific payload.  The event vocabulary and field-by-field schema
+live in ``docs/observability.md``; the load-bearing type is
+``hyper_sample``, which :meth:`repro.estimation.mc_estimator.MaxPowerEstimator.run`
+emits once per iteration with the fitted (α̂, β̂, μ̂) or the fallback
+reason, the block-maxima summary, the relative CI half-width, and the
+cumulative unit count — the paper's Figure 4 loop as a log.
+
+The recorder is disabled by default; :meth:`TraceRecorder.emit` is then
+a single branch.  Payload values are sanitized for JSON (numpy scalars
+via ``.item()``, arrays via ``.tolist()``), so call sites can pass
+whatever the pipeline produced.
+
+Traces are per-process: the worker initializer in
+:mod:`repro.estimation.parallel` deliberately disables the recorder so
+forked children never interleave writes into the parent's sink (metrics,
+which merge cleanly, are the cross-process signal).
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Optional, Union
+
+__all__ = ["TraceRecorder", "get_tracer", "EVENT_TYPES"]
+
+#: Known event type tags (documented in docs/observability.md).
+EVENT_TYPES = (
+    "run_start",
+    "hyper_sample",
+    "run_end",
+    "mle_fit",
+    "mle_fit_error",
+    "population_build",
+    "population_cache",
+    "experiment",
+)
+
+DEFAULT_RING_SIZE = 4096
+
+
+def _jsonable(value):
+    """Best-effort JSON sanitizer for payload values."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # JSON has no inf/nan literals; keep the file parseable.
+        if value != value:  # nan
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if hasattr(value, "tolist"):  # numpy array
+        return _jsonable(value.tolist())
+    if hasattr(value, "item"):  # numpy scalar
+        return _jsonable(value.item())
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class TraceRecorder:
+    """Append-only event recorder with a bounded in-memory tail."""
+
+    def __init__(self, ring_size: int = DEFAULT_RING_SIZE):
+        self._lock = threading.Lock()
+        self._ring: Deque[dict] = deque(maxlen=ring_size)
+        self._sink: Optional[io.TextIOBase] = None
+        self._path: Optional[Path] = None
+        self._enabled = False
+        self._ids = itertools.count(1)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    def open(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        ring_size: Optional[int] = None,
+    ) -> None:
+        """Enable recording; with ``path``, stream events to a JSONL file.
+
+        Without a path, events only land in the ring buffer (useful for
+        tests and interactive inspection via :meth:`recent`).
+        """
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+            if ring_size is not None:
+                self._ring = deque(self._ring, maxlen=ring_size)
+            self._path = None
+            if path is not None:
+                self._path = Path(path)
+                self._sink = open(self._path, "w", encoding="utf-8")
+            self._enabled = True
+
+    def close(self) -> Optional[Path]:
+        """Flush and close the sink, disable recording; returns the path."""
+        with self._lock:
+            path = self._path
+            if self._sink is not None:
+                self._sink.flush()
+                self._sink.close()
+                self._sink = None
+            self._path = None
+            self._enabled = False
+            return path
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
+    # -- recording -----------------------------------------------------
+    def next_id(self, prefix: str) -> str:
+        """Short unique-in-process id for correlating related events."""
+        return f"{prefix}-{next(self._ids)}"
+
+    def emit(self, event: str, **payload) -> None:
+        """Record one event (no-op while disabled)."""
+        if not self._enabled:
+            return
+        record = {"ts": time.time(), "event": event}
+        for key, value in payload.items():
+            record[key] = _jsonable(value)
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            if not self._enabled:  # closed while we serialized
+                return
+            self._ring.append(record)
+            if self._sink is not None:
+                self._sink.write(line + "\n")
+
+    def recent(self, n: Optional[int] = None) -> List[dict]:
+        """The last ``n`` events (all buffered events when ``n`` is None)."""
+        with self._lock:
+            events = list(self._ring)
+        return events if n is None else events[-n:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+#: Process-wide recorder used by all pipeline instrumentation.
+_GLOBAL_TRACER = TraceRecorder()
+
+
+def get_tracer() -> TraceRecorder:
+    """The process-wide trace recorder (disabled until opened)."""
+    return _GLOBAL_TRACER

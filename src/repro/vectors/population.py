@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import abc
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -30,6 +31,8 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import PopulationError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .generators import RngLike, as_rng
 
 __all__ = [
@@ -46,6 +49,13 @@ PowerFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
 #: The chunk decomposition is part of the reproducibility contract, so it
 #: must not depend on the worker count.
 DEFAULT_BUILD_CHUNK = 4096
+
+_METRICS = get_registry()
+_TRACER = get_tracer()
+_BUILD_TIMER = _METRICS.timer("population_build_seconds")
+_CHUNK_TIMER = _METRICS.timer("population_build_chunk_seconds")
+_PAIRS_TOTAL = _METRICS.counter("population_pairs_built_total")
+_STREAMED_TOTAL = _METRICS.counter("population_streamed_units_total")
 
 
 def _as_power_array(values: np.ndarray, expected: int) -> np.ndarray:
@@ -302,11 +312,15 @@ class FinitePopulation(PowerPopulation):
         def simulate_chunk(
             count: int, seed_seq: np.random.SeedSequence
         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-            rng = np.random.default_rng(seed_seq)
-            v1, v2 = pair_generator(count, rng)
-            powers = _as_power_array(power_function(v1, v2), count)
+            # Chunk timings record from pool threads too — the registry
+            # lock serializes the (tiny) bookkeeping, not the simulation.
+            with _CHUNK_TIMER.time():
+                rng = np.random.default_rng(seed_seq)
+                v1, v2 = pair_generator(count, rng)
+                powers = _as_power_array(power_function(v1, v2), count)
             return v1, v2, powers
 
+        start = time.perf_counter()
         if workers == 1 or len(counts) == 1:
             parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
                 simulate_chunk(c, s) for c, s in zip(counts, children)
@@ -316,9 +330,22 @@ class FinitePopulation(PowerPopulation):
                 max_workers=min(workers, len(counts))
             ) as pool:
                 parts = list(pool.map(simulate_chunk, counts, children))
+        elapsed = time.perf_counter() - start
         v1 = np.concatenate([p[0] for p in parts])
         v2 = np.concatenate([p[1] for p in parts])
         powers = np.concatenate([p[2] for p in parts])
+        _BUILD_TIMER.observe(elapsed)
+        _PAIRS_TOTAL.inc(num_pairs)
+        if _TRACER.enabled:
+            _TRACER.emit(
+                "population_build",
+                name=name,
+                num_pairs=num_pairs,
+                chunks=len(counts),
+                chunk_size=chunk_size,
+                workers=workers,
+                seconds=elapsed,
+            )
         meta = {"seed": seed, "chunk_size": chunk_size, **(metadata or {})}
         return cls(powers=powers, v1=v1, v2=v2, name=name, metadata=meta)
 
@@ -351,6 +378,7 @@ class StreamingPopulation(PowerPopulation):
         # Count the unit budget only after the simulation succeeded; a
         # raising power function must not inflate ``units_simulated``.
         self.units_simulated += n
+        _STREAMED_TOTAL.inc(n)
         return powers
 
     def sample_block_maxima(

@@ -13,7 +13,13 @@ from repro.experiments.base import ExperimentTable
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
-from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    _save_table,
+    run_all,
+    run_experiment,
+)
+from repro.obs import get_registry
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 
@@ -189,3 +195,44 @@ class TestRunnerRegistry:
         assert "method" in text and "rel bias" in text
         csv_text = table.csv()
         assert csv_text.splitlines()[0].startswith("method,")
+
+
+class TestOutputDirValidation:
+    def test_run_all_rejects_unwritable_output_dir_up_front(self, tiny, tmp_path):
+        """A bad --output-dir must fail in seconds, before any sweep."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")  # a *file* where a directory is needed
+        import time
+
+        start = time.perf_counter()
+        with pytest.raises(ConfigError, match="not writable"):
+            run_all(tiny, output_dir=blocker / "results")
+        # Fail-fast: validation only, no experiment ran first.
+        assert time.perf_counter() - start < 5.0
+
+    def test_save_failure_names_the_experiment(self, tiny, tmp_path):
+        table = run_figure1(tiny, circuit="c432", num_maxima=60)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with pytest.raises(ConfigError, match="figure1"):
+            _save_table(table, blocker / "results")
+
+
+class TestWallClockRecording:
+    def test_run_experiment_records_wall_time(self, tiny):
+        registry = get_registry()
+        was_enabled = registry.enabled
+        registry.enable()
+        registry.snapshot(reset=True)
+        try:
+            table = run_experiment("figure1", tiny)
+            assert table.data["wall_time_s"] > 0
+            timer = registry.timer("experiment_seconds", experiment="figure1")
+            assert timer.count == 1
+            assert timer.total == pytest.approx(
+                table.data["wall_time_s"], rel=0.01
+            )
+        finally:
+            registry.reset()
+            if not was_enabled:
+                registry.disable()

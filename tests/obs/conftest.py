@@ -1,0 +1,29 @@
+"""Observability test fixtures: keep the global registry/tracer clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_registry, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Reset the process-wide observability state around every test.
+
+    The registry and tracer are deliberately global (module-level metric
+    handles depend on it), so tests must not leak enablement or values
+    into each other — or into the rest of the suite, which asserts
+    bit-identical estimator output with observability off.
+    """
+    registry = get_registry()
+    tracer = get_tracer()
+    registry.disable()
+    registry.reset()
+    tracer.close()
+    tracer.clear()
+    yield registry
+    registry.disable()
+    registry.reset()
+    tracer.close()
+    tracer.clear()

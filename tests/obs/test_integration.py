@@ -1,0 +1,249 @@
+"""Observability threaded through the estimation pipeline.
+
+Covers the PR's acceptance criteria end to end:
+
+* disabling observability reproduces the seed estimates bit-for-bit;
+* a traced run emits one ``hyper_sample`` JSONL event per hyper-sample
+  carrying (k, fitted alpha/beta/mu or the fallback reason, the relative
+  CI half-width, and the cumulative unit count);
+* metrics recorded inside ``run_many`` survive the process pool with
+  >= 2 workers and merge to the same totals as a serial run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.estimation.mc_estimator import MaxPowerEstimator
+from repro.estimation.parallel import hyper_sample_many, run_many
+from repro.evt.distributions import GeneralizedWeibull
+from repro.evt.mle import fit_weibull_mle
+from repro.obs import get_registry, get_tracer, load_trace
+from repro.vectors.population import FinitePopulation
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    dist = GeneralizedWeibull.from_scale(alpha=4.0, scale=0.3, mu=1.0)
+    powers = np.clip(dist.rvs(8000, rng=0), 0.0, None)
+    pop = FinitePopulation(powers, name="synthetic")
+    return MaxPowerEstimator(pop, error=0.05, confidence=0.90)
+
+
+def _run(estimator, seed=7):
+    return estimator.run(np.random.default_rng(seed))
+
+
+class TestNoOpIdentity:
+    def test_disabled_enabled_traced_all_bit_identical(
+        self, estimator, tmp_path
+    ):
+        baseline = _run(estimator)
+
+        get_registry().enable()
+        with_metrics = _run(estimator)
+
+        get_tracer().open(tmp_path / "run.jsonl")
+        with_trace = _run(estimator)
+        get_tracer().close()
+
+        for other in (with_metrics, with_trace):
+            assert other.estimate == baseline.estimate
+            assert other.units_used == baseline.units_used
+            assert other.converged == baseline.converged
+            assert other.k == baseline.k
+            for a, b in zip(baseline.hyper_samples, other.hyper_samples):
+                assert a.estimate == b.estimate
+                assert np.array_equal(a.maxima, b.maxima)
+
+    def test_disabled_run_records_nothing(self, estimator):
+        registry = get_registry()
+        _run(estimator)
+        snap = registry.snapshot()
+        assert snap == {
+            "counters": [],
+            "gauges": [],
+            "timers": [],
+            "histograms": [],
+        }
+        assert get_tracer().recent() == []
+
+
+class TestTraceSchema:
+    def test_one_hyper_sample_event_per_iteration(self, estimator, tmp_path):
+        path = tmp_path / "run.jsonl"
+        get_registry().enable()
+        get_tracer().open(path)
+        result = _run(estimator)
+        get_tracer().close()
+
+        events = load_trace(path)
+        hypers = [e for e in events if e["event"] == "hyper_sample"]
+        assert len(hypers) == result.k
+        assert [e["k"] for e in hypers] == list(range(1, result.k + 1))
+
+        run_starts = [e for e in events if e["event"] == "run_start"]
+        run_ends = [e for e in events if e["event"] == "run_end"]
+        assert len(run_starts) == len(run_ends) == 1
+        run_id = run_starts[0]["run_id"]
+
+        for e in hypers:
+            # acceptance-criterion payload, field by field
+            assert e["run_id"] == run_id
+            assert isinstance(e["k"], int)
+            assert isinstance(e["estimate"], float)
+            assert isinstance(e["units_used"], int)
+            assert isinstance(e["cumulative_units"], int)
+            assert "rel_half_width" in e
+            assert "fallback_reason" in e
+            if e["fallback_reason"] is None:
+                assert isinstance(e["alpha"], float)
+                assert isinstance(e["beta"], float)
+                assert isinstance(e["mu"], float)
+            else:
+                assert e["alpha"] is None
+            for stat in ("maxima_min", "maxima_mean", "maxima_max"):
+                assert isinstance(e[stat], float)
+
+        # intervals start at min_hyper_samples; cumulative units ascend
+        assert hypers[0]["rel_half_width"] is None
+        cumulative = [e["cumulative_units"] for e in hypers]
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == result.units_used
+
+        end = run_ends[0]
+        assert end["converged"] == result.converged
+        assert end["k"] == result.k
+        assert end["estimate"] == result.estimate
+
+    def test_ci_trajectory_matches_trace(self, estimator, tmp_path):
+        get_tracer().open(tmp_path / "run.jsonl")
+        result = _run(estimator)
+        get_tracer().close()
+        hypers = [
+            e for e in get_tracer().recent() if e["event"] == "hyper_sample"
+        ]
+        traced = [
+            e["rel_half_width"]
+            for e in hypers
+            if e["rel_half_width"] is not None
+        ]
+        assert traced == pytest.approx(result.ci_trajectory)
+        assert len(result.ci_trajectory) == result.k - (
+            estimator.min_hyper_samples - 1
+        )
+
+
+class TestCrossProcessMerge:
+    def test_run_many_metrics_survive_two_workers(self, estimator):
+        registry = get_registry()
+        registry.enable()
+
+        serial = run_many(estimator, 4, base_seed=11, workers=1)
+        serial_snap = registry.snapshot(reset=True)
+
+        parallel = run_many(estimator, 4, base_seed=11, workers=2)
+        parallel_snap = registry.snapshot(reset=True)
+
+        assert [r.estimate for r in serial] == [r.estimate for r in parallel]
+
+        def totals(snap):
+            return {
+                (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+                for c in snap["counters"]
+            }
+
+        assert totals(parallel_snap) == totals(serial_snap)
+        assert totals(parallel_snap)[("estimator_runs_total", ())] == 4
+        expected_units = sum(r.units_used for r in parallel)
+        assert (
+            totals(parallel_snap)[("estimator_units_total", ())]
+            == expected_units
+        )
+
+        def timer_counts(snap):
+            return {t["name"]: t["count"] for t in snap["timers"]}
+
+        assert timer_counts(parallel_snap) == timer_counts(serial_snap)
+
+        def hist_counts(snap):
+            return {h["name"]: h["counts"] for h in snap["histograms"]}
+
+        assert hist_counts(parallel_snap) == hist_counts(serial_snap)
+
+    def test_hyper_sample_many_counts_with_two_workers(self, estimator):
+        registry = get_registry()
+        registry.enable()
+        hyper_sample_many(estimator, 6, base_seed=5, workers=2)
+        snap = registry.snapshot()
+        counters = {c["name"]: c["value"] for c in snap["counters"]}
+        assert counters["estimator_hyper_samples_total"] == 6
+
+    def test_disabled_parent_keeps_workers_silent(self, estimator):
+        registry = get_registry()
+        assert not registry.enabled
+        run_many(estimator, 2, base_seed=1, workers=2)
+        assert registry.snapshot()["counters"] == []
+
+
+class TestMleInstrumentation:
+    def test_fit_error_cause_counted_and_traced(self):
+        registry = get_registry()
+        registry.enable()
+        get_tracer().open()  # ring-only
+        with pytest.raises(FitError) as excinfo:
+            fit_weibull_mle(np.full(30, 2.0))  # degenerate: all equal
+        cause = excinfo.value.cause
+        assert cause == "degenerate"
+        snap = registry.snapshot()
+        errors = {
+            c["labels"]["cause"]: c["value"]
+            for c in snap["counters"]
+            if c["name"] == "mle_fit_errors_total"
+        }
+        assert errors == {"degenerate": 1}
+        events = [
+            e for e in get_tracer().recent() if e["event"] == "mle_fit_error"
+        ]
+        assert len(events) == 1
+        assert events[0]["cause"] == "degenerate"
+
+    def test_successful_fit_emits_mle_fit_event(self):
+        registry = get_registry()
+        registry.enable()
+        get_tracer().open()
+        rng = np.random.default_rng(0)
+        dist = GeneralizedWeibull.from_scale(alpha=4.0, scale=0.3, mu=1.0)
+        x = dist.rvs(200, rng=rng)
+        fit = fit_weibull_mle(x)
+        events = [e for e in get_tracer().recent() if e["event"] == "mle_fit"]
+        assert len(events) == 1
+        assert events[0]["alpha"] == pytest.approx(fit.alpha)
+        assert events[0]["m"] == 200
+        counters = {
+            c["name"]: c["value"] for c in registry.snapshot()["counters"]
+        }
+        assert counters["mle_fits_total"] == 1
+
+    def test_fallback_reason_lands_in_hyper_sample(self, tmp_path):
+        # A constant population makes every block maximum identical, so
+        # the fit degenerates and the estimator falls back to the max.
+        pop = FinitePopulation(np.full(4000, 1.5), name="flat")
+        est = MaxPowerEstimator(pop, error=0.05, confidence=0.90)
+        registry = get_registry()
+        registry.enable()
+        get_tracer().open(tmp_path / "run.jsonl")
+        result = _run(est)
+        get_tracer().close()
+        assert all(hs.fallback_reason for hs in result.hyper_samples)
+        hypers = [
+            e
+            for e in load_trace(tmp_path / "run.jsonl")
+            if e["event"] == "hyper_sample"
+        ]
+        assert all(e["fallback_reason"] for e in hypers)
+        assert all(e["alpha"] is None for e in hypers)
+        counters = {
+            c["name"]: c["value"] for c in registry.snapshot()["counters"]
+        }
+        assert counters["estimator_fallbacks_total"] == result.k

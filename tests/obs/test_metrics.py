@@ -1,0 +1,235 @@
+"""Metrics registry semantics: primitives, snapshots, merge, buckets."""
+
+import math
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    DEFAULT_ALPHA_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_and_amount(self, registry):
+        c = registry.counter("events_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_disabled_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("events_total")
+        c.inc(100)
+        assert c.value == 0
+
+    def test_labels_create_distinct_series(self, registry):
+        a = registry.counter("errors_total", cause="degenerate")
+        b = registry.counter("errors_total", cause="bracket")
+        a.inc()
+        a.inc()
+        b.inc()
+        assert a.value == 2
+        assert b.value == 1
+        # same (name, labels) -> same object, label order irrelevant
+        assert registry.counter("errors_total", cause="degenerate") is a
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("thing")
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.gauge("thing")
+
+
+class TestGauge:
+    def test_set_keeps_last_value(self, registry):
+        g = registry.gauge("pool_size")
+        g.set(5)
+        g.set(17)
+        assert g.value == 17.0
+
+
+class TestTimer:
+    def test_observe_accumulates(self, registry):
+        t = registry.timer("phase_seconds")
+        t.observe(0.5)
+        t.observe(1.5)
+        assert t.count == 2
+        assert t.total == 2.0
+        assert t.mean == 1.0
+
+    def test_context_manager_records(self, registry):
+        t = registry.timer("phase_seconds")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.total >= 0.0
+
+    def test_disabled_context_is_shared_null(self):
+        reg = MetricsRegistry(enabled=False)
+        t = reg.timer("phase_seconds")
+        ctx1 = t.time()
+        ctx2 = t.time()
+        assert ctx1 is ctx2  # shared singleton: no allocation on the fast path
+        with ctx1:
+            pass
+        assert t.count == 0
+
+
+class TestHistogramBucketEdges:
+    """Prometheus ``le`` semantics at every edge case the pipeline hits."""
+
+    def test_value_equal_to_bound_lands_in_that_bucket(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)  # le=2 is inclusive: the regularity boundary case
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_below_first_bound(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(-5.0)
+        h.observe(0.999)
+        assert h.counts == [2, 0, 0]
+
+    def test_above_last_bound_goes_to_overflow(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(2.0001)
+        h.observe(1e9)
+        assert h.counts == [0, 0, 2]
+        assert h.count == 2
+
+    def test_inf_counts_but_is_excluded_from_sum(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(math.inf)
+        h.observe(0.5)
+        assert h.counts == [1, 1]
+        assert h.count == 2
+        snap = registry.snapshot()["histograms"][0]
+        assert snap["sum"] == 0.5
+
+    def test_nan_is_dropped(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(math.nan)
+        assert h.count == 0
+        assert h.counts == [0, 0]
+
+    def test_interior_values(self, registry):
+        h = registry.histogram("alpha", buckets=DEFAULT_ALPHA_BUCKETS)
+        for v in (0.5, 1.5, 2.5, 3.5, 5.0, 100.0):
+            h.observe(v)
+        # one per bucket: (<=1], (1,2], (2,3], (3,4], (4,6], overflow
+        assert h.counts == [1, 1, 1, 1, 1, 0, 0, 0, 1]
+
+    def test_invalid_bounds_rejected(self, registry):
+        with pytest.raises(ConfigError):
+            registry.histogram("bad", buckets=())
+        with pytest.raises(ConfigError):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigError):
+            registry.histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigError):
+            registry.histogram("bad", buckets=(1.0, math.inf))
+
+
+class TestSnapshot:
+    def test_zero_valued_metrics_omitted(self, registry):
+        registry.counter("silent")  # registered, never fired
+        registry.counter("loud").inc()
+        snap = registry.snapshot()
+        assert [c["name"] for c in snap["counters"]] == ["loud"]
+
+    def test_snapshot_reset_scopes_deltas(self, registry):
+        c = registry.counter("n")
+        c.inc(3)
+        first = registry.snapshot(reset=True)
+        assert first["counters"][0]["value"] == 3
+        assert c.value == 0
+        c.inc(1)
+        second = registry.snapshot(reset=True)
+        assert second["counters"][0]["value"] == 1
+
+    def test_snapshot_is_jsonable(self, registry):
+        import json
+
+        registry.counter("a", x="1").inc()
+        registry.timer("t").observe(0.1)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.gauge("g").set(2)
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestMerge:
+    def test_counters_add_timers_combine(self, registry):
+        other = MetricsRegistry(enabled=True)
+        other.counter("n", w="1").inc(4)
+        other.timer("t").observe(1.0)
+        other.timer("t").observe(3.0)
+        registry.counter("n", w="1").inc(1)
+        registry.merge(other.snapshot())
+        assert registry.counter("n", w="1").value == 5
+        t = registry.timer("t")
+        assert t.count == 2
+        assert t.total == 4.0
+        snap = registry.snapshot()["timers"][0]
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+
+    def test_histograms_merge_bucketwise(self, registry):
+        other = MetricsRegistry(enabled=True)
+        other.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        other.histogram("h", buckets=(1.0, 2.0)).observe(5.0)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        registry.merge(other.snapshot())
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+
+    def test_mismatched_buckets_rejected(self, registry):
+        other = MetricsRegistry(enabled=True)
+        other.histogram("h", buckets=(1.0, 3.0)).observe(0.5)
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigError, match="mismatched buckets"):
+            registry.merge(other.snapshot())
+
+    def test_merge_works_while_disabled(self):
+        parent = MetricsRegistry(enabled=False)  # aggregator-only parent
+        child = MetricsRegistry(enabled=True)
+        child.counter("n").inc(7)
+        parent.merge(child.snapshot())
+        assert parent.counter("n").value == 7
+
+    def test_merge_creates_missing_metrics(self, registry):
+        other = MetricsRegistry(enabled=True)
+        other.counter("only_in_child", k="v").inc(2)
+        registry.merge(other.snapshot())
+        assert registry.counter("only_in_child", k="v").value == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_not_lost(self, registry):
+        c = registry.counter("n")
+        h = registry.histogram("h", buckets=(0.5,))
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+        assert h.count == 4000
+
+
+def test_global_registry_is_a_disabled_singleton():
+    assert get_registry() is get_registry()
+    assert not get_registry().enabled

@@ -1,0 +1,123 @@
+"""Trace recorder: ring buffer, JSONL sink, sanitization, no-op path."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import TraceRecorder, get_tracer, load_trace
+
+
+@pytest.fixture
+def tracer():
+    rec = TraceRecorder(ring_size=16)
+    rec.open()  # ring-only: no sink
+    yield rec
+    rec.close()
+
+
+class TestLifecycle:
+    def test_disabled_by_default_and_emit_is_noop(self):
+        rec = TraceRecorder()
+        rec.emit("run_start", foo=1)
+        assert rec.recent() == []
+        assert not rec.enabled
+
+    def test_open_enables_close_disables(self, tmp_path):
+        rec = TraceRecorder()
+        path = tmp_path / "t.jsonl"
+        rec.open(path)
+        assert rec.enabled
+        assert rec.path == path
+        returned = rec.close()
+        assert returned == path
+        assert not rec.enabled
+        rec.emit("run_start")  # after close: dropped
+        assert rec.recent() == []
+
+    def test_global_tracer_is_singleton(self):
+        assert get_tracer() is get_tracer()
+
+
+class TestRingBuffer:
+    def test_bounded_to_ring_size(self, tracer):
+        for i in range(40):
+            tracer.emit("hyper_sample", k=i)
+        events = tracer.recent()
+        assert len(events) == 16
+        assert events[0]["k"] == 24
+        assert events[-1]["k"] == 39
+
+    def test_recent_n_returns_tail(self, tracer):
+        for i in range(5):
+            tracer.emit("hyper_sample", k=i)
+        assert [e["k"] for e in tracer.recent(2)] == [3, 4]
+
+    def test_clear(self, tracer):
+        tracer.emit("run_start")
+        tracer.clear()
+        assert tracer.recent() == []
+
+
+class TestJsonlSink:
+    def test_events_stream_to_file_and_parse(self, tmp_path):
+        rec = TraceRecorder()
+        path = tmp_path / "run.jsonl"
+        rec.open(path)
+        rec.emit("run_start", run_id="run-1", population="c17")
+        rec.emit("hyper_sample", run_id="run-1", k=1, alpha=3.2)
+        rec.close()
+        events = load_trace(path)
+        assert [e["event"] for e in events] == ["run_start", "hyper_sample"]
+        for e in events:
+            assert isinstance(e["ts"], float)
+        assert events[1]["alpha"] == 3.2
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event":"ok"}\nnot json\n')
+        with pytest.raises(ConfigError, match="bad.jsonl:2"):
+            load_trace(path)
+        path.write_text('["no", "event", "key"]\n')
+        with pytest.raises(ConfigError, match="not an event object"):
+            load_trace(path)
+
+
+class TestSanitization:
+    def test_numpy_scalars_and_arrays(self, tracer):
+        tracer.emit(
+            "hyper_sample",
+            alpha=np.float64(3.5),
+            k=np.int64(4),
+            maxima=np.array([1.0, 2.0]),
+        )
+        e = tracer.recent()[0]
+        assert e["alpha"] == 3.5 and isinstance(e["alpha"], float)
+        assert e["k"] == 4 and isinstance(e["k"], int)
+        assert e["maxima"] == [1.0, 2.0]
+        json.dumps(e)  # fully JSON-able
+
+    def test_nonfinite_floats_become_strings(self, tracer):
+        tracer.emit("hyper_sample", a=math.nan, b=math.inf, c=-math.inf)
+        e = tracer.recent()[0]
+        assert (e["a"], e["b"], e["c"]) == ("nan", "inf", "-inf")
+        # the file stays strict-JSON parseable
+        json.loads(json.dumps(e))
+
+    def test_unknown_objects_fall_back_to_str(self, tracer):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        tracer.emit("experiment", obj=Weird())
+        assert tracer.recent()[0]["obj"] == "<weird>"
+
+
+def test_next_id_is_unique_and_prefixed():
+    rec = TraceRecorder()
+    a = rec.next_id("run")
+    b = rec.next_id("run")
+    assert a != b
+    assert a.startswith("run-") and b.startswith("run-")

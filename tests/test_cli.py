@@ -27,6 +27,28 @@ class TestParser:
             ["experiment", "table1"]
         ).workers is None
 
+    def test_obs_flags_default_off(self):
+        for argv in (
+            ["estimate", "c432"],
+            ["experiment", "table1"],
+            ["delay", "c432"],
+        ):
+            args = build_parser().parse_args(argv)
+            assert args.trace is None
+            assert args.metrics is None
+
+    def test_obs_flags_parse_paths(self):
+        args = build_parser().parse_args(
+            ["estimate", "c432", "--trace", "t.jsonl", "--metrics", "m.json"]
+        )
+        assert str(args.trace) == "t.jsonl"
+        assert str(args.metrics) == "m.json"
+
+    def test_report_metrics_flag_is_separate_dest(self):
+        args = build_parser().parse_args(["report", "--metrics", "m.json"])
+        assert args.circuit is None
+        assert str(args.metrics_in) == "m.json"
+
 
 class TestCommands:
     def test_suite_lists_circuits(self, capsys):
@@ -176,6 +198,100 @@ class TestCommands:
         assert main(
             ["wave", str(src), str(tmp_path / "o.vcd"), "--vectors", "0101"]
         ) == 1
+
+    def test_estimate_with_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import get_registry, load_trace
+
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "estimate",
+                "c432",
+                "--population",
+                "1500",
+                "--seed",
+                "3",
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(metrics),
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "trace written to" in err
+        assert "metrics written to" in err
+        events = load_trace(trace)
+        assert any(e["event"] == "hyper_sample" for e in events)
+        assert any(e["event"] == "run_end" for e in events)
+        snap = json.loads(metrics.read_text())
+        names = {c["name"] for c in snap["counters"]}
+        assert "estimator_runs_total" in names
+        assert "estimator_units_total" in names
+        # the CLI session restores the globally-disabled default
+        assert not get_registry().enabled
+
+    def test_estimate_metrics_prom_format(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        rc = main(
+            [
+                "estimate",
+                "c432",
+                "--population",
+                "1500",
+                "--seed",
+                "3",
+                "--metrics",
+                str(metrics),
+            ]
+        )
+        assert rc == 0
+        assert "# TYPE repro_estimator_runs_total counter" in metrics.read_text()
+
+    def test_trace_env_var(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import load_trace
+
+        trace = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        rc = main(["estimate", "c432", "--population", "1500", "--seed", "3"])
+        assert rc == 0
+        assert load_trace(trace)
+
+    def test_report_metrics_on_trace_and_snapshot(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            [
+                "estimate",
+                "c432",
+                "--population",
+                "1500",
+                "--seed",
+                "3",
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(metrics),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["report", "--metrics", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "convergence diagnostics" in out
+        assert "rel CI half-width by k" in out
+
+        assert main(["report", "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "convergence diagnostics" in out
+        assert "runs: 1" in out
+
+    def test_report_without_circuit_or_metrics_fails(self, capsys):
+        assert main(["report"]) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_transform_no_verify_skips_check(self, tmp_path, capsys, c17):
         from repro.netlist.bench import dump_bench
