@@ -22,6 +22,15 @@ Observability
 text).  Setting the ``REPRO_TRACE`` environment variable traces any
 command to that path.  ``report --metrics FILE`` reads either artifact
 back and prints the convergence-diagnostics summary.
+
+Fault tolerance
+---------------
+``experiment`` accepts ``--retries`` / ``--task-timeout`` (recover from
+crashed or hung estimation workers; results are bit-identical with or
+without failures) and ``--checkpoint DIR`` / ``--resume`` (persist each
+completed experiment and skip it on restart).  ``REPRO_RETRIES``,
+``REPRO_TASK_TIMEOUT``, ``REPRO_CHECKPOINT`` and ``REPRO_RESUME`` are
+the environment equivalents.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -184,6 +193,45 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for population builds and the repeated "
             "estimation loops (default: REPRO_WORKERS or 1); results "
             "are identical for any value"
+        ),
+    )
+    exp.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help=(
+            "extra attempts per estimation task after a worker crash or "
+            "timeout (default: REPRO_RETRIES or 0); retried tasks reuse "
+            "their seed stream, so results are unchanged"
+        ),
+    )
+    exp.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "seconds before a hung parallel estimation task is killed "
+            "and retried (default: REPRO_TASK_TIMEOUT or no timeout)"
+        ),
+    )
+    exp.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help=(
+            "directory for per-experiment checkpoints (default: "
+            "REPRO_CHECKPOINT, or <output-dir>/.checkpoints when "
+            "--resume is given); completed experiments stream there"
+        ),
+    )
+    exp.add_argument(
+        "--resume",
+        action="store_true",
+        default=False,
+        help=(
+            "skip experiments already checkpointed under the same "
+            "configuration (REPRO_RESUME=1 is equivalent); a killed "
+            "sweep restarted with --resume re-runs only unfinished work"
         ),
     )
     _add_obs_flags(exp)
@@ -356,14 +404,39 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments.config import default_config
 
     config = default_config()
+    overrides = {}
     if args.workers is not None:
-        config = config.with_overrides(workers=args.workers)
+        overrides["workers"] = args.workers
+    if args.retries is not None:
+        overrides["retries"] = args.retries
+    if args.task_timeout is not None:
+        overrides["task_timeout"] = args.task_timeout
+    if overrides:
+        config = config.with_overrides(**overrides)
+    checkpoint = args.checkpoint
+    if checkpoint is None and os.environ.get("REPRO_CHECKPOINT"):
+        checkpoint = Path(os.environ["REPRO_CHECKPOINT"])
+    resume = args.resume or os.environ.get("REPRO_RESUME", "").lower() in (
+        "1",
+        "true",
+        "yes",
+    )
     if args.name == "all":
-        for table in run_all(config=config, output_dir=args.output_dir):
+        tables = run_all(
+            config=config,
+            output_dir=args.output_dir,
+            checkpoint_dir=checkpoint,
+            resume=resume,
+        )
+        for table in tables:
             print(table.render())
             print()
         return 0
-    table = run_experiment(args.name, config)
+    if resume and checkpoint is None and args.output_dir is not None:
+        checkpoint = args.output_dir / ".checkpoints"
+    table = run_experiment(
+        args.name, config, checkpoint_dir=checkpoint, resume=resume
+    )
     if args.output_dir is not None:
         table.save(args.output_dir)
     print(table.render())

@@ -65,3 +65,53 @@ class FitError(EstimationError):
 
 class ConfigError(ReproError):
     """Invalid experiment or estimator configuration."""
+
+
+class WorkerError(ReproError):
+    """A parallel worker task failed (possibly after exhausting retries).
+
+    Raised by the :mod:`repro.estimation.parallel` scheduler both inside
+    worker processes (wrapping the task's original exception so it is
+    always picklable across the process boundary) and in the parent when
+    a task has no attempts left.
+
+    Attributes
+    ----------
+    index:
+        0-based task index within the ``run_many``/``hyper_sample_many``
+        batch, or ``None`` when not tied to one task.
+    attempt:
+        0-based attempt number that failed, or ``None``.
+    cause_type:
+        Class name of the original exception (``"FitError"``,
+        ``"MemoryError"``, ...), or ``None`` when unknown.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        index: "int | None" = None,
+        attempt: "int | None" = None,
+        cause_type: "str | None" = None,
+    ):
+        self.index = index
+        self.attempt = attempt
+        self.cause_type = cause_type
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Exceptions cross the ProcessPoolExecutor boundary by pickle;
+        # the default reduction loses keyword attributes.
+        return (
+            type(self),
+            (self.args[0], self.index, self.attempt, self.cause_type),
+        )
+
+
+class TaskTimeoutError(WorkerError):
+    """A parallel worker task exceeded its per-task timeout.
+
+    The scheduler kills and rebuilds the worker pool when a task hangs;
+    this error surfaces only once the task has also exhausted its
+    retries.  ``cause_type`` is always ``"timeout"``.
+    """

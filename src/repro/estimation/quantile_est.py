@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import ConfigError
+from ..errors import ConfigError, EstimationError
 from ..evt.order_stats import quantile_confidence_interval
 from ..vectors.generators import RngLike
 from ..vectors.population import PowerPopulation
@@ -34,6 +34,18 @@ class QuantileEstimate:
     units_used: int
 
     def relative_error(self, actual_max: float) -> float:
+        """Signed relative error vs. a known true maximum.
+
+        Raises :class:`~repro.errors.EstimationError` when
+        ``actual_max`` is zero (a degenerate all-zero-power population
+        has no meaningful relative error), matching
+        :meth:`repro.estimation.srs.SRSStudy.relative_errors`.
+        """
+        if actual_max == 0:
+            raise EstimationError(
+                "relative error is undefined against a zero actual maximum "
+                "(degenerate all-zero-power population)"
+            )
         return (self.point - actual_max) / actual_max
 
 
@@ -45,9 +57,11 @@ class HighQuantileEstimator:
     population:
         Power population to sample.
     q:
-        Quantile level; defaults to ``1 − 1/|V|`` for finite pools
-        (the level at which the quantile coincides with the maximum)
-        and 0.999 otherwise.
+        Quantile level; defaults to ``1 − 1/|V|`` for finite pools of
+        at least two units (the level at which the quantile coincides
+        with the maximum) and 0.999 for streaming populations, whose
+        size is unknown.  Pools of a single unit have no high quantile
+        distinct from the maximum, so ``q`` must be given explicitly.
     """
 
     def __init__(
@@ -55,7 +69,16 @@ class HighQuantileEstimator:
     ):
         if q is None:
             size = population.size
-            q = 1.0 - 1.0 / size if size else 0.999
+            if not size:  # streaming/infinite population: size is None/0
+                q = 0.999
+            elif size <= 1:
+                raise ConfigError(
+                    f"cannot infer a quantile level for a population of "
+                    f"size {size}: 1 - 1/|V| degenerates to 0; pass q "
+                    "explicitly"
+                )
+            else:
+                q = 1.0 - 1.0 / size
         if not 0.0 < q < 1.0:
             raise ConfigError("q must be in (0, 1)")
         self.population = population

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..errors import EstimationError
 from ..evt.confidence import MeanInterval
 from ..evt.mle import WeibullFit
 
@@ -134,7 +135,18 @@ class EstimationResult:
         return self.interval.rel_half_width
 
     def relative_error(self, actual_max: float) -> float:
-        """Signed relative error vs. a known true maximum."""
+        """Signed relative error vs. a known true maximum.
+
+        Raises :class:`~repro.errors.EstimationError` when
+        ``actual_max`` is zero, consistently with the SRS and
+        high-quantile baselines (a degenerate all-zero-power population
+        has no meaningful relative error).
+        """
+        if actual_max == 0:
+            raise EstimationError(
+                "relative error is undefined against a zero actual maximum "
+                "(degenerate all-zero-power population)"
+            )
         return (self.estimate - actual_max) / actual_max
 
     def summary(self) -> str:

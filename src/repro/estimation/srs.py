@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, EstimationError
 from ..evt.confidence import srs_required_units
 from ..vectors.generators import RngLike, as_rng
 from ..vectors.population import PowerPopulation
@@ -46,7 +46,18 @@ class SRSStudy:
 
     @property
     def relative_errors(self) -> np.ndarray:
-        """Signed per-run relative errors (non-positive by construction)."""
+        """Signed per-run relative errors (non-positive by construction).
+
+        Raises :class:`~repro.errors.EstimationError` when
+        ``actual_max`` is zero — a degenerate all-zero-power population
+        would otherwise silently produce NaN/inf errors (matching
+        :meth:`repro.estimation.quantile_est.QuantileEstimate.relative_error`).
+        """
+        if self.actual_max == 0:
+            raise EstimationError(
+                "relative errors are undefined against a zero actual maximum "
+                "(degenerate all-zero-power population)"
+            )
         return (self.estimates - self.actual_max) / self.actual_max
 
     @property

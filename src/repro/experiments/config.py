@@ -16,7 +16,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..errors import ConfigError
 
@@ -70,6 +70,16 @@ class ExperimentConfig:
         default 1 = serial).  Results are identical for any value —
         per-run/per-chunk RNG streams are spawned from the base seed
         independently of the worker count.
+    retries:
+        Extra attempts per estimation task after a worker crash or
+        timeout (``REPRO_RETRIES`` env overrides; default 0).  Retried
+        tasks re-use their spawned seed stream, so results are
+        identical with or without failures.
+    task_timeout:
+        Seconds before an in-flight parallel estimation task is
+        declared hung, its pool killed and the task retried
+        (``REPRO_TASK_TIMEOUT`` env overrides; default None = wait
+        forever).  Only enforced when ``workers > 1``.
     """
 
     scale: str = "ci"
@@ -87,6 +97,8 @@ class ExperimentConfig:
     cache_dir: Path = field(default_factory=lambda: Path(".repro_cache"))
     seed: int = 1998
     workers: int = 1
+    retries: int = 0
+    task_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.scale not in ("smoke", "ci", "paper"):
@@ -97,6 +109,10 @@ class ExperimentConfig:
             raise ConfigError("num_runs must be >= 1")
         if self.workers < 1:
             raise ConfigError("workers must be >= 1")
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigError("task_timeout must be positive (or None)")
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Functional update (frozen dataclass)."""
@@ -108,7 +124,8 @@ def default_config() -> ExperimentConfig:
 
     ``REPRO_SCALE`` selects the scale tier; ``REPRO_CACHE`` relocates
     the population cache; ``REPRO_WORKERS`` sets the parallel worker
-    count (results are worker-count independent).
+    count; ``REPRO_RETRIES``/``REPRO_TASK_TIMEOUT`` set the
+    fault-tolerance knobs (results are independent of all three).
     """
     scale = os.environ.get("REPRO_SCALE", "ci").lower()
     cache = Path(os.environ.get("REPRO_CACHE", ".repro_cache"))
@@ -116,6 +133,16 @@ def default_config() -> ExperimentConfig:
         workers = int(os.environ.get("REPRO_WORKERS", "1"))
     except ValueError:
         raise ConfigError("REPRO_WORKERS must be an integer") from None
+    try:
+        retries = int(os.environ.get("REPRO_RETRIES", "0"))
+    except ValueError:
+        raise ConfigError("REPRO_RETRIES must be an integer") from None
+    timeout_env = os.environ.get("REPRO_TASK_TIMEOUT", "")
+    try:
+        task_timeout = float(timeout_env) if timeout_env else None
+    except ValueError:
+        raise ConfigError("REPRO_TASK_TIMEOUT must be a number") from None
+    fault = {"retries": retries, "task_timeout": task_timeout}
     if scale == "paper":
         return ExperimentConfig(
             scale="paper",
@@ -124,6 +151,7 @@ def default_config() -> ExperimentConfig:
             num_runs=100,
             cache_dir=cache,
             workers=workers,
+            **fault,
         )
     if scale == "smoke":
         return ExperimentConfig(
@@ -135,7 +163,8 @@ def default_config() -> ExperimentConfig:
             circuits=("c432", "c880", "c1355"),
             cache_dir=cache,
             workers=workers,
+            **fault,
         )
     if scale != "ci":
         raise ConfigError(f"unknown REPRO_SCALE {scale!r}")
-    return ExperimentConfig(cache_dir=cache, workers=workers)
+    return ExperimentConfig(cache_dir=cache, workers=workers, **fault)

@@ -73,6 +73,8 @@ def run_circuit_efficiency(
         config.num_runs,
         base_seed=run_seed,
         workers=config.workers,
+        retries=config.retries,
+        task_timeout=config.task_timeout,
     )
     errors = np.array([abs(r.relative_error(actual)) for r in results])
     units = np.array([r.units_used for r in results], dtype=np.int64)

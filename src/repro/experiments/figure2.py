@@ -64,6 +64,8 @@ def run_figure2(
             repetitions,
             base_seed=np.random.SeedSequence([config.seed, 47, m]),
             workers=config.workers,
+            retries=config.retries,
+            task_timeout=config.task_timeout,
         )
         estimates = np.array([hs.estimate for hs in hyper_samples])
         fit = fit_normal_lsq(estimates)

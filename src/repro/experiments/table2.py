@@ -74,6 +74,8 @@ def run_table2(config: Optional[ExperimentConfig] = None) -> ExperimentTable:
                     config.num_runs,
                     base_seed=run_seed,
                     workers=config.workers,
+                    retries=config.retries,
+                    task_timeout=config.task_timeout,
                 )
             ]
         )

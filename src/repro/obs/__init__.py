@@ -44,7 +44,7 @@ from .metrics import (
     Timer,
     get_registry,
 )
-from .trace import EVENT_TYPES, TraceRecorder, get_tracer
+from .trace import EVENT_TYPES, TraceRecorder, get_tracer, jsonable
 
 __all__ = [
     "Counter",
@@ -58,6 +58,7 @@ __all__ = [
     "TraceRecorder",
     "get_tracer",
     "EVENT_TYPES",
+    "jsonable",
     "render_prometheus",
     "write_metrics_file",
     "load_metrics_file",

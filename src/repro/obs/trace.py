@@ -31,9 +31,10 @@ from collections import deque
 from pathlib import Path
 from typing import Deque, List, Optional, Union
 
-__all__ = ["TraceRecorder", "get_tracer", "EVENT_TYPES"]
+__all__ = ["TraceRecorder", "get_tracer", "EVENT_TYPES", "jsonable"]
 
-#: Known event type tags (documented in docs/observability.md).
+#: Known event type tags (documented in docs/observability.md and, for
+#: the fault-tolerance events, docs/robustness.md).
 EVENT_TYPES = (
     "run_start",
     "hyper_sample",
@@ -43,6 +44,10 @@ EVENT_TYPES = (
     "population_build",
     "population_cache",
     "experiment",
+    "task_retry",
+    "pool_rebuild",
+    "parallel_degraded",
+    "checkpoint",
 )
 
 DEFAULT_RING_SIZE = 4096
@@ -68,6 +73,17 @@ def _jsonable(value):
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
     return str(value)
+
+
+def jsonable(value):
+    """Public alias of the payload sanitizer.
+
+    Also used by :meth:`repro.experiments.base.ExperimentTable.to_dict`
+    so experiment checkpoints and trace payloads share one JSON
+    coercion (numpy scalars/arrays unwrapped, non-finite floats
+    stringified, everything else ``str()``-ed as a last resort).
+    """
+    return _jsonable(value)
 
 
 class TraceRecorder:

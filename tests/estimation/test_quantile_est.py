@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, EstimationError
 from repro.estimation.quantile_est import HighQuantileEstimator
 from repro.vectors.population import FinitePopulation, StreamingPopulation
 
@@ -28,6 +28,17 @@ class TestDefaults:
     def test_explicit_q_validated(self, pool):
         with pytest.raises(ConfigError):
             HighQuantileEstimator(pool, q=1.0)
+
+    def test_size_one_pool_needs_explicit_q(self):
+        # 1 - 1/|V| degenerates to q=0 for |V|=1; the error must say so
+        # instead of the opaque "q must be in (0, 1)".
+        pop = FinitePopulation(np.array([0.5]), name="singleton")
+        with pytest.raises(ConfigError, match="size 1.*pass q explicitly"):
+            HighQuantileEstimator(pop)
+
+    def test_size_one_pool_accepts_explicit_q(self):
+        pop = FinitePopulation(np.array([0.5]), name="singleton")
+        assert HighQuantileEstimator(pop, q=0.5).q == 0.5
 
 
 class TestEstimate:
@@ -54,3 +65,10 @@ class TestEstimate:
     def test_min_units(self, pool):
         with pytest.raises(ConfigError):
             HighQuantileEstimator(pool).estimate(1)
+
+    def test_relative_error_rejects_zero_actual_max(self):
+        # All-zero-power population: NaN/inf must not leak out silently.
+        pop = FinitePopulation(np.zeros(100), name="dead")
+        result = HighQuantileEstimator(pop, q=0.9).estimate(50, rng=1)
+        with pytest.raises(EstimationError, match="zero actual maximum"):
+            result.relative_error(pop.actual_max_power)

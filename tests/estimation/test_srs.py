@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, EstimationError
 from repro.estimation.srs import SimpleRandomSampling, srs_required_units
 from repro.vectors.population import FinitePopulation, StreamingPopulation
 
@@ -42,6 +42,16 @@ class TestStudy:
     def test_largest_error_magnitude(self, pool):
         study = SimpleRandomSampling(pool).study(100, 30, rng=2)
         assert abs(study.largest_error) == np.abs(study.relative_errors).max()
+
+    def test_zero_actual_max_raises_instead_of_nan(self):
+        # A degenerate all-zero-power population used to yield NaN/inf
+        # errors silently; both accessors must fail loudly now.
+        pop = FinitePopulation(np.zeros(500), name="dead")
+        study = SimpleRandomSampling(pop).study(50, 5, rng=3)
+        with pytest.raises(EstimationError, match="zero actual maximum"):
+            study.relative_errors
+        with pytest.raises(EstimationError, match="zero actual maximum"):
+            study.largest_error
 
     def test_exceed_fraction_monotone_in_epsilon(self, pool):
         study = SimpleRandomSampling(pool).study(100, 50, rng=3)

@@ -1,0 +1,193 @@
+"""Experiment-level checkpointing: table serialization and run_all resume."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.errors import ConfigError
+from repro.experiments.base import TABLE_SCHEMA, ExperimentTable
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    _config_key,
+    run_all,
+    run_experiment,
+)
+
+
+@pytest.fixture
+def tiny(tmp_path):
+    return ExperimentConfig(
+        scale="smoke",
+        unconstrained_size=1200,
+        constrained_size=1000,
+        num_runs=2,
+        circuits=("c432",),
+        cache_dir=tmp_path / "cache",
+    )
+
+
+def _table(name, config):
+    """A deterministic fake experiment result (numpy cells included)."""
+    return ExperimentTable(
+        experiment_id=name,
+        title=f"Fake {name}",
+        headers=("circuit", "estimate", "units"),
+        rows=[
+            ("c432", np.float64(1.2345), np.int64(900)),
+            ("c880", np.float64(2.5), np.int64(1500)),
+        ],
+        notes=f"seed={config.seed}",
+        data={"estimates": np.array([1.2345, 2.5])},
+    )
+
+
+@pytest.fixture
+def fake_experiments(monkeypatch):
+    """Replace the registry with two fake experiments that count calls."""
+    calls = []
+
+    def make(name):
+        def run(config):
+            calls.append(name)
+            return _table(name, config)
+
+        return run
+
+    monkeypatch.setattr(
+        runner_mod, "EXPERIMENTS", {"fake_a": make("fake_a"), "fake_b": make("fake_b")}
+    )
+    return calls
+
+
+class TestTableSerialization:
+    def test_round_trip_renders_identically(self, tiny):
+        table = _table("fake_a", tiny)
+        payload = json.loads(json.dumps(table.to_dict()))
+        assert payload["schema"] == TABLE_SCHEMA
+        restored = ExperimentTable.from_dict(payload)
+        assert restored.render() == table.render()
+        assert restored.csv() == table.csv()
+
+    def test_numpy_data_becomes_jsonable(self, tiny):
+        payload = _table("fake_a", tiny).to_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["data"]["estimates"] == [1.2345, 2.5]
+
+
+class TestConfigKey:
+    def test_excludes_non_result_fields(self, tiny):
+        base = _config_key(tiny)
+        varied = _config_key(
+            tiny.with_overrides(
+                workers=4,
+                retries=3,
+                task_timeout=60.0,
+                cache_dir=tiny.cache_dir / "elsewhere",
+            )
+        )
+        assert varied == base
+
+    def test_changes_with_result_affecting_fields(self, tiny):
+        assert _config_key(tiny.with_overrides(seed=7)) != _config_key(tiny)
+        assert _config_key(tiny.with_overrides(num_runs=3)) != _config_key(tiny)
+
+
+class TestRunExperimentResume:
+    def test_resume_requires_checkpoint_dir(self, tiny):
+        with pytest.raises(ConfigError, match="checkpoint_dir"):
+            run_experiment("table1", tiny, resume=True)
+
+    def test_checkpoint_written_then_loaded(
+        self, tiny, tmp_path, fake_experiments
+    ):
+        ck = tmp_path / "ck"
+        first = run_experiment("fake_a", tiny, checkpoint_dir=ck, resume=True)
+        assert fake_experiments == ["fake_a"]
+        assert (ck / "fake_a.checkpoint.json").exists()
+        again = run_experiment("fake_a", tiny, checkpoint_dir=ck, resume=True)
+        assert fake_experiments == ["fake_a"]  # not re-run
+        assert again.render() == first.render()
+        assert again.csv() == first.csv()
+
+    def test_without_resume_recomputes_and_overwrites(
+        self, tiny, tmp_path, fake_experiments
+    ):
+        ck = tmp_path / "ck"
+        run_experiment("fake_a", tiny, checkpoint_dir=ck)
+        run_experiment("fake_a", tiny, checkpoint_dir=ck)
+        assert fake_experiments == ["fake_a", "fake_a"]
+
+    def test_stale_config_recomputes(self, tiny, tmp_path, fake_experiments):
+        ck = tmp_path / "ck"
+        run_experiment("fake_a", tiny, checkpoint_dir=ck, resume=True)
+        run_experiment(
+            "fake_a",
+            tiny.with_overrides(seed=7),
+            checkpoint_dir=ck,
+            resume=True,
+        )
+        assert fake_experiments == ["fake_a", "fake_a"]
+
+    def test_worker_count_does_not_invalidate(
+        self, tiny, tmp_path, fake_experiments
+    ):
+        ck = tmp_path / "ck"
+        run_experiment("fake_a", tiny, checkpoint_dir=ck, resume=True)
+        run_experiment(
+            "fake_a",
+            tiny.with_overrides(workers=4, retries=2),
+            checkpoint_dir=ck,
+            resume=True,
+        )
+        assert fake_experiments == ["fake_a"]
+
+    def test_corrupt_checkpoint_recomputes(
+        self, tiny, tmp_path, fake_experiments
+    ):
+        ck = tmp_path / "ck"
+        run_experiment("fake_a", tiny, checkpoint_dir=ck, resume=True)
+        (ck / "fake_a.checkpoint.json").write_text("{torn write")
+        run_experiment("fake_a", tiny, checkpoint_dir=ck, resume=True)
+        assert fake_experiments == ["fake_a", "fake_a"]
+
+
+class TestRunAllResume:
+    def test_resume_needs_somewhere_to_look(self, tiny, fake_experiments):
+        with pytest.raises(ConfigError, match="checkpoint_dir"):
+            run_all(tiny, resume=True)
+
+    def test_killed_sweep_resumes_with_identical_artifacts(
+        self, tiny, tmp_path, fake_experiments, monkeypatch
+    ):
+        # Uninterrupted reference sweep.
+        ref_dir = tmp_path / "reference"
+        run_all(tiny, output_dir=ref_dir)
+
+        # Sweep that dies after the first experiment completes.
+        out_dir = tmp_path / "resumed"
+        real_b = runner_mod.EXPERIMENTS["fake_b"]
+
+        def dying_b(config):
+            raise KeyboardInterrupt("killed mid-sweep")
+
+        runner_mod.EXPERIMENTS["fake_b"] = dying_b
+        with pytest.raises(KeyboardInterrupt):
+            run_all(tiny, output_dir=out_dir, resume=True)
+        assert fake_experiments.count("fake_a") == 2  # reference + first try
+
+        # Restart with --resume: only the unfinished experiment runs,
+        # checkpoints derived from <output_dir>/.checkpoints.
+        runner_mod.EXPERIMENTS["fake_b"] = real_b
+        tables = run_all(tiny, output_dir=out_dir, resume=True)
+        assert fake_experiments.count("fake_a") == 2  # loaded, not re-run
+        assert fake_experiments.count("fake_b") == 2  # reference + resume
+        assert (out_dir / ".checkpoints" / "fake_a.checkpoint.json").exists()
+
+        assert [t.experiment_id for t in tables] == ["fake_a", "fake_b"]
+        for name in ("fake_a", "fake_b"):
+            for ext in (".txt", ".csv"):
+                resumed = (out_dir / f"{name}{ext}").read_text()
+                reference = (ref_dir / f"{name}{ext}").read_text()
+                assert resumed == reference

@@ -27,6 +27,32 @@ class TestParser:
             ["experiment", "table1"]
         ).workers is None
 
+    def test_experiment_fault_flags(self):
+        args = build_parser().parse_args(
+            [
+                "experiment",
+                "table1",
+                "--retries",
+                "2",
+                "--task-timeout",
+                "30",
+                "--checkpoint",
+                "ck",
+                "--resume",
+            ]
+        )
+        assert args.retries == 2
+        assert args.task_timeout == 30.0
+        assert str(args.checkpoint) == "ck"
+        assert args.resume is True
+
+    def test_experiment_fault_flags_default_to_env(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.retries is None
+        assert args.task_timeout is None
+        assert args.checkpoint is None
+        assert args.resume is False
+
     def test_obs_flags_default_off(self):
         for argv in (
             ["estimate", "c432"],
@@ -122,6 +148,29 @@ class TestCommands:
         assert rc == 0
         assert (tmp_path / "out" / "ablation_fitting.txt").exists()
         assert "Ablation A" in capsys.readouterr().out
+
+    def test_experiment_checkpoint_resume(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        ck = tmp_path / "ck"
+        rc = main(
+            [
+                "experiment",
+                "ablation_fitting",
+                "--checkpoint",
+                str(ck),
+                "--resume",
+            ]
+        )
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert (ck / "ablation_fitting.checkpoint.json").exists()
+        # Env-var equivalents resume from the same checkpoint: the
+        # rendered table must come back identical without recomputing.
+        monkeypatch.setenv("REPRO_CHECKPOINT", str(ck))
+        monkeypatch.setenv("REPRO_RESUME", "1")
+        assert main(["experiment", "ablation_fitting"]) == 0
+        assert capsys.readouterr().out == first
 
     def test_experiment_unknown_fails_cleanly(self, capsys):
         assert main(["experiment", "table99"]) == 1
