@@ -6,7 +6,14 @@ full library: gate-level netlists and simulators, cycle power models,
 vector-pair populations, the extreme-value estimation core, baselines,
 and the paper's complete experiment suite.
 
-Quick start::
+Quick start (the one-call facade; see ``docs/api.md``)::
+
+    from repro import EstimatorConfig, estimate
+
+    result = estimate("c432", EstimatorConfig(error=0.05), seed=1)
+    print(result.summary())
+
+Or assembled from the building blocks::
 
     from repro import (
         build_circuit, PowerAnalyzer, FinitePopulation,
@@ -22,16 +29,27 @@ Quick start::
     )
     result = MaxPowerEstimator(pop, error=0.05, confidence=0.90).run(rng=0)
     print(result.summary())
+
+As a service (``repro serve`` on the other end)::
+
+    from repro import Client
+
+    client = Client("http://127.0.0.1:8000")
+    job = client.submit("c432", seed=1)
+    result = client.result(client.wait(job["id"])["id"])
 """
 
 from .errors import (
     ConfigError,
     EstimationError,
     FitError,
+    JobCancelledError,
     NetlistError,
     ParseError,
     PopulationError,
     ReproError,
+    SchemaError,
+    ServiceError,
     SimulationError,
 )
 from .estimation import (
@@ -87,8 +105,28 @@ from .vectors import (
     random_vector_pairs,
     transition_prob_vector_pairs,
 )
+from .api import (
+    EstimatorConfig,
+    build_population,
+    estimate,
+    hyper_sample_many,
+    run_many,
+)
+from .schemas import SCHEMA_VERSION
 
 __version__ = "1.0.0"
+
+# The service layer (HTTP server/client) is exported lazily: importing
+# ``repro`` must stay cheap, and most sessions never touch the service.
+_SERVICE_EXPORTS = ("Client", "JobServer", "JobSpec", "JobState", "serve")
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "__version__",
@@ -101,6 +139,22 @@ __all__ = [
     "EstimationError",
     "FitError",
     "ConfigError",
+    "SchemaError",
+    "ServiceError",
+    "JobCancelledError",
+    # unified API (repro.api)
+    "EstimatorConfig",
+    "estimate",
+    "build_population",
+    "run_many",
+    "hyper_sample_many",
+    "SCHEMA_VERSION",
+    # service (lazy — repro.service)
+    "Client",
+    "JobServer",
+    "JobSpec",
+    "JobState",
+    "serve",
     # netlist
     "Circuit",
     "GateType",

@@ -13,6 +13,12 @@ Subcommands
 ``experiment NAME``
     Run a registered paper experiment (table1..4, figure1/2, ablations)
     and print the resulting table.
+``serve``
+    Run the estimation job service (HTTP API on ``/v1/jobs``; see
+    ``docs/api.md``).
+``submit CIRCUIT``
+    Submit an estimation job to a running service and (by default) wait
+    for and print its result.
 
 Observability
 -------------
@@ -236,6 +242,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(exp)
 
+    srv = sub.add_parser("serve", help="run the estimation job service")
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument("--port", type=int, default=8000, help="bind port")
+    srv.add_argument(
+        "--state-dir",
+        type=Path,
+        default=Path(".repro_service"),
+        help=(
+            "durable state: job event log + per-job run checkpoints; "
+            "restarting with the same directory resumes unfinished jobs"
+        ),
+    )
+    srv.add_argument(
+        "--workers", type=int, default=2, help="concurrent job worker threads"
+    )
+    srv.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    sb = sub.add_parser("submit", help="submit a job to a running service")
+    sb.add_argument("circuit", help="suite name or .bench/.v path")
+    sb.add_argument(
+        "--url",
+        default=os.environ.get("REPRO_SERVICE_URL", "http://127.0.0.1:8000"),
+        help="service base URL (default: REPRO_SERVICE_URL or local :8000)",
+    )
+    sb.add_argument(
+        "--population", type=int, default=20_000,
+        help="finite pool size (0 = streaming/infinite population)",
+    )
+    sb.add_argument(
+        "--activity", type=float, default=None,
+        help="per-line transition probability constraint (category I.2)",
+    )
+    sb.add_argument(
+        "--mode", choices=("zero", "unit"), default="zero",
+        help="power simulation mode",
+    )
+    sb.add_argument(
+        "--frequency-mhz", type=float, default=50.0, help="clock frequency"
+    )
+    sb.add_argument("--error", type=float, default=0.05, help="epsilon")
+    sb.add_argument(
+        "--confidence", type=float, default=0.90, help="confidence level l"
+    )
+    sb.add_argument("--seed", type=int, default=0, help="random seed")
+    sb.add_argument(
+        "--runs", type=int, default=1, help="independent repetitions"
+    )
+    sb.add_argument(
+        "--no-wait", dest="wait", action="store_false", default=True,
+        help="print the job id and return without waiting",
+    )
+    sb.add_argument(
+        "--watch", action="store_true",
+        help="stream per-hyper-sample convergence while waiting",
+    )
+    sb.add_argument(
+        "--json", action="store_true",
+        help="print the raw result payload JSON instead of the summary",
+    )
+
     rep = sub.add_parser(
         "report",
         help=(
@@ -343,59 +411,100 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_estimate(args: argparse.Namespace) -> int:
     import numpy as np
 
+    from .api import EstimatorConfig, build_population
     from .estimation.mc_estimator import MaxPowerEstimator
-    from .sim.power import PowerAnalyzer
-    from .vectors.generators import (
-        high_activity_vector_pairs,
-        transition_prob_vector_pairs,
-    )
-    from .vectors.population import FinitePopulation, StreamingPopulation
 
-    circuit = _load_circuit(args.circuit)
-    analyzer = PowerAnalyzer(
-        circuit, frequency_hz=args.frequency_mhz * 1e6, mode=args.mode
+    config = EstimatorConfig(
+        error=args.error, confidence=args.confidence, workers=args.workers
     )
-    if args.activity is None:
-        def generate(count: int, rng: np.random.Generator):
-            return high_activity_vector_pairs(
-                count, circuit.num_inputs, rng=rng
-            )
-        constraint = "unconstrained (activity > 0.3)"
-    else:
-        def generate(count: int, rng: np.random.Generator):
-            return transition_prob_vector_pairs(
-                count, circuit.num_inputs, args.activity, rng=rng
-            )
-        constraint = f"per-line transition probability {args.activity}"
-
+    pop = build_population(
+        args.circuit,
+        population_size=args.population,
+        activity=args.activity,
+        sim_mode=args.mode,
+        frequency_mhz=args.frequency_mhz,
+        seed=args.seed,
+        workers=args.workers,
+    )
     if args.population > 0:
-        pop = FinitePopulation.build(
-            generate,
-            analyzer.powers_for_pairs,
-            num_pairs=args.population,
-            seed=args.seed,
-            name=f"{circuit.name} [{constraint}]",
-            workers=args.workers,
-        )
         print(
             f"pool of {pop.size} pairs simulated; actual max = "
             f"{pop.actual_max_power * 1e3:.4f} mW"
         )
-    else:
-        pop = StreamingPopulation(
-            generate,
-            analyzer.powers_for_pairs,
-            name=f"{circuit.name} [{constraint}, streaming]",
-        )
-
-    estimator = MaxPowerEstimator(
-        pop, error=args.error, confidence=args.confidence
-    )
-    result = estimator.run(rng=args.seed + 1)
+    estimator = MaxPowerEstimator.from_config(pop, config)
+    result = estimator.run(rng=np.random.default_rng(args.seed + 1))
     print(result.summary())
     if args.population > 0:
         rel = result.relative_error(pop.actual_max_power)
         print(f"relative error vs pool maximum: {rel:+.2%}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .api import EstimatorConfig
+    from .service import Client, JobSpec
+
+    spec = JobSpec(
+        circuit=args.circuit,
+        config=EstimatorConfig(error=args.error, confidence=args.confidence),
+        seed=args.seed,
+        num_runs=args.runs,
+        population_size=args.population,
+        activity=args.activity,
+        sim_mode=args.mode,
+        frequency_mhz=args.frequency_mhz,
+    )
+    client = Client(args.url)
+    job = client.submit(spec)
+    print(f"submitted {job['id']} to {args.url}", file=sys.stderr)
+    if not args.wait:
+        print(job["id"])
+        return 0
+    if args.watch:
+        status = job
+        for status in client.stream(job["id"]):
+            if status["trajectory"]:
+                entry = status["trajectory"][-1]
+                rhw = entry["rel_half_width"]
+                rhw_s = "n/a" if rhw is None else f"{rhw:.3%}"
+                print(
+                    f"  k={entry['k']} estimate={entry['estimate']:.4g} "
+                    f"rel_half_width={rhw_s} "
+                    f"units={entry['cumulative_units']}",
+                    file=sys.stderr,
+                )
+            elif status["total_runs"] > 1 and status["completed_runs"]:
+                print(
+                    f"  runs {status['completed_runs']}"
+                    f"/{status['total_runs']}",
+                    file=sys.stderr,
+                )
+    else:
+        status = client.wait(job["id"])
+    if status["state"] != "completed":
+        detail = f": {status['error']}" if status.get("error") else ""
+        print(f"error: job {job['id']} {status['state']}{detail}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(client.result_payload(job["id"]), indent=2))
+    else:
+        for result in client.results(job["id"]):
+            print(result.summary())
     return 0
 
 
@@ -599,6 +708,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_info(args)
         if args.command == "estimate":
             return _cmd_estimate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "report":

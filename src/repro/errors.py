@@ -67,6 +67,41 @@ class ConfigError(ReproError):
     """Invalid experiment or estimator configuration."""
 
 
+class SchemaError(ReproError):
+    """A serialized payload does not match the schema this build reads.
+
+    Raised by :mod:`repro.schemas` when a payload declares a
+    ``schema_version`` with an unknown *major* version (minor bumps are
+    backward compatible and accepted; payloads written before versioning
+    are treated as major version 1).
+    """
+
+
+class ServiceError(ReproError):
+    """A job-service request failed (client- or server-side).
+
+    Attributes
+    ----------
+    status:
+        HTTP status code of the failed request, or ``None`` when the
+        error did not come from an HTTP response (connection refused,
+        wait timeout, ...).
+    """
+
+    def __init__(self, message: str, status: "int | None" = None):
+        self.status = status
+        super().__init__(message)
+
+
+class JobCancelledError(ReproError):
+    """An estimation job was cancelled while it was running.
+
+    Raised from inside the job's progress hooks by the
+    :mod:`repro.service` worker pool to unwind the estimation loop; it
+    never escapes the service (the job transitions to ``cancelled``).
+    """
+
+
 class WorkerError(ReproError):
     """A parallel worker task failed (possibly after exhausting retries).
 

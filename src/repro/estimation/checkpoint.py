@@ -9,8 +9,8 @@ On resume, completed indices are loaded back (through the
 
 File layout (one JSON object per line)::
 
-    {"schema": "repro.checkpoint/v1", "kind": "run_many",
-     "key": "<seed key>", "total": 20}          # header, line 1
+    {"schema": "repro.checkpoint/v1", "schema_version": "1.0",
+     "kind": "run_many", "key": "<seed key>", "total": 20}   # header, line 1
     {"index": 7, "result": {...}}               # one line per task
     ...
 
@@ -28,15 +28,32 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..errors import ConfigError
+from ..schemas import (
+    SCHEMA_VERSION,
+    check_schema_version,
+)
+from ..schemas import CHECKPOINT_SCHEMA as _CHECKPOINT_SCHEMA
 
-__all__ = ["CHECKPOINT_SCHEMA", "CheckpointWriter", "open_checkpoint"]
+__all__ = ["CheckpointWriter", "open_checkpoint"]
 
-#: Schema tag of the header line (bump on breaking change).
-CHECKPOINT_SCHEMA = "repro.checkpoint/v1"
+
+def __getattr__(name: str):
+    # Deprecation shim: CHECKPOINT_SCHEMA moved to repro.schemas.
+    if name == "CHECKPOINT_SCHEMA":
+        warnings.warn(
+            "repro.estimation.checkpoint.CHECKPOINT_SCHEMA moved to "
+            "repro.schemas.CHECKPOINT_SCHEMA; the old import path will "
+            "be removed in a future major release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _CHECKPOINT_SCHEMA
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class CheckpointWriter:
@@ -91,7 +108,7 @@ def _read_tolerant(path: Path) -> Tuple[Optional[dict], Dict[int, dict]]:
                 break
             if line_no == 0:
                 if not (
-                    isinstance(obj, dict) and obj.get("schema") == CHECKPOINT_SCHEMA
+                    isinstance(obj, dict) and obj.get("schema") == _CHECKPOINT_SCHEMA
                 ):
                     break
                 header = obj
@@ -122,20 +139,23 @@ def open_checkpoint(
     """
     path = Path(path)
     header = {
-        "schema": CHECKPOINT_SCHEMA,
+        "schema": _CHECKPOINT_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
         "kind": kind,
         "key": key,
         "total": int(total),
     }
+    identity = {k: header[k] for k in ("schema", "kind", "key", "total")}
     loaded: Dict[int, object] = {}
     if resume and path.exists() and path.stat().st_size > 0:
         found, records = _read_tolerant(path)
         if found is not None:
+            check_schema_version(found, f"checkpoint {path} header")
             stated = {k: found.get(k) for k in ("schema", "kind", "key", "total")}
-            if stated != header:
+            if stated != identity:
                 raise ConfigError(
                     f"checkpoint {path} was written by a different run "
-                    f"(header {stated} != expected {header}); delete it or "
+                    f"(header {stated} != expected {identity}); delete it or "
                     "drop --resume to start fresh"
                 )
             records = {i: r for i, r in records.items() if 0 <= i < total}
@@ -154,7 +174,7 @@ def open_checkpoint(
         else:
             # Unrecognizable file: refuse to clobber it silently.
             raise ConfigError(
-                f"checkpoint {path} is not a {CHECKPOINT_SCHEMA} file; "
+                f"checkpoint {path} is not a {_CHECKPOINT_SCHEMA} file; "
                 "point --checkpoint somewhere else or delete it"
             )
     elif path.exists():

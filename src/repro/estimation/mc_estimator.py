@@ -164,6 +164,27 @@ class MaxPowerEstimator:
             raise ConfigError("upper_bound must be positive")
         self.upper_bound = upper_bound
 
+    @classmethod
+    def from_config(cls, population: PowerPopulation, config) -> "MaxPowerEstimator":
+        """Build an estimator from a :class:`repro.api.EstimatorConfig`.
+
+        Duck-typed on the config's statistical fields so the estimation
+        layer never imports the API layer; execution fields
+        (``workers``/``retries``/``task_timeout``) belong to the drivers
+        in :mod:`repro.estimation.parallel` and are ignored here.
+        """
+        return cls(
+            population,
+            n=config.n,
+            m=config.m,
+            error=config.error,
+            confidence=config.confidence,
+            min_hyper_samples=config.min_hyper_samples,
+            max_hyper_samples=config.max_hyper_samples,
+            finite_correction=config.finite_correction,
+            upper_bound=config.upper_bound,
+        )
+
     # ------------------------------------------------------------------
     def hyper_sample(
         self, index: int, rng: RngLike = None, _trace: bool = True
@@ -230,8 +251,19 @@ class MaxPowerEstimator:
         return hs
 
     # ------------------------------------------------------------------
-    def run(self, rng: RngLike = None) -> EstimationResult:
-        """Execute the iterative procedure of Figure 4."""
+    def run(self, rng: RngLike = None, progress=None) -> EstimationResult:
+        """Execute the iterative procedure of Figure 4.
+
+        ``progress``, when given, is called as
+        ``progress(hs, interval, cumulative_units)`` after every
+        hyper-sample (``interval`` is ``None`` before
+        ``min_hyper_samples``).  It observes the run for live status
+        reporting — e.g. the job service's per-k convergence
+        trajectory — and may abort it by raising (the service raises
+        :class:`~repro.errors.JobCancelledError` to cancel a job); the
+        callback does not participate in the RNG stream, so a run's
+        result is bit-identical with or without it.
+        """
         gen = as_rng(rng)
         result = EstimationResult(
             estimate=float("nan"),
@@ -282,6 +314,8 @@ class MaxPowerEstimator:
                         cumulative_units=result.units_used,
                         **_hyper_sample_payload(hs),
                     )
+                if progress is not None:
+                    progress(hs, interval, result.units_used)
                 if interval is not None and (
                     interval.rel_half_width <= self.error
                 ):

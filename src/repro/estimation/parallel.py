@@ -517,6 +517,7 @@ def _drive(
     checkpoint_kind: str,
     seed_key: str,
     from_dict: Callable[[dict], object],
+    observer: Optional[Callable[[int, object], None]] = None,
 ) -> List[object]:
     """Shared fault-tolerant driver behind ``run_many``/``hyper_sample_many``."""
     registry = get_registry()
@@ -547,6 +548,11 @@ def _drive(
                 loaded=len(loaded),
                 total=total,
             )
+        if observer is not None:
+            # Checkpoint-loaded results reach the observer too, in index
+            # order, so a caller's progress view is complete on resume.
+            for index in sorted(loaded):
+                observer(index, loaded[index])
 
     def on_result(index: int, result: object) -> None:
         results[index] = result
@@ -555,6 +561,8 @@ def _drive(
             registry.counter(
                 "checkpoint_results_total", kind=kind, status="written"
             ).inc()
+        if observer is not None:
+            observer(index, result)
 
     todo = [(index, payload) for index, payload in items if index not in results]
     try:
@@ -626,6 +634,7 @@ def run_many(
     backoff: float = DEFAULT_BACKOFF,
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    on_result: Optional[Callable[[int, EstimationResult], None]] = None,
 ) -> List[EstimationResult]:
     """Repeat ``estimator.run`` ``num_runs`` times, optionally sharded
     across ``workers`` processes.
@@ -647,6 +656,13 @@ def run_many(
         JSONL path; every completed run streams there immediately.
     resume:
         Load already-checkpointed runs instead of recomputing them.
+    on_result:
+        ``on_result(index, result)`` fires in the parent process for
+        every completed run — including checkpoint-loaded ones on
+        resume — in completion (not index) order.  Raising from it
+        aborts the batch; the service uses this for live job progress
+        and cancellation.  Purely observational: it never touches the
+        RNG streams, so results are unchanged by its presence.
     """
     _check_workers(workers)
     _check_fault_options(retries, task_timeout, backoff, checkpoint, resume)
@@ -656,6 +672,7 @@ def run_many(
         and retries == 0
         and task_timeout is None
         and checkpoint is None
+        and on_result is None
     ):
         return [estimator.run(np.random.default_rng(s)) for s in seeds]
     return _drive(
@@ -673,6 +690,7 @@ def run_many(
         checkpoint_kind="run_many",
         seed_key=_seed_key(base_seed, num_runs),
         from_dict=EstimationResult.from_dict,
+        observer=on_result,
     )
 
 
@@ -687,6 +705,7 @@ def hyper_sample_many(
     backoff: float = DEFAULT_BACKOFF,
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    on_result: Optional[Callable[[int, HyperSample], None]] = None,
 ) -> List[HyperSample]:
     """Draw ``count`` independent hyper-samples (Figure 2 style),
     optionally sharded across ``workers`` processes.
@@ -694,7 +713,8 @@ def hyper_sample_many(
     Hyper-sample *i* (1-based index) uses the *i*-th spawned child
     stream; results are ordered and independent of the worker count and
     of any crash/retry/resume history, exactly as in :func:`run_many`
-    (whose fault-tolerance parameters apply unchanged here).
+    (whose fault-tolerance parameters — and ``on_result`` progress hook
+    — apply unchanged here).
     """
     _check_workers(workers)
     _check_fault_options(retries, task_timeout, backoff, checkpoint, resume)
@@ -705,6 +725,7 @@ def hyper_sample_many(
         and retries == 0
         and task_timeout is None
         and checkpoint is None
+        and on_result is None
     ):
         return [
             estimator.hyper_sample(hyper_index, np.random.default_rng(seed_seq))
@@ -727,4 +748,5 @@ def hyper_sample_many(
         checkpoint_kind="hyper_sample_many",
         seed_key=_seed_key(base_seed, count),
         from_dict=HyperSample.from_dict,
+        observer=on_result,
     )

@@ -5,11 +5,16 @@ Both records serialize to plain JSON (``to_dict``/``to_json`` with
 field names with the ``hyper_sample``/``run_end`` trace events emitted
 by :mod:`repro.obs` — a persisted result and a trace of the run that
 produced it describe the same thing in the same vocabulary.
+
+The wire format itself (field set, ``schema_version`` stamping, major
+version rejection) is owned by :mod:`repro.schemas`; the methods here
+delegate to it.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -19,10 +24,23 @@ from ..errors import EstimationError
 from ..evt.confidence import MeanInterval
 from ..evt.mle import WeibullFit
 
-__all__ = ["HyperSample", "EstimationResult", "RESULT_SCHEMA"]
+__all__ = ["HyperSample", "EstimationResult"]
 
-#: Schema tag embedded in serialized results (bump on breaking change).
-RESULT_SCHEMA = "repro.estimation_result/v1"
+
+def __getattr__(name: str):
+    # Deprecation shim: RESULT_SCHEMA moved to repro.schemas.
+    if name == "RESULT_SCHEMA":
+        from ..schemas import RESULT_SCHEMA
+
+        warnings.warn(
+            "repro.estimation.result.RESULT_SCHEMA moved to "
+            "repro.schemas.RESULT_SCHEMA; the old import path will be "
+            "removed in a future major release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return RESULT_SCHEMA
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -61,26 +79,16 @@ class HyperSample:
         return self.fit is None
 
     def to_dict(self) -> dict:
-        return {
-            "index": self.index,
-            "maxima": np.asarray(self.maxima, dtype=np.float64).tolist(),
-            "fit": self.fit.to_dict() if self.fit is not None else None,
-            "estimate": self.estimate,
-            "units_used": self.units_used,
-            "fallback_reason": self.fallback_reason,
-        }
+        """Versioned JSON-able form (see :mod:`repro.schemas`)."""
+        from ..schemas import dump_hyper_sample
+
+        return dump_hyper_sample(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "HyperSample":
-        fit = data.get("fit")
-        return cls(
-            index=int(data["index"]),
-            maxima=np.asarray(data["maxima"], dtype=np.float64),
-            fit=WeibullFit.from_dict(fit) if fit is not None else None,
-            estimate=float(data["estimate"]),
-            units_used=int(data["units_used"]),
-            fallback_reason=data.get("fallback_reason"),
-        )
+        from ..schemas import load_hyper_sample
+
+        return load_hyper_sample(data)
 
 
 @dataclass
@@ -165,48 +173,19 @@ class EstimationResult:
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-able dump including every hyper-sample fit."""
-        return {
-            "schema": RESULT_SCHEMA,
-            "estimate": self.estimate,
-            "interval": self.interval.to_dict() if self.interval else None,
-            "converged": self.converged,
-            "error_bound": self.error_bound,
-            "confidence": self.confidence,
-            "units_used": self.units_used,
-            "population_name": self.population_name,
-            "population_size": self.population_size,
-            "k": self.k,
-            "ci_trajectory": [float(w) for w in self.ci_trajectory],
-            "hyper_samples": [hs.to_dict() for hs in self.hyper_samples],
-        }
+        """Versioned JSON-able dump including every hyper-sample fit."""
+        from ..schemas import dump_estimation_result
+
+        return dump_estimation_result(self)
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_dict(cls, data: dict) -> "EstimationResult":
-        interval = data.get("interval")
-        return cls(
-            estimate=float(data["estimate"]),
-            interval=(
-                MeanInterval.from_dict(interval) if interval is not None else None
-            ),
-            converged=bool(data["converged"]),
-            error_bound=float(data["error_bound"]),
-            confidence=float(data["confidence"]),
-            hyper_samples=[
-                HyperSample.from_dict(hs) for hs in data.get("hyper_samples", ())
-            ],
-            units_used=int(data["units_used"]),
-            population_name=str(data.get("population_name", "")),
-            population_size=(
-                int(data["population_size"])
-                if data.get("population_size") is not None
-                else None
-            ),
-            ci_trajectory=[float(w) for w in data.get("ci_trajectory", ())],
-        )
+        from ..schemas import load_estimation_result
+
+        return load_estimation_result(data)
 
     @classmethod
     def from_json(cls, text: str) -> "EstimationResult":

@@ -86,24 +86,16 @@ class MeanInterval:
         return self.low <= value <= self.high
 
     def to_dict(self) -> dict:
-        """JSON-able form (shared by result serialization and traces)."""
-        return {
-            "mean": self.mean,
-            "half_width": self.half_width,
-            "level": self.level,
-            "k": self.k,
-            "std": self.std,
-        }
+        """Versioned JSON-able form (see :mod:`repro.schemas`)."""
+        from ..schemas import dump_mean_interval
+
+        return dump_mean_interval(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "MeanInterval":
-        return cls(
-            mean=float(data["mean"]),
-            half_width=float(data["half_width"]),
-            level=float(data["level"]),
-            k=int(data["k"]),
-            std=float(data["std"]),
-        )
+        from ..schemas import load_mean_interval
+
+        return load_mean_interval(data)
 
 
 def t_mean_interval(values: Sequence[float], level: float) -> MeanInterval:

@@ -81,29 +81,16 @@ class WeibullFit:
         return float(self.distribution.ppf(q))
 
     def to_dict(self) -> dict:
-        """JSON-able form (shared by result serialization and traces)."""
-        return {
-            "alpha": self.alpha,
-            "beta": self.beta,
-            "mu": self.mu,
-            "loglik": self.loglik,
-            "method": self.method,
-            "shape_gt2": self.shape_gt2,
-        }
+        """Versioned JSON-able form (see :mod:`repro.schemas`)."""
+        from ..schemas import dump_weibull_fit
+
+        return dump_weibull_fit(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "WeibullFit":
-        dist = GeneralizedWeibull(
-            alpha=float(data["alpha"]),
-            beta=float(data["beta"]),
-            mu=float(data["mu"]),
-        )
-        return cls(
-            distribution=dist,
-            loglik=float(data["loglik"]),
-            method=str(data["method"]),
-            shape_gt2=bool(data["shape_gt2"]),
-        )
+        from ..schemas import load_weibull_fit
+
+        return load_weibull_fit(data)
 
 
 def _validate_sample(x: np.ndarray) -> np.ndarray:

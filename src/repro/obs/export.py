@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import ConfigError
+from ..schemas import SCHEMA_VERSION, check_schema_version
 
 __all__ = [
     "render_prometheus",
@@ -105,10 +106,15 @@ def render_prometheus(snapshot: dict, prefix: str = _PREFIX) -> str:
 
 
 def write_metrics_file(path: Union[str, Path], snapshot: dict) -> Path:
-    """Write a snapshot to disk — ``.json`` snapshot or Prometheus text."""
+    """Write a snapshot to disk — ``.json`` snapshot or Prometheus text.
+
+    The JSON form carries the library-wide ``schema_version``
+    (:mod:`repro.schemas`), which :func:`load_metrics_file` validates.
+    """
     path = Path(path)
     if path.suffix == ".json":
-        path.write_text(json.dumps(snapshot, indent=2) + "\n")
+        payload = {"schema_version": SCHEMA_VERSION, **snapshot}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
     else:
         path.write_text(render_prometheus(snapshot))
     return path
@@ -126,6 +132,10 @@ def load_metrics_file(path: Union[str, Path]) -> dict:
         ) from None
     if not isinstance(data, dict) or "counters" not in data:
         raise ConfigError(f"{path} does not look like a metrics snapshot")
+    check_schema_version(data, f"metrics snapshot {path}")
+    # Strip the wire-format stamp so the loaded dict has the registry's
+    # native snapshot shape (merge/round-trip with live snapshots).
+    data.pop("schema_version", None)
     return data
 
 
@@ -143,6 +153,9 @@ def load_trace(path: Union[str, Path]) -> List[dict]:
             raise ConfigError(f"{path}:{line_no}: invalid trace line ({exc})") from None
         if not isinstance(record, dict) or "event" not in record:
             raise ConfigError(f"{path}:{line_no}: trace line is not an event object")
+        # Trace events written before payload versioning carry no
+        # schema_version; when present it must be a readable major.
+        check_schema_version(record, f"trace event at {path}:{line_no}")
         events.append(record)
     return events
 

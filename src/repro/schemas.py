@@ -1,0 +1,372 @@
+"""Versioned (de)serializers for every JSON payload the library emits.
+
+One module owns the wire format: estimation results and their nested
+records (:class:`~repro.evt.mle.WeibullFit`,
+:class:`~repro.evt.confidence.MeanInterval`,
+:class:`~repro.estimation.result.HyperSample`,
+:class:`~repro.estimation.result.EstimationResult`), the
+:class:`~repro.api.EstimatorConfig` request object, and the job-service
+spec.  Checkpoint files, ``--metrics`` exports, the HTTP service, and
+the CLI JSON output all serialize through these functions, so a result
+persisted anywhere round-trips through ``load_*`` into the same object.
+
+Versioning policy
+-----------------
+Every payload carries ``"schema_version": "<major>.<minor>"``
+(:data:`SCHEMA_VERSION`).
+
+* **Minor** bumps add fields; readers ignore fields they do not know,
+  so any ``1.x`` payload loads in any ``1.y`` build.
+* **Major** bumps change or remove fields; loaders reject a payload
+  whose major version differs from :data:`SCHEMA_MAJOR` with a
+  :class:`~repro.errors.SchemaError`.
+* Payloads written before versioning existed (no ``schema_version``
+  key) are accepted as major version 1.
+
+The dataclasses keep their ``to_dict``/``from_dict`` methods for
+convenience; those methods delegate here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .errors import SchemaError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCHEMA_MAJOR",
+    "RESULT_SCHEMA",
+    "CHECKPOINT_SCHEMA",
+    "SERVICE_LOG_SCHEMA",
+    "parse_schema_version",
+    "check_schema_version",
+    "stamp",
+    "dump_weibull_fit",
+    "load_weibull_fit",
+    "dump_mean_interval",
+    "load_mean_interval",
+    "dump_hyper_sample",
+    "load_hyper_sample",
+    "dump_estimation_result",
+    "load_estimation_result",
+    "dump_estimator_config",
+    "load_estimator_config",
+    "dump_job_spec",
+    "load_job_spec",
+]
+
+#: Version stamped into every payload this build writes.
+SCHEMA_VERSION = "1.0"
+
+#: Major version this build can read.
+SCHEMA_MAJOR = 1
+
+#: Type tag of serialized :class:`EstimationResult` payloads
+#: (previously lived in :mod:`repro.estimation.result`).
+RESULT_SCHEMA = "repro.estimation_result/v1"
+
+#: Type tag of the checkpoint-file header line (previously lived in
+#: :mod:`repro.estimation.checkpoint`).
+CHECKPOINT_SCHEMA = "repro.checkpoint/v1"
+
+#: Type tag of the job server's persistent job-log header.
+SERVICE_LOG_SCHEMA = "repro.service_jobs/v1"
+
+
+def parse_schema_version(version: str) -> Tuple[int, int]:
+    """Split ``"major.minor"`` into ints; raise :class:`SchemaError` on junk."""
+    if not isinstance(version, str):
+        raise SchemaError(
+            f"schema_version must be a string, got {type(version).__name__} "
+            f"{version!r}"
+        )
+    parts = version.split(".")
+    try:
+        if len(parts) != 2:
+            raise ValueError(version)
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        raise SchemaError(
+            f"malformed schema_version {version!r} (expected 'major.minor', "
+            f"e.g. {SCHEMA_VERSION!r})"
+        ) from None
+
+
+def check_schema_version(payload: dict, what: str = "payload") -> None:
+    """Validate a payload's declared ``schema_version`` against this build.
+
+    Missing ``schema_version`` is accepted (pre-versioning payloads are
+    major version 1 by definition).  An unknown *major* version raises
+    :class:`~repro.errors.SchemaError` with an actionable message; minor
+    version skew is allowed in both directions.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{what} is not a JSON object: {type(payload).__name__}")
+    raw = payload.get("schema_version")
+    if raw is None:
+        return
+    major, _minor = parse_schema_version(raw)
+    if major != SCHEMA_MAJOR:
+        raise SchemaError(
+            f"{what} has schema_version {raw}, but this build reads major "
+            f"version {SCHEMA_MAJOR} (writes {SCHEMA_VERSION}); upgrade the "
+            "library or regenerate the payload"
+        )
+
+
+def stamp(payload: dict) -> dict:
+    """Return ``payload`` with this build's ``schema_version`` stamped in."""
+    payload["schema_version"] = SCHEMA_VERSION
+    return payload
+
+
+# ----------------------------------------------------------------------
+# WeibullFit
+# ----------------------------------------------------------------------
+
+def dump_weibull_fit(fit) -> dict:
+    """JSON-able form of a :class:`~repro.evt.mle.WeibullFit`."""
+    return stamp(
+        {
+            "alpha": fit.alpha,
+            "beta": fit.beta,
+            "mu": fit.mu,
+            "loglik": fit.loglik,
+            "method": fit.method,
+            "shape_gt2": fit.shape_gt2,
+        }
+    )
+
+
+def load_weibull_fit(data: dict):
+    check_schema_version(data, "WeibullFit payload")
+    from .evt.distributions import GeneralizedWeibull
+    from .evt.mle import WeibullFit
+
+    dist = GeneralizedWeibull(
+        alpha=float(data["alpha"]),
+        beta=float(data["beta"]),
+        mu=float(data["mu"]),
+    )
+    return WeibullFit(
+        distribution=dist,
+        loglik=float(data["loglik"]),
+        method=str(data["method"]),
+        shape_gt2=bool(data["shape_gt2"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# MeanInterval
+# ----------------------------------------------------------------------
+
+def dump_mean_interval(interval) -> dict:
+    """JSON-able form of a :class:`~repro.evt.confidence.MeanInterval`."""
+    return stamp(
+        {
+            "mean": interval.mean,
+            "half_width": interval.half_width,
+            "level": interval.level,
+            "k": interval.k,
+            "std": interval.std,
+        }
+    )
+
+
+def load_mean_interval(data: dict):
+    check_schema_version(data, "MeanInterval payload")
+    from .evt.confidence import MeanInterval
+
+    return MeanInterval(
+        mean=float(data["mean"]),
+        half_width=float(data["half_width"]),
+        level=float(data["level"]),
+        k=int(data["k"]),
+        std=float(data["std"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# HyperSample
+# ----------------------------------------------------------------------
+
+def dump_hyper_sample(hs) -> dict:
+    """JSON-able form of a :class:`~repro.estimation.result.HyperSample`."""
+    return stamp(
+        {
+            "index": hs.index,
+            "maxima": np.asarray(hs.maxima, dtype=np.float64).tolist(),
+            "fit": dump_weibull_fit(hs.fit) if hs.fit is not None else None,
+            "estimate": hs.estimate,
+            "units_used": hs.units_used,
+            "fallback_reason": hs.fallback_reason,
+        }
+    )
+
+
+def load_hyper_sample(data: dict):
+    check_schema_version(data, "HyperSample payload")
+    from .estimation.result import HyperSample
+
+    fit = data.get("fit")
+    return HyperSample(
+        index=int(data["index"]),
+        maxima=np.asarray(data["maxima"], dtype=np.float64),
+        fit=load_weibull_fit(fit) if fit is not None else None,
+        estimate=float(data["estimate"]),
+        units_used=int(data["units_used"]),
+        fallback_reason=data.get("fallback_reason"),
+    )
+
+
+# ----------------------------------------------------------------------
+# EstimationResult
+# ----------------------------------------------------------------------
+
+def dump_estimation_result(result) -> dict:
+    """JSON-able dump of an
+    :class:`~repro.estimation.result.EstimationResult`, fits included."""
+    return stamp(
+        {
+            "schema": RESULT_SCHEMA,
+            "estimate": result.estimate,
+            "interval": (
+                dump_mean_interval(result.interval) if result.interval else None
+            ),
+            "converged": result.converged,
+            "error_bound": result.error_bound,
+            "confidence": result.confidence,
+            "units_used": result.units_used,
+            "population_name": result.population_name,
+            "population_size": result.population_size,
+            "k": result.k,
+            "ci_trajectory": [float(w) for w in result.ci_trajectory],
+            "hyper_samples": [dump_hyper_sample(hs) for hs in result.hyper_samples],
+        }
+    )
+
+
+def load_estimation_result(data: dict):
+    check_schema_version(data, "EstimationResult payload")
+    from .estimation.result import EstimationResult
+
+    interval = data.get("interval")
+    return EstimationResult(
+        estimate=float(data["estimate"]),
+        interval=(
+            load_mean_interval(interval) if interval is not None else None
+        ),
+        converged=bool(data["converged"]),
+        error_bound=float(data["error_bound"]),
+        confidence=float(data["confidence"]),
+        hyper_samples=[
+            load_hyper_sample(hs) for hs in data.get("hyper_samples", ())
+        ],
+        units_used=int(data["units_used"]),
+        population_name=str(data.get("population_name", "")),
+        population_size=(
+            int(data["population_size"])
+            if data.get("population_size") is not None
+            else None
+        ),
+        ci_trajectory=[float(w) for w in data.get("ci_trajectory", ())],
+    )
+
+
+# ----------------------------------------------------------------------
+# EstimatorConfig
+# ----------------------------------------------------------------------
+
+def dump_estimator_config(config) -> dict:
+    """JSON-able form of a :class:`~repro.api.EstimatorConfig`."""
+    return stamp(
+        {
+            "n": config.n,
+            "m": config.m,
+            "error": config.error,
+            "confidence": config.confidence,
+            "min_hyper_samples": config.min_hyper_samples,
+            "max_hyper_samples": config.max_hyper_samples,
+            "finite_correction": config.finite_correction,
+            "upper_bound": config.upper_bound,
+            "workers": config.workers,
+            "retries": config.retries,
+            "task_timeout": config.task_timeout,
+        }
+    )
+
+
+def load_estimator_config(data: dict):
+    check_schema_version(data, "EstimatorConfig payload")
+    from .api import EstimatorConfig
+
+    kwargs = {}
+    for name, cast in (
+        ("n", int),
+        ("m", int),
+        ("error", float),
+        ("confidence", float),
+        ("min_hyper_samples", int),
+        ("max_hyper_samples", int),
+        ("workers", int),
+        ("retries", int),
+    ):
+        if data.get(name) is not None:
+            kwargs[name] = cast(data[name])
+    if data.get("finite_correction") is not None:
+        kwargs["finite_correction"] = bool(data["finite_correction"])
+    if data.get("upper_bound") is not None:
+        kwargs["upper_bound"] = float(data["upper_bound"])
+    if data.get("task_timeout") is not None:
+        kwargs["task_timeout"] = float(data["task_timeout"])
+    return EstimatorConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Service job spec
+# ----------------------------------------------------------------------
+
+def dump_job_spec(spec) -> dict:
+    """JSON-able form of a :class:`~repro.service.jobs.JobSpec`."""
+    return stamp(
+        {
+            "circuit": spec.circuit,
+            "seed": spec.seed,
+            "num_runs": spec.num_runs,
+            "population_size": spec.population_size,
+            "activity": spec.activity,
+            "sim_mode": spec.sim_mode,
+            "frequency_mhz": spec.frequency_mhz,
+            "config": dump_estimator_config(spec.config),
+        }
+    )
+
+
+def load_job_spec(data: dict):
+    check_schema_version(data, "JobSpec payload")
+    from .api import EstimatorConfig
+    from .service.jobs import JobSpec
+
+    if "circuit" not in data:
+        raise SchemaError("JobSpec payload is missing the 'circuit' field")
+    config = data.get("config")
+    activity: Optional[float] = (
+        float(data["activity"]) if data.get("activity") is not None else None
+    )
+    return JobSpec(
+        circuit=str(data["circuit"]),
+        seed=int(data.get("seed", 0)),
+        num_runs=int(data.get("num_runs", 1)),
+        population_size=int(data.get("population_size", 20_000)),
+        activity=activity,
+        sim_mode=str(data.get("sim_mode", "zero")),
+        frequency_mhz=float(data.get("frequency_mhz", 50.0)),
+        config=(
+            load_estimator_config(config)
+            if config is not None
+            else EstimatorConfig()
+        ),
+    )

@@ -1,0 +1,191 @@
+"""Typed Python client for the estimation service (stdlib ``urllib``).
+
+One class, three idioms::
+
+    client = Client("http://127.0.0.1:8000")
+
+    # Fire and forget
+    job = client.submit("c432", seed=1)
+
+    # Block until done, then fetch the deserialized result
+    client.wait(job["id"])
+    result = client.result(job["id"])          # EstimationResult
+    print(result.summary())
+
+    # Watch convergence live (one status dict per new hyper-sample)
+    for status in client.stream(job["id"]):
+        k = len(status["trajectory"])
+        print(k, status["trajectory"][-1]["rel_half_width"] if k else None)
+
+Every HTTP failure raises :class:`~repro.errors.ServiceError` carrying
+the server's message and the status code; payload schema versions are
+validated on receipt, so a client never silently consumes a payload
+from an incompatible future server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, List, Optional, Union
+
+from ..errors import ServiceError
+from ..schemas import check_schema_version, load_estimation_result
+
+__all__ = ["Client"]
+
+
+class Client:
+    """HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8000", timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        raw: bool = False,
+    ):
+        request = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=json.dumps(body).encode("utf-8") if body is not None else None,
+            headers={"Content-Type": "application/json"} if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(detail)["error"]["message"]
+            except Exception:
+                message = detail or exc.reason
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}: {message}", status=exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc.reason} "
+                f"(is the service running at {self.base_url}?)"
+            ) from None
+        if raw:
+            return payload.decode("utf-8")
+        return json.loads(payload)
+
+    # -- job lifecycle --------------------------------------------------
+    def submit(self, circuit_or_spec, config=None, **spec_kwargs) -> dict:
+        """Submit a job; returns its status dict (``id``, ``state``, ...).
+
+        Accepts a circuit name/path plus :class:`~repro.service.jobs.JobSpec`
+        keyword fields, a ready :class:`~repro.service.jobs.JobSpec`, or a
+        raw spec dict (for language-agnostic callers).
+        """
+        from .jobs import JobSpec  # lazy: keep client import-light
+
+        if isinstance(circuit_or_spec, JobSpec):
+            payload = circuit_or_spec.to_dict()
+        elif isinstance(circuit_or_spec, dict):
+            payload = dict(circuit_or_spec)
+        else:
+            if config is not None:
+                spec_kwargs["config"] = config
+            payload = JobSpec(circuit=str(circuit_or_spec), **spec_kwargs).to_dict()
+        status = self._request("POST", "/v1/jobs", body=payload)
+        check_schema_version(status, "job status payload")
+        return status
+
+    def status(self, job_id: str) -> dict:
+        status = self._request("GET", f"/v1/jobs/{job_id}")
+        check_schema_version(status, "job status payload")
+        return status
+
+    def results(self, job_id: str) -> List[object]:
+        """All runs of a completed job as ``EstimationResult`` objects."""
+        payload = self._request("GET", f"/v1/jobs/{job_id}/result")
+        check_schema_version(payload, "job result payload")
+        return [load_estimation_result(r) for r in payload["results"]]
+
+    def result(self, job_id: str):
+        """The single result of a completed one-run job (first run of a
+        multi-run job)."""
+        return self.results(job_id)[0]
+
+    def result_payload(self, job_id: str) -> dict:
+        """The raw result JSON exactly as served (archival/artifacts)."""
+        payload = self._request("GET", f"/v1/jobs/{job_id}/result")
+        check_schema_version(payload, "job result payload")
+        return payload
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None) -> List[dict]:
+        path = "/v1/jobs" + (f"?state={state}" if state else "")
+        return self._request("GET", path)["jobs"]
+
+    # -- waiting --------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; return its status.
+
+        Raises :class:`~repro.errors.ServiceError` if ``timeout`` (in
+        seconds) elapses first — the job keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("completed", "failed", "cancelled"):
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    def stream(
+        self,
+        job_id: str,
+        poll_interval: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> Iterator[dict]:
+        """Yield a status dict whenever the job makes visible progress
+        (new trajectory entry, completed run, or state change); the
+        final yield is the terminal status."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        last = (None, -1, -1)
+        while True:
+            status = self.status(job_id)
+            mark = (
+                status["state"],
+                len(status["trajectory"]),
+                status["completed_runs"],
+            )
+            if mark != last:
+                last = mark
+                yield status
+            if status["state"] in ("completed", "failed", "cancelled"):
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    # -- service introspection ------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition."""
+        return self._request("GET", "/metrics", raw=True)

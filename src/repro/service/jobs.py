@@ -1,0 +1,414 @@
+"""Job model and durable job store for the estimation service.
+
+A job is one estimation request: a circuit/population description plus
+an :class:`~repro.api.EstimatorConfig`, repeated ``num_runs`` times.
+The :class:`JobStore` keeps every job in memory for serving and appends
+every lifecycle event to ``<state_dir>/jobs.jsonl`` — an append-only,
+crash-tolerant log replayed on startup, so a restarted server still
+knows every submitted job, serves completed results, and re-queues jobs
+that were queued or mid-flight when the process died.  In-flight
+multi-run jobs additionally checkpoint per-run results through
+:mod:`repro.estimation.checkpoint` (one ``<job id>.runs.jsonl`` per
+job), so a resume never recomputes completed runs.
+
+Log layout (one JSON object per line)::
+
+    {"schema": "repro.service_jobs/v1", "schema_version": "1.0"}  # header
+    {"event": "submitted", "id": "job-000001-3f2a", "t": ..., "spec": {...}}
+    {"event": "state", "id": "...", "state": "running", "t": ...}
+    {"event": "result", "id": "...", "results": [{...}, ...]}
+    {"event": "cancel_requested", "id": "...", "t": ...}
+
+Replay is tolerant exactly like the checkpoint loader: a process killed
+mid-append truncates at most the final line, which is skipped; reopening
+for append first repairs a missing trailing newline so the next event
+can never splice onto a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..api import EstimatorConfig
+from ..errors import ConfigError
+from ..schemas import (
+    SCHEMA_VERSION,
+    SERVICE_LOG_SCHEMA,
+    check_schema_version,
+    dump_estimation_result,
+    dump_job_spec,
+    load_estimation_result,
+    load_job_spec,
+)
+
+__all__ = ["JobState", "JobSpec", "Job", "JobStore"]
+
+
+class JobState:
+    """Lifecycle states of a job (plain strings on the wire)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a job never leaves.
+    TERMINAL = frozenset({COMPLETED, FAILED, CANCELLED})
+
+    #: Every state, in lifecycle order (metrics export all of them).
+    ALL = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to estimate: the full, self-contained job description.
+
+    Mirrors the arguments of :func:`repro.api.estimate` /
+    :func:`repro.api.run_many` one-to-one.  Seed contract: the
+    population is built with ``seed`` and the estimator streams derive
+    from ``seed + 1`` — identical to ``repro estimate CIRCUIT --seed s``
+    and to ``estimate(circuit, config, seed=s)``, which is what makes
+    service results bit-identical to in-process ones.
+    """
+
+    circuit: str
+    config: EstimatorConfig = field(default_factory=EstimatorConfig)
+    seed: int = 0
+    num_runs: int = 1
+    population_size: int = 20_000
+    activity: Optional[float] = None
+    sim_mode: str = "zero"
+    frequency_mhz: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not str(self.circuit).strip():
+            raise ConfigError("job spec needs a non-empty circuit")
+        if self.num_runs < 1:
+            raise ConfigError("num_runs must be >= 1")
+        if self.population_size < 0:
+            raise ConfigError("population_size must be >= 0 (0 = streaming)")
+        if self.sim_mode not in ("zero", "unit"):
+            raise ConfigError("sim_mode must be 'zero' or 'unit'")
+        if self.frequency_mhz <= 0:
+            raise ConfigError("frequency_mhz must be positive")
+        if self.activity is not None and not 0.0 < self.activity < 1.0:
+            raise ConfigError("activity must be in (0, 1)")
+
+    def to_dict(self) -> dict:
+        return dump_job_spec(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return load_job_spec(data)
+
+
+class Job:
+    """One submitted job: spec plus mutable lifecycle state.
+
+    Mutated only under the owning :class:`JobStore`'s lock (workers go
+    through the store's ``mark_*`` methods); ``cancel_event`` is the
+    cooperative cancellation signal the worker's progress hooks check.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec, created_at: float):
+        self.id = job_id
+        self.spec = spec
+        self.state = JobState.QUEUED
+        self.created_at = created_at
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        self.results: Optional[List[object]] = None  # EstimationResult list
+        self.cancel_event = threading.Event()
+        #: Per-hyper-sample convergence trajectory of the current run
+        #: (single-run jobs): k, α̂/β̂/μ̂, rel CI half-width, cumulative
+        #: units — the live view of the paper's Figure 4 loop.
+        self.trajectory: List[dict] = []
+        #: Completed-run count (multi-run jobs).
+        self.completed_runs = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def status_dict(self) -> dict:
+        """JSON-able status payload served by ``GET /v1/jobs/{id}``."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "cancel_requested": self.cancel_event.is_set(),
+            "completed_runs": self.completed_runs,
+            "total_runs": self.spec.num_runs,
+            "trajectory": list(self.trajectory),
+        }
+
+    def result_dict(self) -> dict:
+        """JSON-able result payload served by ``GET /v1/jobs/{id}/result``."""
+        if self.results is None:
+            raise ConfigError(f"job {self.id} has no results (state={self.state})")
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "id": self.id,
+            "num_runs": self.spec.num_runs,
+            "results": [dump_estimation_result(r) for r in self.results],
+        }
+
+
+class JobStore:
+    """Thread-safe job registry + FIFO queue + append-only event log."""
+
+    def __init__(self, state_dir: Union[str, Path]):
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.log_path = self.state_dir / "jobs.jsonl"
+        self._lock = threading.RLock()
+        self._queue_ready = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._queue: List[str] = []  # FIFO of queued job ids
+        self._counter = 0
+        self._requeued: List[str] = []
+        self._replay()
+        self._handle = self._open_log()
+
+    # -- log plumbing ---------------------------------------------------
+    def _open_log(self):
+        new = not self.log_path.exists() or self.log_path.stat().st_size == 0
+        if not new:
+            # Repair a torn tail: if a previous process died mid-append,
+            # the next event must start on its own line.
+            with open(self.log_path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                torn = probe.read(1) != b"\n"
+            if torn:
+                with open(self.log_path, "a", encoding="utf-8") as fix:
+                    fix.write("\n")
+        handle = open(self.log_path, "a", encoding="utf-8")
+        if new:
+            header = {"schema": SERVICE_LOG_SCHEMA, "schema_version": SCHEMA_VERSION}
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+        return handle
+
+    def _append(self, event: dict) -> None:
+        self._handle.write(json.dumps(event) + "\n")
+        self._handle.flush()
+
+    def _replay(self) -> None:
+        """Rebuild jobs from the event log; requeue unfinished ones."""
+        if not self.log_path.exists():
+            return
+        running: Dict[str, Job] = {}
+        with open(self.log_path, encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a mid-append kill
+                if not isinstance(event, dict):
+                    continue
+                if line_no == 0 and event.get("schema") == SERVICE_LOG_SCHEMA:
+                    check_schema_version(event, f"service log {self.log_path}")
+                    continue
+                kind = event.get("event")
+                job_id = event.get("id")
+                if kind == "submitted" and job_id:
+                    try:
+                        spec = load_job_spec(event["spec"])
+                    except Exception:
+                        continue  # unreadable spec: drop the job, keep the log
+                    job = Job(job_id, spec, float(event.get("t", 0.0)))
+                    self._jobs[job_id] = job
+                elif kind == "state" and job_id in self._jobs:
+                    job = self._jobs[job_id]
+                    job.state = event.get("state", job.state)
+                    if job.state == JobState.RUNNING:
+                        job.started_at = float(event.get("t", 0.0))
+                        running[job_id] = job
+                    else:
+                        job.finished_at = float(event.get("t", 0.0))
+                        running.pop(job_id, None)
+                    if job.state == JobState.FAILED:
+                        job.error = event.get("error")
+                elif kind == "result" and job_id in self._jobs:
+                    self._jobs[job_id].results = [
+                        load_estimation_result(r) for r in event.get("results", [])
+                    ]
+                elif kind == "cancel_requested" and job_id in self._jobs:
+                    self._jobs[job_id].cancel_event.set()
+        # Requeue every job the dead server never finished.  A job whose
+        # cancellation was requested but never acknowledged is finished
+        # off as cancelled rather than re-run.
+        for job in self._jobs.values():
+            if job.terminal:
+                continue
+            if job.cancel_event.is_set():
+                job.state = JobState.CANCELLED
+                job.finished_at = job.finished_at or job.created_at
+                continue
+            job.state = JobState.QUEUED
+            job.started_at = None
+            self._queue.append(job.id)
+            self._requeued.append(job.id)
+        self._queue.sort(key=lambda jid: self._jobs[jid].created_at)
+        if self._jobs:
+            self._counter = max(
+                (int(jid.split("-")[1]) for jid in self._jobs if _numbered(jid)),
+                default=0,
+            )
+
+    @property
+    def requeued_ids(self) -> List[str]:
+        """Jobs re-queued by startup replay (restart-resume diagnostics)."""
+        return list(self._requeued)
+
+    # -- job lifecycle --------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        with self._lock:
+            self._counter += 1
+            job_id = f"job-{self._counter:06d}-{uuid.uuid4().hex[:4]}"
+            job = Job(job_id, spec, time.time())
+            self._jobs[job_id] = job
+            self._queue.append(job_id)
+            self._append(
+                {
+                    "event": "submitted",
+                    "id": job_id,
+                    "t": job.created_at,
+                    "spec": dump_job_spec(spec),
+                }
+            )
+            self._queue_ready.notify()
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self, state: Optional[str] = None) -> List[Job]:
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.created_at)
+        if state is not None:
+            jobs = [j for j in jobs if j.state == state]
+        return jobs
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state — all states present, zeros included (the
+        ``/metrics`` gauges must exist before the first job arrives)."""
+        counts = {state: 0 for state in JobState.ALL}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        return counts
+
+    def claim_next(self, timeout: float = 0.5) -> Optional[Job]:
+        """Pop the oldest queued job and mark it running (worker entry).
+
+        Blocks up to ``timeout`` seconds for work; returns ``None`` on
+        timeout so worker threads can poll their shutdown flag.
+        """
+        with self._lock:
+            if not self._queue:
+                self._queue_ready.wait(timeout)
+            if not self._queue:
+                return None
+            job = self._jobs[self._queue.pop(0)]
+            if job.cancel_event.is_set():
+                # Cancelled while still queued: acknowledge, never run.
+                self._mark_locked(job, JobState.CANCELLED)
+                return None
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+            self._append(
+                {
+                    "event": "state",
+                    "id": job.id,
+                    "state": JobState.RUNNING,
+                    "t": job.started_at,
+                }
+            )
+            return job
+
+    def _mark_locked(self, job: Job, state: str, error: Optional[str] = None) -> None:
+        job.state = state
+        job.finished_at = time.time()
+        job.error = error
+        event = {"event": "state", "id": job.id, "state": state, "t": job.finished_at}
+        if error is not None:
+            event["error"] = error
+        self._append(event)
+
+    def mark_completed(self, job: Job, results: List[object]) -> None:
+        with self._lock:
+            job.results = list(results)
+            job.completed_runs = len(job.results)
+            self._append(
+                {
+                    "event": "result",
+                    "id": job.id,
+                    "results": [dump_estimation_result(r) for r in job.results],
+                }
+            )
+            self._mark_locked(job, JobState.COMPLETED)
+
+    def mark_failed(self, job: Job, error: str) -> None:
+        with self._lock:
+            self._mark_locked(job, JobState.FAILED, error=error)
+
+    def mark_cancelled(self, job: Job) -> None:
+        with self._lock:
+            self._mark_locked(job, JobState.CANCELLED)
+
+    def request_cancel(self, job_id: str) -> Job:
+        """Flag a job for cancellation (raises ``KeyError`` if unknown,
+        :class:`~repro.errors.ConfigError` if already terminal)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.terminal:
+                raise ConfigError(
+                    f"job {job_id} is already {job.state}; nothing to cancel"
+                )
+            job.cancel_event.set()
+            self._append(
+                {"event": "cancel_requested", "id": job_id, "t": time.time()}
+            )
+            if job.state == JobState.QUEUED:
+                # Not yet claimed by any worker: settle it immediately.
+                self._queue = [jid for jid in self._queue if jid != job_id]
+                self._mark_locked(job, JobState.CANCELLED)
+            return job
+
+    def run_checkpoint_path(self, job_id: str) -> Path:
+        """Per-run JSONL checkpoint for a multi-run job (resume unit)."""
+        return self.state_dir / f"{job_id}.runs.jsonl"
+
+    def wake_all(self) -> None:
+        """Wake every worker blocked in :meth:`claim_next` (shutdown)."""
+        with self._lock:
+            self._queue_ready.notify_all()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+def _numbered(job_id: str) -> bool:
+    parts = job_id.split("-")
+    return len(parts) >= 2 and parts[1].isdigit()

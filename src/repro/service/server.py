@@ -1,0 +1,299 @@
+"""The HTTP surface: a threaded job server on the versioned v1 API.
+
+Endpoints (JSON in, JSON out; see ``docs/api.md`` for curl examples)::
+
+    POST   /v1/jobs              submit a job spec           -> 201 status
+    GET    /v1/jobs              list jobs (?state= filter)  -> 200 list
+    GET    /v1/jobs/{id}         status + per-k trajectory   -> 200 status
+    GET    /v1/jobs/{id}/result  completed results           -> 200 results
+    DELETE /v1/jobs/{id}         request cancellation        -> 202 status
+    GET    /healthz              liveness + job counts       -> 200
+    GET    /metrics              Prometheus text exposition  -> 200
+
+Error envelope: ``{"error": {"status": <int>, "message": <str>}}`` with
+400 for malformed specs/payloads, 404 for unknown jobs and paths, and
+409 for state conflicts (result of an unfinished job, cancelling a
+finished one).
+
+Built on ``http.server.ThreadingHTTPServer`` — one thread per request,
+stdlib only — with the actual estimation work done by the
+:class:`~repro.service.worker.WorkerPool`, so slow jobs never block
+status polls.  ``port=0`` binds an ephemeral port (tests); the bound
+port is ``JobServer.port`` after :meth:`~JobServer.start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import ConfigError, ReproError, SchemaError
+from ..obs.export import render_prometheus
+from ..obs.metrics import get_registry
+from .jobs import JobSpec, JobState, JobStore
+from .worker import WorkerPool
+
+__all__ = ["JobServer", "serve"]
+
+#: Largest accepted request body (a job spec is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _ApiError(Exception):
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests against ``self.server.app`` (the JobServer)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _ApiError(400, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise _ApiError(400, "request body must be a JSON object")
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _ApiError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise _ApiError(400, "request body must be a JSON object")
+        return data
+
+    def _dispatch(self, method: str) -> None:
+        app = self.server.app  # type: ignore[attr-defined]
+        parsed = urlparse(self.path)
+        segments = [s for s in parsed.path.split("/") if s]
+        try:
+            self._route(app, method, segments, parse_qs(parsed.query))
+        except _ApiError as exc:
+            self._send_json(
+                exc.status,
+                {"error": {"status": exc.status, "message": exc.message}},
+            )
+        except (SchemaError, ConfigError) as exc:
+            self._send_json(400, {"error": {"status": 400, "message": str(exc)}})
+        except ReproError as exc:
+            self._send_json(500, {"error": {"status": 500, "message": str(exc)}})
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 — last-resort envelope
+            self._send_json(
+                500,
+                {
+                    "error": {
+                        "status": 500,
+                        "message": f"{type(exc).__name__}: {exc}",
+                    }
+                },
+            )
+
+    # -- routing --------------------------------------------------------
+    def _route(self, app: "JobServer", method: str, segments, query) -> None:
+        if segments == ["healthz"] and method == "GET":
+            return self._send_json(200, app.health())
+        if segments == ["metrics"] and method == "GET":
+            return self._send_text(
+                200, app.metrics_text(), "text/plain; version=0.0.4"
+            )
+        if len(segments) >= 2 and segments[0] == "v1" and segments[1] == "jobs":
+            rest = segments[2:]
+            if not rest:
+                if method == "POST":
+                    job = app.store.submit(JobSpec.from_dict(self._read_body()))
+                    return self._send_json(201, job.status_dict())
+                if method == "GET":
+                    state = (query.get("state") or [None])[0]
+                    if state is not None and state not in JobState.ALL:
+                        raise _ApiError(400, f"unknown state filter {state!r}")
+                    jobs = app.store.list(state=state)
+                    return self._send_json(
+                        200, {"jobs": [j.status_dict() for j in jobs]}
+                    )
+                raise _ApiError(405, f"{method} not allowed on /v1/jobs")
+            job = app.store.get(rest[0])
+            if job is None:
+                raise _ApiError(404, f"no such job {rest[0]!r}")
+            if len(rest) == 1:
+                if method == "GET":
+                    return self._send_json(200, job.status_dict())
+                if method == "DELETE":
+                    try:
+                        app.store.request_cancel(job.id)
+                    except ConfigError as exc:
+                        raise _ApiError(409, str(exc))
+                    return self._send_json(202, job.status_dict())
+                raise _ApiError(405, f"{method} not allowed on /v1/jobs/{{id}}")
+            if rest[1:] == ["result"] and method == "GET":
+                if job.state != JobState.COMPLETED:
+                    raise _ApiError(
+                        409,
+                        f"job {job.id} is {job.state}, not completed"
+                        + (f": {job.error}" if job.error else ""),
+                    )
+                return self._send_json(200, job.result_dict())
+        raise _ApiError(404, f"no route for {method} /{'/'.join(segments)}")
+
+    # -- verbs ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class JobServer:
+    """The estimation service: HTTP front end + worker pool + job store.
+
+    ``start()``/``stop()`` give tests and embedders full lifecycle
+    control; :func:`serve` wraps them for the CLI.  Starting the server
+    enables the global metrics registry (the service is an observability
+    consumer by design — ``/metrics`` is part of its API).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        state_dir: Union[str, Path] = ".repro_service",
+        workers: int = 2,
+        verbose: bool = False,
+    ):
+        self.host = host
+        self.state_dir = Path(state_dir)
+        self.store = JobStore(self.state_dir)
+        self.pool = WorkerPool(self.store, num_workers=workers)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- payload builders (also used by the handler) --------------------
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "jobs": self.store.counts(),
+            "workers": self.pool.num_workers,
+            "uptime_seconds": (
+                time.time() - self._started_at if self._started_at else 0.0
+            ),
+        }
+
+    def metrics_text(self) -> str:
+        registry = get_registry()
+        snapshot = registry.snapshot()
+        # The job-state gauges are computed from the store per scrape
+        # (not registry-resident), so all states are always present —
+        # a dashboard sees queued=0, not a missing series.
+        gauges = [
+            g for g in snapshot.get("gauges", [])
+            if g.get("name") != "service_jobs"
+        ]
+        for state, count in self.store.counts().items():
+            gauges.append(
+                {
+                    "name": "service_jobs",
+                    "labels": {"state": state},
+                    "value": float(count),
+                }
+            )
+        snapshot["gauges"] = gauges
+        return render_prometheus(snapshot)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "JobServer":
+        get_registry().enable()
+        self._started_at = time.time()
+        self.pool.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.pool.stop()
+        self.store.close()
+
+    def __enter__(self) -> "JobServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    state_dir: Union[str, Path] = ".repro_service",
+    workers: int = 2,
+    verbose: bool = False,
+) -> None:
+    """Run the job server until interrupted (the ``repro serve`` entry)."""
+    server = JobServer(
+        host=host, port=port, state_dir=state_dir, workers=workers,
+        verbose=verbose,
+    )
+    requeued = server.store.requeued_ids
+    server.start()
+    print(f"repro service listening on {server.url}")
+    print(f"state dir: {server.state_dir.resolve()}")
+    if requeued:
+        print(f"resumed {len(requeued)} unfinished job(s): {', '.join(requeued)}")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()

@@ -1,0 +1,189 @@
+"""Worker pool: drains the job queue through the estimation pipeline.
+
+Each worker is a thread that claims one job at a time from the
+:class:`~repro.service.jobs.JobStore` and executes it:
+
+* Single-run jobs call :meth:`MaxPowerEstimator.run` directly with a
+  ``progress`` hook, so the job's per-k convergence trajectory updates
+  live and a cancel request aborts between hyper-samples.  A restart
+  re-runs them from scratch — deterministic, so still bit-identical.
+* Multi-run jobs go through the fault-tolerant
+  :func:`repro.api.run_many` facade with a per-job JSONL checkpoint and
+  ``resume=True``: runs completed before a server kill are loaded back,
+  never recomputed, and the scheduler's seed contract keeps the final
+  result list bit-identical to an uninterrupted execution.
+
+Populations are cached per worker pool (small LRU keyed on the exact
+build arguments) so repeated jobs against the same circuit skip the
+simulation of tens of thousands of vector pairs.  The cache key includes
+the build seed, so it can never alias two different populations.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import List, Optional
+
+import numpy as np
+
+from ..api import build_population, run_many
+from ..errors import JobCancelledError
+from ..estimation.mc_estimator import MaxPowerEstimator
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from .jobs import Job, JobStore
+
+__all__ = ["WorkerPool"]
+
+_METRICS = get_registry()
+_TRACER = get_tracer()
+_JOB_TIMER = _METRICS.timer("service_job_seconds")
+
+#: Populations kept per pool; a handful covers a benchmark sweep.
+_POPULATION_CACHE_SIZE = 8
+
+
+def _trajectory_entry(hs, interval, cumulative_units: int) -> dict:
+    """One per-k live status record (field names match the
+    ``hyper_sample`` trace events and ``HyperSample.to_dict``)."""
+    fit = hs.fit
+    return {
+        "k": hs.index,
+        "estimate": hs.estimate,
+        "alpha": fit.alpha if fit is not None else None,
+        "beta": fit.beta if fit is not None else None,
+        "mu": fit.mu if fit is not None else None,
+        "rel_half_width": interval.rel_half_width if interval else None,
+        "mean_estimate": interval.mean if interval else None,
+        "cumulative_units": cumulative_units,
+    }
+
+
+class WorkerPool:
+    """``num_workers`` daemon threads draining one :class:`JobStore`."""
+
+    def __init__(self, store: JobStore, num_workers: int = 2):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.store = store
+        self.num_workers = num_workers
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._cache_lock = threading.Lock()
+        self._populations: "OrderedDict[tuple, object]" = OrderedDict()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        for i in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._loop, name=f"repro-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        self.store.wake_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+
+    # -- execution ------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.store.claim_next(timeout=0.2)
+            if job is None:
+                continue
+            self._execute(job)
+
+    def _population_for(self, job: Job):
+        spec = job.spec
+        key = (
+            spec.circuit,
+            spec.population_size,
+            spec.activity,
+            spec.sim_mode,
+            spec.frequency_mhz,
+            spec.seed,
+        )
+        with self._cache_lock:
+            if key in self._populations:
+                self._populations.move_to_end(key)
+                _METRICS.counter("service_population_cache_total", hit="true").inc()
+                return self._populations[key]
+        # Build outside the lock: population simulation is the slow part
+        # and two workers building the same key just race benignly.
+        population = build_population(
+            spec.circuit,
+            population_size=spec.population_size,
+            activity=spec.activity,
+            sim_mode=spec.sim_mode,
+            frequency_mhz=spec.frequency_mhz,
+            seed=spec.seed,
+            workers=spec.config.workers,
+        )
+        with self._cache_lock:
+            self._populations[key] = population
+            while len(self._populations) > _POPULATION_CACHE_SIZE:
+                self._populations.popitem(last=False)
+            _METRICS.counter("service_population_cache_total", hit="false").inc()
+        return population
+
+    def _execute(self, job: Job) -> None:
+        if _TRACER.enabled:
+            _TRACER.emit("job_start", job_id=job.id, circuit=job.spec.circuit)
+        try:
+            with _JOB_TIMER.time():
+                results = self._run(job)
+        except JobCancelledError:
+            self.store.mark_cancelled(job)
+            _METRICS.counter("service_jobs_finished_total", state="cancelled").inc()
+            if _TRACER.enabled:
+                _TRACER.emit("job_end", job_id=job.id, state="cancelled")
+        except Exception as exc:  # noqa: BLE001 — job isolation boundary
+            self.store.mark_failed(job, f"{type(exc).__name__}: {exc}")
+            _METRICS.counter("service_jobs_finished_total", state="failed").inc()
+            if _TRACER.enabled:
+                _TRACER.emit(
+                    "job_end", job_id=job.id, state="failed", error=str(exc)
+                )
+        else:
+            self.store.mark_completed(job, results)
+            _METRICS.counter("service_jobs_finished_total", state="completed").inc()
+            if _TRACER.enabled:
+                _TRACER.emit("job_end", job_id=job.id, state="completed")
+
+    def _run(self, job: Job) -> List[object]:
+        spec = job.spec
+        population = self._population_for(job)
+        if spec.num_runs == 1:
+            estimator = MaxPowerEstimator.from_config(population, spec.config)
+
+            def progress(hs, interval, cumulative_units):
+                if job.cancel_event.is_set():
+                    raise JobCancelledError(f"job {job.id} cancelled")
+                job.trajectory.append(
+                    _trajectory_entry(hs, interval, cumulative_units)
+                )
+
+            result = estimator.run(
+                rng=np.random.default_rng(spec.seed + 1), progress=progress
+            )
+            job.completed_runs = 1
+            return [result]
+
+        def on_result(index: int, result) -> None:
+            if job.cancel_event.is_set():
+                raise JobCancelledError(f"job {job.id} cancelled")
+            job.completed_runs += 1
+
+        return run_many(
+            population,
+            spec.num_runs,
+            spec.config,
+            base_seed=spec.seed + 1,
+            checkpoint=self.store.run_checkpoint_path(job.id),
+            resume=True,
+            on_result=on_result,
+        )

@@ -1,0 +1,51 @@
+"""Shared fixtures for the service tests.
+
+Servers bind port 0 (ephemeral) and run real worker threads; jobs use
+the 6-gate c17 written to a ``.bench`` file with tiny populations, so a
+full submit→estimate→result round trip is milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EstimatorConfig
+from repro.netlist.bench import dump_bench
+from repro.obs.metrics import get_registry
+from repro.service import Client, JobServer
+from repro.service.jobs import JobSpec
+
+
+@pytest.fixture
+def bench_path(c17, tmp_path):
+    """c17 as an on-disk .bench file (job specs carry circuit paths)."""
+    path = tmp_path / "c17.bench"
+    dump_bench(c17, path)
+    return path
+
+
+@pytest.fixture
+def quick_spec(bench_path):
+    """A job that completes in well under a second."""
+    return JobSpec(
+        circuit=str(bench_path),
+        config=EstimatorConfig(max_hyper_samples=10),
+        seed=3,
+        population_size=400,
+    )
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A running JobServer + bound Client; metrics state restored after."""
+    registry = get_registry()
+    was_enabled = registry.enabled
+    server = JobServer(port=0, state_dir=tmp_path / "state", workers=2)
+    server.start()
+    try:
+        yield server, Client(server.url, timeout=10.0)
+    finally:
+        server.stop()
+        if not was_enabled:
+            registry.disable()
+            registry.reset()

@@ -1,0 +1,102 @@
+"""Client-side behaviors: payload forms, wait/stream, failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.schemas import SCHEMA_VERSION
+from repro.service import Client
+from repro.service.jobs import JobState
+
+from .test_server import long_spec, wait_for
+
+
+class TestSubmitForms:
+    def test_submit_raw_dict(self, service, bench_path):
+        _server, client = service
+        job = client.submit(
+            {
+                "circuit": str(bench_path),
+                "seed": 3,
+                "population_size": 300,
+                "config": {"max_hyper_samples": 10},
+            }
+        )
+        status = client.wait(job["id"], timeout=30)
+        assert status["state"] == JobState.COMPLETED
+
+    def test_submit_kwargs_build_a_spec(self, service, bench_path):
+        from repro.api import EstimatorConfig
+
+        _server, client = service
+        job = client.submit(
+            str(bench_path),
+            EstimatorConfig(max_hyper_samples=10),
+            seed=3,
+            population_size=300,
+        )
+        assert client.wait(job["id"], timeout=30)["state"] == JobState.COMPLETED
+
+    def test_result_payload_is_versioned(self, service, quick_spec):
+        _server, client = service
+        job = client.submit(quick_spec)
+        client.wait(job["id"], timeout=30)
+        payload = client.result_payload(job["id"])
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["id"] == job["id"]
+        assert len(payload["results"]) == 1
+        assert payload["results"][0]["schema_version"] == SCHEMA_VERSION
+
+
+class TestWaitAndStream:
+    def test_wait_timeout_raises_and_job_keeps_running(
+        self, service, bench_path
+    ):
+        _server, client = service
+        job = client.submit(long_spec(bench_path))
+        try:
+            with pytest.raises(ServiceError, match="still"):
+                client.wait(job["id"], timeout=0.3, poll_interval=0.05)
+            assert client.status(job["id"])["state"] in (
+                JobState.QUEUED,
+                JobState.RUNNING,
+            )
+        finally:
+            client.cancel(job["id"])
+            client.wait(job["id"], timeout=30)
+
+    def test_stream_yields_progress_then_terminal(self, service, bench_path):
+        _server, client = service
+        job = client.submit(long_spec(bench_path))
+        wait_for(lambda: len(client.status(job["id"])["trajectory"]) >= 2)
+        seen = []
+        cancelled = False
+        for status in client.stream(job["id"], poll_interval=0.02):
+            seen.append(status)
+            if len(status["trajectory"]) >= 3 and not cancelled:
+                client.cancel(job["id"])
+                cancelled = True
+        assert seen[-1]["state"] == JobState.CANCELLED
+        lengths = [len(s["trajectory"]) for s in seen]
+        assert lengths == sorted(lengths)  # monotone progress
+
+    def test_stream_of_quick_job_ends_completed(self, service, quick_spec):
+        _server, client = service
+        job = client.submit(quick_spec)
+        statuses = list(client.stream(job["id"], poll_interval=0.02))
+        assert statuses[-1]["state"] == JobState.COMPLETED
+
+
+class TestTransportFailures:
+    def test_unreachable_service_raises_service_error(self):
+        client = Client("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError, match="is the service running"):
+            client.health()
+
+    def test_http_error_carries_status_and_server_message(self, service):
+        _server, client = service
+        with pytest.raises(ServiceError) as exc:
+            client.status("job-000000-none")
+        assert exc.value.status == 404
+        assert "no such job" in str(exc.value)

@@ -1,0 +1,185 @@
+"""Job model and durable store: lifecycle, queue, event-log replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import EstimatorConfig
+from repro.errors import ConfigError
+from repro.estimation.result import EstimationResult
+from repro.service.jobs import JobSpec, JobState, JobStore
+
+
+def make_spec(**overrides) -> JobSpec:
+    base = dict(circuit="c432", config=EstimatorConfig(), population_size=500)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def fake_result(estimate: float = 1.0) -> EstimationResult:
+    return EstimationResult(
+        estimate=estimate,
+        interval=None,
+        converged=True,
+        error_bound=0.05,
+        confidence=0.9,
+        population_name="fake",
+    )
+
+
+class TestJobSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"circuit": "  "},
+            {"num_runs": 0},
+            {"population_size": -5},
+            {"sim_mode": "bogus"},
+            {"frequency_mhz": 0.0},
+            {"activity": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            make_spec(**kwargs)
+
+
+class TestJobStore:
+    def test_submit_assigns_unique_queued_ids(self, tmp_path):
+        store = JobStore(tmp_path)
+        jobs = [store.submit(make_spec()) for _ in range(5)]
+        assert len({job.id for job in jobs}) == 5
+        assert all(job.state == JobState.QUEUED for job in jobs)
+        assert store.counts()[JobState.QUEUED] == 5
+
+    def test_claim_is_fifo_and_marks_running(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.submit(make_spec(seed=1))
+        store.submit(make_spec(seed=2))
+        claimed = store.claim_next(timeout=0.01)
+        assert claimed.id == first.id
+        assert claimed.state == JobState.RUNNING
+        assert claimed.started_at is not None
+
+    def test_claim_times_out_empty(self, tmp_path):
+        assert JobStore(tmp_path).claim_next(timeout=0.01) is None
+
+    def test_cancel_queued_job_settles_immediately(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec())
+        store.request_cancel(job.id)
+        assert job.state == JobState.CANCELLED
+        assert store.claim_next(timeout=0.01) is None
+
+    def test_cancel_terminal_job_conflicts(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec())
+        store.claim_next(timeout=0.01)
+        store.mark_completed(job, [fake_result()])
+        with pytest.raises(ConfigError, match="already"):
+            store.request_cancel(job.id)
+
+    def test_unknown_job_raises_key_error(self, tmp_path):
+        with pytest.raises(KeyError):
+            JobStore(tmp_path).request_cancel("job-999999-dead")
+
+    def test_list_filters_by_state(self, tmp_path):
+        store = JobStore(tmp_path)
+        done = store.submit(make_spec(seed=1))
+        store.submit(make_spec(seed=2))
+        store.claim_next(timeout=0.01)
+        store.mark_completed(done, [fake_result()])
+        assert [j.id for j in store.list(state=JobState.COMPLETED)] == [done.id]
+        assert len(store.list()) == 2
+
+    def test_status_dict_is_versioned_and_json_able(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec())
+        payload = json.loads(json.dumps(job.status_dict()))
+        assert payload["schema_version"]
+        assert payload["spec"]["circuit"] == "c432"
+        assert payload["state"] == JobState.QUEUED
+
+
+class TestReplay:
+    def test_completed_jobs_survive_restart_with_results(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec())
+        store.claim_next(timeout=0.01)
+        store.mark_completed(job, [fake_result(2.5)])
+        store.close()
+
+        reborn = JobStore(tmp_path)
+        again = reborn.get(job.id)
+        assert again.state == JobState.COMPLETED
+        assert again.results[0].estimate == 2.5
+        assert reborn.requeued_ids == []
+
+    def test_unfinished_jobs_requeue_in_submission_order(self, tmp_path):
+        store = JobStore(tmp_path)
+        queued = store.submit(make_spec(seed=1))
+        running = store.submit(make_spec(seed=2))
+        failed = store.submit(make_spec(seed=3))
+        # Make the *second* job the running one, the third failed.
+        claimed = store.claim_next(timeout=0.01)
+        assert claimed.id == queued.id
+        store.mark_completed(claimed, [fake_result()])
+        store.claim_next(timeout=0.01)  # running
+        claimed3 = store.claim_next(timeout=0.01)
+        store.mark_failed(claimed3, "boom")
+        store.close()
+
+        reborn = JobStore(tmp_path)
+        assert set(reborn.requeued_ids) == {running.id}
+        assert reborn.get(running.id).state == JobState.QUEUED
+        assert reborn.get(failed.id).state == JobState.FAILED
+        assert reborn.get(failed.id).error == "boom"
+
+    def test_cancel_requested_midflight_settles_as_cancelled(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec())
+        store.claim_next(timeout=0.01)
+        job.cancel_event.set()
+        store._append(  # what request_cancel writes for a running job
+            {"event": "cancel_requested", "id": job.id, "t": 1.0}
+        )
+        store.close()
+
+        reborn = JobStore(tmp_path)
+        assert reborn.get(job.id).state == JobState.CANCELLED
+        assert reborn.requeued_ids == []
+
+    def test_torn_tail_is_skipped_and_repaired(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec())
+        store.close()
+        log = tmp_path / "jobs.jsonl"
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "state", "id": "' + job.id)  # torn
+
+        reborn = JobStore(tmp_path)
+        assert reborn.get(job.id).state == JobState.QUEUED
+        second = reborn.submit(make_spec(seed=9))
+        reborn.close()
+        # Every line after the repair parses cleanly except the torn one.
+        bad = 0
+        for line in log.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+        assert bad == 1
+        third = JobStore(tmp_path)
+        assert third.get(second.id) is not None
+
+    def test_id_counter_continues_after_restart(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.submit(make_spec())
+        store.close()
+        reborn = JobStore(tmp_path)
+        second = reborn.submit(make_spec())
+        assert int(second.id.split("-")[1]) == int(first.id.split("-")[1]) + 1

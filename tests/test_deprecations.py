@@ -1,0 +1,39 @@
+"""Deprecation shims for names that moved to repro.schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.schemas as schemas
+
+
+class TestMovedSchemaConstants:
+    def test_result_schema_shim_warns_and_matches(self):
+        import repro.estimation.result as result_mod
+
+        with pytest.warns(DeprecationWarning, match="repro.schemas"):
+            value = result_mod.RESULT_SCHEMA
+        assert value == schemas.RESULT_SCHEMA
+
+    def test_checkpoint_schema_shim_warns_and_matches(self):
+        import repro.estimation.checkpoint as checkpoint_mod
+
+        with pytest.warns(DeprecationWarning, match="repro.schemas"):
+            value = checkpoint_mod.CHECKPOINT_SCHEMA
+        assert value == schemas.CHECKPOINT_SCHEMA
+
+    def test_unknown_attributes_still_raise(self):
+        import repro.estimation.checkpoint as checkpoint_mod
+        import repro.estimation.result as result_mod
+
+        with pytest.raises(AttributeError):
+            result_mod.NO_SUCH_NAME
+        with pytest.raises(AttributeError):
+            checkpoint_mod.NO_SUCH_NAME
+
+    def test_curated_all_omits_moved_names(self):
+        import repro.estimation.checkpoint as checkpoint_mod
+        import repro.estimation.result as result_mod
+
+        assert "RESULT_SCHEMA" not in result_mod.__all__
+        assert "CHECKPOINT_SCHEMA" not in checkpoint_mod.__all__

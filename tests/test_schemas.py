@@ -1,0 +1,144 @@
+"""The versioned wire-format module (repro.schemas)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import EstimatorConfig
+from repro.errors import SchemaError
+from repro.estimation.result import EstimationResult, HyperSample
+from repro.evt.confidence import MeanInterval
+from repro.evt.mle import WeibullFit
+from repro.schemas import (
+    SCHEMA_MAJOR,
+    SCHEMA_VERSION,
+    check_schema_version,
+    dump_estimation_result,
+    dump_estimator_config,
+    dump_job_spec,
+    load_estimation_result,
+    load_estimator_config,
+    load_job_spec,
+    parse_schema_version,
+    stamp,
+)
+from repro.service.jobs import JobSpec
+
+
+class TestVersionParsing:
+    def test_current_version_parses_to_major(self):
+        major, _minor = parse_schema_version(SCHEMA_VERSION)
+        assert major == SCHEMA_MAJOR
+
+    @pytest.mark.parametrize("bad", ["", "1", "one.two", "1.2.3", None, 1.0])
+    def test_junk_versions_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            parse_schema_version(bad)
+
+    def test_missing_version_accepted_as_legacy(self):
+        check_schema_version({"estimate": 1.0})  # no raise
+
+    def test_minor_skew_tolerated(self):
+        check_schema_version({"schema_version": f"{SCHEMA_MAJOR}.99"})
+
+    def test_major_mismatch_rejected(self):
+        with pytest.raises(SchemaError, match="major"):
+            check_schema_version(
+                {"schema_version": f"{SCHEMA_MAJOR + 1}.0"}, "test payload"
+            )
+
+    def test_stamp_adds_version(self):
+        assert stamp({"a": 1})["schema_version"] == SCHEMA_VERSION
+
+
+@pytest.fixture
+def result() -> EstimationResult:
+    from repro.evt.distributions import GeneralizedWeibull
+
+    maxima = np.array([1.0, 1.2, 1.1, 1.3, 1.15])
+    fit = WeibullFit(
+        distribution=GeneralizedWeibull(alpha=2.5, beta=0.5, mu=1.4),
+        loglik=-3.0,
+        method="profile-mle",
+        shape_gt2=True,
+    )
+    hyper = HyperSample(
+        index=1, maxima=maxima, fit=fit, estimate=1.35, units_used=300
+    )
+    interval = MeanInterval(mean=1.35, half_width=0.05, level=0.9, k=2, std=0.02)
+    return EstimationResult(
+        estimate=1.35,
+        interval=interval,
+        converged=True,
+        error_bound=0.05,
+        confidence=0.9,
+        hyper_samples=[hyper],
+        units_used=300,
+        population_name="test-pop",
+        population_size=1000,
+        ci_trajectory=[0.04],
+    )
+
+
+class TestResultSchema:
+    def test_every_layer_is_stamped(self, result):
+        data = dump_estimation_result(result)
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["hyper_samples"][0]["schema_version"] == SCHEMA_VERSION
+        assert data["hyper_samples"][0]["fit"]["schema_version"] == SCHEMA_VERSION
+        assert data["interval"]["schema_version"] == SCHEMA_VERSION
+
+    def test_round_trip(self, result):
+        again = load_estimation_result(dump_estimation_result(result))
+        assert again.to_dict() == result.to_dict()
+
+    def test_legacy_payload_without_version_loads(self, result):
+        data = dump_estimation_result(result)
+        data.pop("schema_version")
+        assert load_estimation_result(data).estimate == result.estimate
+
+    def test_future_major_rejected(self, result):
+        data = dump_estimation_result(result)
+        data["schema_version"] = f"{SCHEMA_MAJOR + 1}.0"
+        with pytest.raises(SchemaError):
+            load_estimation_result(data)
+
+
+class TestConfigSchema:
+    def test_round_trip(self):
+        config = EstimatorConfig(error=0.03, workers=4, task_timeout=2.5)
+        assert load_estimator_config(dump_estimator_config(config)) == config
+
+    def test_partial_payload_takes_defaults(self):
+        config = load_estimator_config({"error": 0.1})
+        assert config.error == 0.1
+        assert config.m == EstimatorConfig().m
+
+    def test_future_major_rejected(self):
+        with pytest.raises(SchemaError):
+            load_estimator_config(
+                {"schema_version": f"{SCHEMA_MAJOR + 1}.0", "error": 0.1}
+            )
+
+
+class TestJobSpecSchema:
+    def test_round_trip(self):
+        spec = JobSpec(
+            circuit="c432",
+            config=EstimatorConfig(error=0.04),
+            seed=7,
+            num_runs=3,
+            population_size=500,
+            activity=0.2,
+        )
+        assert load_job_spec(dump_job_spec(spec)) == spec
+
+    def test_minimal_payload(self):
+        spec = load_job_spec({"circuit": "c432"})
+        assert spec.seed == 0 and spec.num_runs == 1
+        assert spec.config == EstimatorConfig()
+
+    def test_missing_circuit_rejected(self):
+        with pytest.raises(SchemaError, match="circuit"):
+            load_job_spec({"seed": 1})
