@@ -89,6 +89,8 @@ from .netlist import (
 from .netlist.generators import available_circuits, build_circuit
 from .sim import (
     BitParallelSimulator,
+    CompiledPlan,
+    compile_plan,
     EventDrivenSimulator,
     LibraryDelay,
     PowerAnalyzer,
@@ -170,6 +172,8 @@ __all__ = [
     "available_circuits",
     # sim
     "BitParallelSimulator",
+    "CompiledPlan",
+    "compile_plan",
     "EventDrivenSimulator",
     "PowerAnalyzer",
     "StaticTimingAnalyzer",

@@ -178,6 +178,11 @@ def _seed_key(base_seed: SeedLike, num_runs: int) -> str:
 
 def _init_worker(estimator: MaxPowerEstimator, obs_enabled: bool = False) -> None:
     global _WORKER_ESTIMATOR
+    # Unpickling the estimator here rebuilds its BitParallelSimulator,
+    # which (on the default kernel) compiles the circuit's struct-of-
+    # arrays plan exactly once per worker process; every task dispatched
+    # to this process then reuses that plan through the circuit's memo
+    # cache instead of re-freezing the netlist per task.
     _WORKER_ESTIMATOR = estimator
     # A forked child inherits the parent's registry *values* and an open
     # trace sink.  Reset the former (so per-task snapshots contain only

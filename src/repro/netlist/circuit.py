@@ -16,7 +16,16 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import NetlistError
 from .gates import GATE_ARITY, GateType, check_arity
@@ -220,6 +229,30 @@ class Circuit:
     # ------------------------------------------------------------------
     # derived views (cached)
     # ------------------------------------------------------------------
+    def memo(self, key: str, factory: Callable[[], object]) -> object:
+        """Cache an arbitrary derived object on the circuit.
+
+        The value is built once by ``factory`` and invalidated together
+        with the built-in derived views whenever the circuit is mutated.
+        Consumers that freeze the circuit into their own structures
+        (e.g. the compiled simulation plan) use this so every simulator
+        sharing a circuit object shares one frozen form.
+        """
+        value = self._cache.get(key)
+        if value is None:
+            value = factory()
+            self._cache[key] = value
+        return value
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Derived views (and memoized plans) can be large and are cheap
+        # to rebuild; ship only the structural state.  A worker process
+        # unpickling a circuit therefore recompiles caches once, not
+        # per task.
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
     def topological_order(self) -> List[str]:
         """Gate net names in a topological order (inputs excluded).
 

@@ -4,12 +4,15 @@
   event-driven timing simulation with arbitrary delay models.
 * :class:`~repro.sim.bitsim.BitParallelSimulator` — 64-lanes-per-word
   vectorized simulation for population-scale work.
+* :class:`~repro.sim.compiled.CompiledPlan` — the struct-of-arrays
+  batch plan behind the bit-parallel simulator's default kernel.
 * :class:`~repro.sim.power.PowerAnalyzer` — cycle-based power (the
   paper's PowerMill substitute).
 * :class:`~repro.sim.sta.StaticTimingAnalyzer` — longest-path timing.
 """
 
 from .bitsim import BitParallelSimulator, pack_vectors, unpack_vectors
+from .compiled import CompiledPlan, compile_plan
 from .delay import DelayModel, LibraryDelay, UnitDelay, ZeroDelay
 from .event_sim import EventDrivenSimulator, PairSimResult
 from .power import PowerAnalyzer, PowerBreakdown, SIM_MODES
@@ -19,6 +22,8 @@ from .vcd import VcdData, dump_vcd, parse_vcd, write_vcd
 
 __all__ = [
     "BitParallelSimulator",
+    "CompiledPlan",
+    "compile_plan",
     "pack_vectors",
     "unpack_vectors",
     "DelayModel",

@@ -12,10 +12,20 @@ each ``uint64`` and evaluates whole nets with numpy bitwise ops:
   (no glitches).
 * :meth:`BitParallelSimulator.toggle_counts_unit_delay` — synchronous
   unit-delay simulation: after settling at ``v1``, inputs switch to
-  ``v2`` and every gate is re-evaluated once per time step from the
+  ``v2`` and gates are re-evaluated once per time step from the
   previous step's values.  Transitions in *every* step are accumulated,
   so hazard (glitch) activity is captured, exactly like an event-driven
-  unit-delay simulator but three orders of magnitude faster in Python.
+  unit-delay simulator but orders of magnitude faster in Python.
+
+Two kernels implement these semantics.  The default **compiled**
+kernel (:mod:`repro.sim.compiled`) lowers the circuit once into flat
+struct-of-arrays batches — one fancy-indexed gather plus one bitwise
+reduction evaluates all same-shaped gates of a level, and the
+unit-delay loop re-evaluates only batches whose fanin cone changed.
+The legacy **interpreted** kernel (per-gate ``eval_gate_words`` calls)
+is retained behind ``REPRO_SIM_KERNEL=interp`` for A/B benchmarking and
+differential testing; the two produce bit-identical states and toggle
+counts and float-identical energies.
 
 Packing helpers convert between ``(num_vectors, num_inputs)`` bit
 matrices and the ``(num_inputs, num_words)`` lane layout.
@@ -30,12 +40,28 @@ import numpy as np
 from ..errors import SimulationError
 from ..netlist.circuit import Circuit
 from ..netlist.gates import GateType, eval_gate_words
+from .compiled import (
+    _UNIT_LANE_BLOCK,
+    CompiledPlan,
+    accumulate_planes,
+    charge_planes,
+    charge_rows,
+    make_planes,
+    compile_plan,
+    lane_mask,
+    popcount_rows,
+    resolve_kernel,
+)
 
 __all__ = [
     "BitParallelSimulator",
     "pack_vectors",
     "unpack_vectors",
 ]
+
+# Back-compat alias: sibling modules import the lane-mask helper from
+# here (the implementation moved to repro.sim.compiled).
+_lane_mask = lane_mask
 
 
 def pack_vectors(bits: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -67,31 +93,10 @@ def unpack_vectors(words: np.ndarray, num_lanes: int) -> np.ndarray:
     return bits[:, :num_lanes].T.copy()
 
 
-def _lane_mask(num_lanes: int, num_words: int) -> np.ndarray:
-    """All-ones in valid lane bits, zeros in the padding bits."""
-    mask = np.full(num_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
-    rem = num_lanes % 64
-    if rem:
-        mask[-1] = np.uint64((1 << rem) - 1)
-    return mask
-
-
-# Popcount strategy: numpy >= 2.0 ships np.bitwise_count; otherwise fall
-# back to a 16-bit lookup table.
-_POPCOUNT_LUT: Optional[np.ndarray] = None
-
-
 def _popcount(words: np.ndarray) -> int:
-    """Total set bits in a uint64 array."""
-    if hasattr(np, "bitwise_count"):
-        return int(np.bitwise_count(words).sum())
-    global _POPCOUNT_LUT
-    if _POPCOUNT_LUT is None:
-        _POPCOUNT_LUT = np.array(
-            [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8
-        )
-    as16 = words.view(np.uint16)
-    return int(_POPCOUNT_LUT[as16].sum())
+    """Total set bits in a uint64 array (batched popcount underneath)."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    return int(popcount_rows(words.reshape(1, -1))[0])
 
 
 def _unpack_lanes(words: np.ndarray, num_lanes: int) -> np.ndarray:
@@ -103,29 +108,54 @@ def _unpack_lanes(words: np.ndarray, num_lanes: int) -> np.ndarray:
 class BitParallelSimulator:
     """Levelized bit-parallel simulator for one circuit.
 
-    The constructor freezes the circuit structure into flat arrays
-    (net index maps, fanin index lists in topological order) so the
-    per-call hot loops touch no Python dictionaries.
+    The constructor freezes the circuit structure into flat arrays so
+    the per-call hot loops touch no Python dictionaries.  With the
+    default ``compiled`` kernel the frozen form is a cached
+    :class:`~repro.sim.compiled.CompiledPlan` shared by every simulator
+    (and every worker-process task) using the same circuit object;
+    ``kernel="interp"`` (or ``REPRO_SIM_KERNEL=interp``) selects the
+    legacy per-gate interpreter instead.
     """
 
-    def __init__(self, circuit: Circuit):
+    def __init__(self, circuit: Circuit, kernel: Optional[str] = None):
         circuit.validate()
         self.circuit = circuit
+        self._kernel = resolve_kernel(kernel)
         self._net_index: Dict[str, int] = {
             net: i for i, net in enumerate(circuit.nets)
         }
         self.num_nets = len(self._net_index)
         self.num_inputs = circuit.num_inputs
+        self._plan: Optional[CompiledPlan] = None
         self._ops: List[Tuple[int, GateType, Tuple[int, ...]]] = []
-        for name in circuit.topological_order():
-            gate = circuit.gate(name)
-            self._ops.append(
-                (
-                    self._net_index[name],
-                    gate.gtype,
-                    tuple(self._net_index[f] for f in gate.fanin),
+        if self._kernel == "compiled":
+            self._plan = compile_plan(circuit)
+        else:
+            for name in circuit.topological_order():
+                gate = circuit.gate(name)
+                self._ops.append(
+                    (
+                        self._net_index[name],
+                        gate.gtype,
+                        tuple(self._net_index[f] for f in gate.fanin),
+                    )
                 )
-            )
+
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> str:
+        """Active simulation kernel: ``"compiled"`` or ``"interp"``."""
+        return self._kernel
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Plans and frozen op lists are derived data: ship only the
+        # circuit and the kernel choice.  Unpickling re-freezes once —
+        # so a process-pool worker compiles the plan once per process
+        # (in the initializer), never per task.
+        return {"circuit": self.circuit, "kernel": self._kernel}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(state["circuit"], kernel=state["kernel"])
 
     # ------------------------------------------------------------------
     def net_index(self, net: str) -> int:
@@ -157,6 +187,8 @@ class BitParallelSimulator:
             ``(num_nets, num_words)`` uint64 array; rows follow
             :attr:`net_order`.
         """
+        if self._plan is not None:
+            return self._plan.steady_state(input_words, num_lanes)
         input_words = np.ascontiguousarray(input_words, dtype=np.uint64)
         if input_words.shape[0] != self.num_inputs:
             raise SimulationError(
@@ -187,30 +219,30 @@ class BitParallelSimulator:
 
         ``net_caps`` is a float array indexed like :attr:`net_order`.
         Returns a float64 array of length ``num_lanes`` holding
-        ``sum_net cap[net] * [net toggles in lane]``.
+        ``sum_net cap[net] * [net toggles in lane]``.  All changed rows
+        are charged with one stacked unpack + matmul (see
+        :func:`repro.sim.compiled.charge_rows`); both kernels share the
+        exact accumulation order, so energies are float-identical.
         """
         s1 = self.steady_state(v1_words, num_lanes)
         s2 = self.steady_state(v2_words, num_lanes)
         diff = s1 ^ s2
-        energy = np.zeros(num_lanes, dtype=np.float64)
-        for idx in range(self.num_nets):
-            cap = net_caps[idx]
-            row = diff[idx]
-            if cap == 0.0 or not row.any():
-                continue
-            energy += cap * _unpack_lanes(row, num_lanes)
-        return energy
+        caps = np.asarray(net_caps, dtype=np.float64)
+        idx = np.flatnonzero(diff.any(axis=1) & (caps != 0.0))
+        return charge_rows(diff[idx], caps[idx], num_lanes)
 
     def toggle_counts_zero_delay(
         self, v1_words: np.ndarray, v2_words: np.ndarray, num_lanes: int
     ) -> np.ndarray:
-        """Unweighted per-net toggle totals (summed over lanes)."""
+        """Unweighted per-net toggle totals (summed over lanes).
+
+        One batched popcount over the whole diff block
+        (``np.bitwise_count`` or the uint16-LUT fallback, both with an
+        explicit int64 accumulator) replaces the former per-net loop.
+        """
         s1 = self.steady_state(v1_words, num_lanes)
         s2 = self.steady_state(v2_words, num_lanes)
-        diff = s1 ^ s2
-        return np.array(
-            [_popcount(diff[i]) for i in range(self.num_nets)], dtype=np.int64
-        )
+        return popcount_rows(s1 ^ s2)
 
     # ------------------------------------------------------------------
     def toggle_energy_unit_delay(
@@ -223,9 +255,14 @@ class BitParallelSimulator:
     ) -> np.ndarray:
         """Per-lane weighted toggle sum under unit-delay (with glitches).
 
-        Synchronous relaxation: step *t* evaluates every gate from the
-        values of step *t-1*; per-step XORs against the previous state
-        are charged to each lane.  Stops when globally stable.
+        Synchronous relaxation: step *t* evaluates gates from the
+        values of step *t-1*.  Stops when globally stable.  The
+        compiled kernel evaluates only the gates whose fanin changed in
+        the previous step (active-gate scheduling); the interpreted
+        kernel re-evaluates every gate.  Both accumulate per-step
+        toggles into the same packed bit-plane counters and charge
+        them through :func:`repro.sim.compiled.charge_planes`, so
+        their energies are float-identical.
 
         Raises
         ------
@@ -234,47 +271,65 @@ class BitParallelSimulator:
             to circuit depth + 4) — impossible for an acyclic circuit,
             so it guards against internal errors.
         """
+        if self._plan is not None:
+            return self._plan.toggle_energy_unit_delay(
+                v1_words, v2_words, num_lanes, net_caps, max_steps
+            )
         if max_steps is None:
             max_steps = self.circuit.depth() + 4
-        state = self.steady_state(v1_words, num_lanes)
-        num_words = state.shape[1]
-        mask = _lane_mask(num_lanes, num_words)
-        energy = np.zeros(num_lanes, dtype=np.float64)
+        caps = np.asarray(net_caps, dtype=np.float64)
+        v1_words = np.ascontiguousarray(v1_words, dtype=np.uint64)
+        v2_words = np.ascontiguousarray(v2_words, dtype=np.uint64)
+        energy = np.empty(num_lanes, dtype=np.float64)
+        for lo in range(0, num_lanes, _UNIT_LANE_BLOCK):
+            hi = min(lo + _UNIT_LANE_BLOCK, num_lanes)
+            lanes = hi - lo
+            ws = slice(lo // 64, (hi + 63) // 64)
+            state = self.steady_state(v1_words[:, ws], lanes)
+            num_words = state.shape[1]
+            mask = _lane_mask(lanes, num_words)
+            planes = make_planes(self.num_nets, num_words, max_steps + 1)
+            planes_used = 0
 
-        # Input transition charges.
-        v2_masked = np.ascontiguousarray(v2_words, dtype=np.uint64) & mask
-        for idx in range(self.num_inputs):
-            cap = net_caps[idx]
-            row = state[idx] ^ v2_masked[idx]
-            if cap and row.any():
-                energy += cap * _unpack_lanes(row, num_lanes)
-        state[: self.num_inputs] = v2_masked
+            # Input transitions.
+            v2_masked = v2_words[:, ws] & mask
+            in_diff = state[: self.num_inputs] ^ v2_masked
+            ch = np.flatnonzero(in_diff.any(axis=1))
+            planes_used = max(
+                planes_used, accumulate_planes(planes, ch, in_diff[ch])
+            )
+            state[: self.num_inputs] = v2_masked
 
-        gate_rows = [op[0] for op in self._ops]
-        # Double buffer: input rows are identical in both buffers and the
-        # loop rewrites every gate row, so one initial copy suffices.
-        prev = state
-        cur = state.copy()
-        for _step in range(max_steps):
-            changed_any = False
-            for out_idx, gtype, fanin in self._ops:
-                cur[out_idx] = eval_gate_words(
-                    gtype, [prev[i] for i in fanin], mask
+            # Double buffer: input rows are identical in both buffers
+            # and the loop rewrites every gate row, so one initial copy
+            # suffices.
+            prev = state
+            cur = state.copy()
+            stabilized = False
+            for _step in range(max_steps):
+                for out_idx, gtype, fanin in self._ops:
+                    cur[out_idx] = eval_gate_words(
+                        gtype, [prev[i] for i in fanin], mask
+                    )
+                diff = prev[self.num_inputs :] ^ cur[self.num_inputs :]
+                changed = np.flatnonzero(diff.any(axis=1))
+                if changed.size == 0:
+                    stabilized = True
+                    break
+                planes_used = max(
+                    planes_used,
+                    accumulate_planes(
+                        planes, changed + self.num_inputs, diff[changed]
+                    ),
                 )
-            for idx in gate_rows:
-                row = prev[idx] ^ cur[idx]
-                if not row.any():
-                    continue
-                changed_any = True
-                cap = net_caps[idx]
-                if cap:
-                    energy += cap * _unpack_lanes(row, num_lanes)
-            prev, cur = cur, prev
-            if not changed_any:
-                return energy
-        raise SimulationError(
-            "unit-delay simulation did not stabilize — invariant broken"
-        )
+                prev, cur = cur, prev
+            if not stabilized:
+                raise SimulationError(
+                    "unit-delay simulation did not stabilize — "
+                    "invariant broken"
+                )
+            energy[lo:hi] = charge_planes(planes, caps, lanes, planes_used)
+        return energy
 
     # ------------------------------------------------------------------
     def output_values(
@@ -282,5 +337,11 @@ class BitParallelSimulator:
     ) -> np.ndarray:
         """Extract ``(num_lanes, num_outputs)`` bits from a state array."""
         rows = [state[self._net_index[o]] for o in self.circuit.outputs]
-        stacked = np.stack(rows) if rows else np.empty((0, state.shape[1]))
-        return unpack_vectors(stacked.astype(np.uint64), num_lanes)
+        if rows:
+            stacked = np.ascontiguousarray(np.stack(rows), dtype=np.uint64)
+        else:
+            # Allocate the empty block as uint64 directly; np.empty
+            # defaults to float64 and a later astype would round-trip
+            # the (absent) words through floats.
+            stacked = np.empty((0, state.shape[1]), dtype=np.uint64)
+        return unpack_vectors(stacked, num_lanes)

@@ -80,6 +80,19 @@ class FaultSimulator:
         self._out_idx = [
             self._sim.net_index(o) for o in circuit.outputs
         ]
+        # Forcing a net mid-evaluation is inherently per-gate, so the
+        # fault path keeps its own op list instead of depending on the
+        # bit-parallel kernel's internal representation.
+        self._ops: List[Tuple[int, object, Tuple[int, ...]]] = []
+        for name in circuit.topological_order():
+            gate = circuit.gate(name)
+            self._ops.append(
+                (
+                    self._sim.net_index(name),
+                    gate.gtype,
+                    tuple(self._sim.net_index(f) for f in gate.fanin),
+                )
+            )
 
     # ------------------------------------------------------------------
     def all_faults(self) -> List[Fault]:
@@ -111,7 +124,7 @@ class FaultSimulator:
         fault_idx = self._sim.net_index(fault.net)
         if fault_idx < self._sim.num_inputs:
             state[fault_idx] = forced
-        for out_idx, gtype, fanin in self._sim._ops:
+        for out_idx, gtype, fanin in self._ops:
             if out_idx == fault_idx:
                 state[out_idx] = forced
             else:

@@ -294,7 +294,11 @@ class FinitePopulation(PowerPopulation):
         ``workers > 1`` simulates chunks on a thread pool; the heavy
         lifting (bit-parallel simulation, numpy RNG) releases the GIL,
         and threads keep arbitrary closures usable as generators/power
-        functions (no pickling requirement).
+        functions (no pickling requirement).  When ``power_function`` is
+        a :class:`~repro.sim.power.PowerAnalyzer` bound method on the
+        default compiled kernel, the circuit's struct-of-arrays plan is
+        compiled once and shared by every chunk (and every thread) —
+        the per-chunk cost is pure batched evaluation.
         """
         if num_pairs < 1:
             raise PopulationError("num_pairs must be >= 1")

@@ -79,6 +79,18 @@ class TestSteadyState:
         assert outs.shape == (1, 2)
         assert list(outs[0]) == [0, 1]  # sum=0, carry=1
 
+    def test_output_values_zero_outputs(self, half_adder):
+        # Regression: an empty output list used to go through a float64
+        # np.empty and crash/round-trip on the uint64 view.
+        sim = BitParallelSimulator(half_adder)
+        bits = np.array([[1, 0], [0, 1], [1, 1]], dtype=np.uint8)
+        words, lanes = pack_vectors(bits)
+        state = sim.steady_state(words, lanes)
+        half_adder.set_outputs([])
+        outs = sim.output_values(state, lanes)
+        assert outs.shape == (lanes, 0)
+        assert outs.dtype == np.uint8
+
 
 class TestToggleAccounting:
     def test_zero_delay_energy_matches_reference(self, c17, rng):
