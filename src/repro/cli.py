@@ -250,12 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=Path(".repro_service"),
         help=(
-            "durable state: job event log + per-job run checkpoints; "
-            "restarting with the same directory resumes unfinished jobs"
+            "durable state: SQLite job/result store (jobs.db) + per-job "
+            "run checkpoints; restarting with the same directory resumes "
+            "unfinished jobs, and a legacy jobs.jsonl found here is "
+            "migrated into the database once"
         ),
     )
     srv.add_argument(
         "--workers", type=int, default=2, help="concurrent job worker threads"
+    )
+    srv.add_argument(
+        "--no-memo",
+        action="store_true",
+        help=(
+            "disable content-keyed result memoization (by default a spec "
+            "identical to an already-completed one is served from the "
+            "stored result without re-running)"
+        ),
     )
     srv.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
@@ -449,6 +460,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         state_dir=args.state_dir,
         workers=args.workers,
         verbose=args.verbose,
+        memo=not args.no_memo,
     )
     return 0
 

@@ -29,6 +29,8 @@ convenience; those methods delegate here.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Optional, Tuple
 
 import numpy as np
@@ -41,6 +43,7 @@ __all__ = [
     "RESULT_SCHEMA",
     "CHECKPOINT_SCHEMA",
     "SERVICE_LOG_SCHEMA",
+    "SERVICE_DB_SCHEMA",
     "parse_schema_version",
     "check_schema_version",
     "stamp",
@@ -56,6 +59,8 @@ __all__ = [
     "load_estimator_config",
     "dump_job_spec",
     "load_job_spec",
+    "fingerprint_job_spec",
+    "NON_SEMANTIC_CONFIG_KNOBS",
 ]
 
 #: Version stamped into every payload this build writes.
@@ -74,6 +79,9 @@ CHECKPOINT_SCHEMA = "repro.checkpoint/v1"
 
 #: Type tag of the job server's persistent job-log header.
 SERVICE_LOG_SCHEMA = "repro.service_jobs/v1"
+
+#: Type tag of the job server's SQLite store (``meta`` table).
+SERVICE_DB_SCHEMA = "repro.service_jobs_db/v1"
 
 
 def parse_schema_version(version: str) -> Tuple[int, int]:
@@ -343,6 +351,33 @@ def dump_job_spec(spec) -> dict:
             "config": dump_estimator_config(spec.config),
         }
     )
+
+
+#: Config knobs excluded from job-spec fingerprints.  They change how a
+#: result is computed (parallelism, retry policy) but never what it is —
+#: the same exclusions experiment ``--resume`` applies to its config key.
+NON_SEMANTIC_CONFIG_KNOBS = ("workers", "retries", "task_timeout")
+
+
+def fingerprint_job_spec(spec) -> str:
+    """Content hash of a job spec: the result-memoization key.
+
+    Two specs share a fingerprint iff the paper's deterministic seed
+    contract guarantees them bit-identical results: the canonical
+    :func:`dump_job_spec` payload is hashed with ``schema_version``
+    stamps and :data:`NON_SEMANTIC_CONFIG_KNOBS` stripped, so changing
+    ``workers`` (or a future estimator-selection knob changing anything
+    semantic) keys exactly as the determinism contract demands.
+    """
+    payload = dump_job_spec(spec)
+    payload.pop("schema_version", None)
+    config = dict(payload.get("config") or {})
+    config.pop("schema_version", None)
+    for knob in NON_SEMANTIC_CONFIG_KNOBS:
+        config.pop(knob, None)
+    payload["config"] = config
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def load_job_spec(data: dict):

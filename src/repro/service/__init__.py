@@ -9,7 +9,11 @@ restarted (jobs checkpoint through the fault-tolerant JSONL layer of
 :mod:`repro.estimation.parallel` and resume on startup).
 
 Zero dependencies beyond the standard library: the server is a
-``http.server.ThreadingHTTPServer``, the client is ``urllib``.
+``http.server.ThreadingHTTPServer``, the client is ``urllib``, and the
+durable job/result store is WAL-mode ``sqlite3``
+(:class:`~repro.service.store.SQLiteJobStore`) with content-keyed
+result memoization — resubmitting an identical ``(circuit, config,
+seed, ...)`` spec is served from the stored result without re-running.
 
 Server side::
 
@@ -29,6 +33,7 @@ See ``docs/api.md`` for the endpoint table and payload schemas.
 from .client import Client
 from .jobs import Job, JobSpec, JobState, JobStore
 from .server import JobServer, serve
+from .store import SQLiteJobStore
 from .worker import WorkerPool
 
 __all__ = [
@@ -37,6 +42,7 @@ __all__ = [
     "JobSpec",
     "JobState",
     "JobStore",
+    "SQLiteJobStore",
     "JobServer",
     "WorkerPool",
     "serve",

@@ -86,6 +86,11 @@ class Client:
         Accepts a circuit name/path plus :class:`~repro.service.jobs.JobSpec`
         keyword fields, a ready :class:`~repro.service.jobs.JobSpec`, or a
         raw spec dict (for language-agnostic callers).
+
+        A memoizing server may return the job already ``completed`` with
+        ``memo_hit: true`` — the spec matched an earlier completed job,
+        so its (bit-identical) results were attached without running.
+        :meth:`wait` and :meth:`stream` handle that transparently.
         """
         from .jobs import JobSpec  # lazy: keep client import-light
 

@@ -22,7 +22,16 @@ Log layout (one JSON object per line)::
 Replay is tolerant exactly like the checkpoint loader: a process killed
 mid-append truncates at most the final line, which is skipped; reopening
 for append first repairs a missing trailing newline so the next event
-can never splice onto a torn one.
+can never splice onto a torn one.  A replayed ``result`` event is
+terminal — a job whose results made it to disk is ``completed`` even if
+the process died before the trailing ``state`` event — and the id
+counter is derived from every id seen in the log (including jobs whose
+spec no longer loads), so fresh ids never collide with logged ones.
+
+This JSONL store is the legacy backend: new servers run on the
+SQLite-backed :class:`~repro.service.store.SQLiteJobStore`, which
+migrates an existing ``jobs.jsonl`` through :func:`replay_log` on
+startup.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..api import EstimatorConfig
 from ..errors import ConfigError
@@ -48,7 +57,7 @@ from ..schemas import (
     load_job_spec,
 )
 
-__all__ = ["JobState", "JobSpec", "Job", "JobStore"]
+__all__ = ["JobState", "JobSpec", "Job", "JobStore", "replay_log"]
 
 
 class JobState:
@@ -134,6 +143,11 @@ class Job:
         self.trajectory: List[dict] = []
         #: Completed-run count (multi-run jobs).
         self.completed_runs = 0
+        #: True when the job was settled from a memoized result of an
+        #: earlier identical spec instead of running (SQLite store).
+        self.memo_hit = False
+        #: Worker (or, eventually, replica) that claimed the job.
+        self.lease_owner: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -153,6 +167,7 @@ class Job:
             "cancel_requested": self.cancel_event.is_set(),
             "completed_runs": self.completed_runs,
             "total_runs": self.spec.num_runs,
+            "memo_hit": self.memo_hit,
             "trajectory": list(self.trajectory),
         }
 
@@ -209,69 +224,16 @@ class JobStore:
 
     def _replay(self) -> None:
         """Rebuild jobs from the event log; requeue unfinished ones."""
-        if not self.log_path.exists():
-            return
-        running: Dict[str, Job] = {}
-        with open(self.log_path, encoding="utf-8") as handle:
-            for line_no, line in enumerate(handle):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    event = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail from a mid-append kill
-                if not isinstance(event, dict):
-                    continue
-                if line_no == 0 and event.get("schema") == SERVICE_LOG_SCHEMA:
-                    check_schema_version(event, f"service log {self.log_path}")
-                    continue
-                kind = event.get("event")
-                job_id = event.get("id")
-                if kind == "submitted" and job_id:
-                    try:
-                        spec = load_job_spec(event["spec"])
-                    except Exception:
-                        continue  # unreadable spec: drop the job, keep the log
-                    job = Job(job_id, spec, float(event.get("t", 0.0)))
-                    self._jobs[job_id] = job
-                elif kind == "state" and job_id in self._jobs:
-                    job = self._jobs[job_id]
-                    job.state = event.get("state", job.state)
-                    if job.state == JobState.RUNNING:
-                        job.started_at = float(event.get("t", 0.0))
-                        running[job_id] = job
-                    else:
-                        job.finished_at = float(event.get("t", 0.0))
-                        running.pop(job_id, None)
-                    if job.state == JobState.FAILED:
-                        job.error = event.get("error")
-                elif kind == "result" and job_id in self._jobs:
-                    self._jobs[job_id].results = [
-                        load_estimation_result(r) for r in event.get("results", [])
-                    ]
-                elif kind == "cancel_requested" and job_id in self._jobs:
-                    self._jobs[job_id].cancel_event.set()
-        # Requeue every job the dead server never finished.  A job whose
-        # cancellation was requested but never acknowledged is finished
-        # off as cancelled rather than re-run.
-        for job in self._jobs.values():
+        jobs, self._counter = replay_log(self.log_path)
+        self._jobs.update(jobs)
+        for job in jobs.values():
             if job.terminal:
-                continue
-            if job.cancel_event.is_set():
-                job.state = JobState.CANCELLED
-                job.finished_at = job.finished_at or job.created_at
                 continue
             job.state = JobState.QUEUED
             job.started_at = None
             self._queue.append(job.id)
             self._requeued.append(job.id)
         self._queue.sort(key=lambda jid: self._jobs[jid].created_at)
-        if self._jobs:
-            self._counter = max(
-                (int(jid.split("-")[1]) for jid in self._jobs if _numbered(jid)),
-                default=0,
-            )
 
     @property
     def requeued_ids(self) -> List[str]:
@@ -314,36 +276,43 @@ class JobStore:
         counts = {state: 0 for state in JobState.ALL}
         with self._lock:
             for job in self._jobs.values():
-                counts[job.state] += 1
+                # .get: a corrupt log can replay an unknown state string;
+                # it must surface as its own count, not a KeyError.
+                counts[job.state] = counts.get(job.state, 0) + 1
         return counts
 
-    def claim_next(self, timeout: float = 0.5) -> Optional[Job]:
+    def claim_next(
+        self, timeout: float = 0.5, owner: Optional[str] = None
+    ) -> Optional[Job]:
         """Pop the oldest queued job and mark it running (worker entry).
 
         Blocks up to ``timeout`` seconds for work; returns ``None`` on
-        timeout so worker threads can poll their shutdown flag.
+        timeout so worker threads can poll their shutdown flag.  Jobs
+        cancelled while still queued are acknowledged and skipped, not
+        allowed to idle the worker slot for a poll interval.
         """
         with self._lock:
             if not self._queue:
                 self._queue_ready.wait(timeout)
-            if not self._queue:
-                return None
-            job = self._jobs[self._queue.pop(0)]
-            if job.cancel_event.is_set():
-                # Cancelled while still queued: acknowledge, never run.
-                self._mark_locked(job, JobState.CANCELLED)
-                return None
-            job.state = JobState.RUNNING
-            job.started_at = time.time()
-            self._append(
-                {
-                    "event": "state",
-                    "id": job.id,
-                    "state": JobState.RUNNING,
-                    "t": job.started_at,
-                }
-            )
-            return job
+            while self._queue:
+                job = self._jobs[self._queue.pop(0)]
+                if job.cancel_event.is_set():
+                    # Cancelled while still queued: acknowledge, move on.
+                    self._mark_locked(job, JobState.CANCELLED)
+                    continue
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+                job.lease_owner = owner
+                self._append(
+                    {
+                        "event": "state",
+                        "id": job.id,
+                        "state": JobState.RUNNING,
+                        "t": job.started_at,
+                    }
+                )
+                return job
+            return None
 
     def _mark_locked(self, job: Job, state: str, error: Optional[str] = None) -> None:
         job.state = state
@@ -355,6 +324,9 @@ class JobStore:
         self._append(event)
 
     def mark_completed(self, job: Job, results: List[object]) -> None:
+        # Two appends, but no tearing hazard: replay treats the result
+        # event itself as terminal, so a crash between them cannot
+        # requeue (and re-run) the finished job.
         with self._lock:
             job.results = list(results)
             job.completed_runs = len(job.results)
@@ -412,3 +384,89 @@ class JobStore:
 def _numbered(job_id: str) -> bool:
     parts = job_id.split("-")
     return len(parts) >= 2 and parts[1].isdigit()
+
+
+def replay_log(log_path: Union[str, Path]) -> Tuple[Dict[str, Job], int]:
+    """Parse a ``jobs.jsonl`` event log into settled :class:`Job` objects.
+
+    Returns ``(jobs, counter)`` where ``counter`` is the highest numeric
+    id component seen in *any* event — including jobs dropped because
+    their spec no longer loads — so ids minted after a replay can never
+    collide with ids already in the log.
+
+    Settling rules (shared by :class:`JobStore` replay and the SQLite
+    migration):
+
+    * A ``result`` event is terminal: its job is ``completed`` with
+      ``completed_runs == len(results)`` even if the process died before
+      appending the trailing ``state`` event.
+    * A non-terminal job with a pending ``cancel_requested`` is finished
+      off as ``cancelled`` rather than re-run.
+    * Every other non-terminal job is left in its logged state for the
+      caller to requeue.
+    """
+    log_path = Path(log_path)
+    jobs: Dict[str, Job] = {}
+    counter = 0
+    if not log_path.exists():
+        return jobs, counter
+    with open(log_path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a mid-append kill
+            if not isinstance(event, dict):
+                continue
+            if line_no == 0 and event.get("schema") == SERVICE_LOG_SCHEMA:
+                check_schema_version(event, f"service log {log_path}")
+                continue
+            kind = event.get("event")
+            job_id = event.get("id")
+            if isinstance(job_id, str) and _numbered(job_id):
+                counter = max(counter, int(job_id.split("-")[1]))
+            if kind == "submitted" and job_id:
+                try:
+                    spec = load_job_spec(event["spec"])
+                except Exception:
+                    continue  # unreadable spec: drop the job, keep the log
+                jobs[job_id] = Job(job_id, spec, float(event.get("t", 0.0)))
+            elif kind == "state" and job_id in jobs:
+                job = jobs[job_id]
+                job.state = event.get("state", job.state)
+                if job.state == JobState.RUNNING:
+                    job.started_at = float(event.get("t", 0.0))
+                else:
+                    job.finished_at = float(event.get("t", 0.0))
+                if job.state == JobState.FAILED:
+                    job.error = event.get("error")
+            elif kind == "result" and job_id in jobs:
+                job = jobs[job_id]
+                job.results = [
+                    load_estimation_result(r) for r in event.get("results", [])
+                ]
+                # The results made it to disk: the work is done, whether
+                # or not the 'completed' state event was ever appended.
+                job.state = JobState.COMPLETED
+                job.completed_runs = len(job.results)
+            elif kind == "cancel_requested" and job_id in jobs:
+                jobs[job_id].cancel_event.set()
+    for job in jobs.values():
+        if job.state == JobState.COMPLETED and job.results is not None:
+            job.completed_runs = len(job.results)
+        if job.terminal:
+            job.finished_at = job.finished_at or job.created_at
+            continue
+        if job.results is not None:
+            # Legacy logs written before result events were terminal can
+            # end with results but a stale non-terminal state.
+            job.state = JobState.COMPLETED
+            job.completed_runs = len(job.results)
+            job.finished_at = job.finished_at or job.created_at
+        elif job.cancel_event.is_set():
+            job.state = JobState.CANCELLED
+            job.finished_at = job.finished_at or job.created_at
+    return jobs, counter

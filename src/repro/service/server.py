@@ -35,7 +35,8 @@ from urllib.parse import parse_qs, urlparse
 from ..errors import ConfigError, ReproError, SchemaError
 from ..obs.export import render_prometheus
 from ..obs.metrics import get_registry
-from .jobs import JobSpec, JobState, JobStore
+from .jobs import JobSpec, JobState
+from .store import SQLiteJobStore
 from .worker import WorkerPool
 
 __all__ = ["JobServer", "serve"]
@@ -185,6 +186,13 @@ class JobServer:
     control; :func:`serve` wraps them for the CLI.  Starting the server
     enables the global metrics registry (the service is an observability
     consumer by design — ``/metrics`` is part of its API).
+
+    Durable state lives in a WAL-mode SQLite database
+    (:class:`~repro.service.store.SQLiteJobStore`); a legacy
+    ``jobs.jsonl`` found in ``state_dir`` is migrated into it once at
+    startup.  ``memo=False`` disables content-keyed result memoization
+    (every submission runs, even when an identical spec already
+    completed).
     """
 
     def __init__(
@@ -194,10 +202,11 @@ class JobServer:
         state_dir: Union[str, Path] = ".repro_service",
         workers: int = 2,
         verbose: bool = False,
+        memo: bool = True,
     ):
         self.host = host
         self.state_dir = Path(state_dir)
-        self.store = JobStore(self.state_dir)
+        self.store = SQLiteJobStore(self.state_dir, memo=memo)
         self.pool = WorkerPool(self.store, num_workers=workers)
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.app = self  # type: ignore[attr-defined]
@@ -278,16 +287,25 @@ def serve(
     state_dir: Union[str, Path] = ".repro_service",
     workers: int = 2,
     verbose: bool = False,
+    memo: bool = True,
 ) -> None:
     """Run the job server until interrupted (the ``repro serve`` entry)."""
     server = JobServer(
         host=host, port=port, state_dir=state_dir, workers=workers,
-        verbose=verbose,
+        verbose=verbose, memo=memo,
     )
     requeued = server.store.requeued_ids
+    migrated = server.store.migrated_jobs
     server.start()
     print(f"repro service listening on {server.url}")
     print(f"state dir: {server.state_dir.resolve()}")
+    if migrated:
+        print(
+            f"migrated {migrated} job(s) from jobs.jsonl into jobs.db "
+            "(log renamed to jobs.jsonl.migrated)"
+        )
+    if not memo:
+        print("result memoization disabled (--no-memo)")
     if requeued:
         print(f"resumed {len(requeued)} unfinished job(s): {', '.join(requeued)}")
     try:

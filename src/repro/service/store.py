@@ -1,0 +1,572 @@
+"""SQLite-backed durable job + result store (the service's default).
+
+Replaces the append-only ``jobs.jsonl`` event log with a WAL-mode
+SQLite database (stdlib :mod:`sqlite3`) behind the exact
+:class:`~repro.service.jobs.JobStore` interface, fixing the failure
+modes an event log can only paper over:
+
+* **No event tearing.**  Every lifecycle transition — including
+  "results arrived *and* the job is completed" — is one transaction, so
+  a crash can never leave results on disk with a non-terminal state.
+* **Atomic claiming.**  Workers claim work with a compare-and-swap
+  ``UPDATE ... WHERE state = 'queued'`` lease keyed by owner, so the
+  store is ready to sit under N server replicas without double-running
+  a job.
+* **Result memoization.**  Every job row carries a
+  ``spec_fingerprint`` — the content hash of its canonical
+  :func:`~repro.schemas.dump_job_spec` payload
+  (:func:`~repro.schemas.fingerprint_job_spec`, non-semantic config
+  knobs excluded).  The estimator is deterministic given
+  ``(circuit, config, seed)``, so a submitted spec whose fingerprint
+  already has completed results transitions straight to ``completed``
+  with those results, without ever touching the worker pool; each such
+  settle increments the ``service_memo_hits`` counter.  ``memo=False``
+  (CLI ``--no-memo``) disables the lookup, never the fingerprinting.
+* **One-shot migration.**  Opening a state directory that still holds a
+  legacy ``jobs.jsonl`` replays it through
+  :func:`~repro.service.jobs.replay_log` (torn tails skipped, result
+  events terminal, dropped ids counted), imports every job and result
+  into the database, and renames the log to ``jobs.jsonl.migrated`` so
+  it is never replayed twice.
+
+Schema (``jobs.db``)::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)       -- schema tag + version
+    jobs(id TEXT PRIMARY KEY, seq INTEGER, spec TEXT,
+         spec_fingerprint TEXT, state TEXT, created_at REAL,
+         started_at REAL, finished_at REAL, error TEXT,
+         cancel_requested INTEGER, completed_runs INTEGER,
+         memo_hit INTEGER, lease_owner TEXT)
+    results(job_id TEXT PRIMARY KEY, payload TEXT)  -- JSON result list
+
+Per-run checkpoints of multi-run jobs stay in their JSONL files
+(``<job id>.runs.jsonl``) — they are the resume unit of the
+fault-tolerant scheduler, not service state.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import ConfigError
+from ..obs.metrics import get_registry
+from ..schemas import (
+    SCHEMA_VERSION,
+    SERVICE_DB_SCHEMA,
+    check_schema_version,
+    dump_estimation_result,
+    dump_job_spec,
+    fingerprint_job_spec,
+    load_estimation_result,
+    load_job_spec,
+)
+from .jobs import Job, JobSpec, JobState, replay_log
+
+__all__ = ["SQLiteJobStore"]
+
+_METRICS = get_registry()
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    id               TEXT PRIMARY KEY,
+    seq              INTEGER NOT NULL,
+    spec             TEXT NOT NULL,
+    spec_fingerprint TEXT NOT NULL,
+    state            TEXT NOT NULL,
+    created_at       REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    error            TEXT,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    completed_runs   INTEGER NOT NULL DEFAULT 0,
+    memo_hit         INTEGER NOT NULL DEFAULT 0,
+    lease_owner      TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, created_at, seq);
+CREATE INDEX IF NOT EXISTS jobs_by_fingerprint
+    ON jobs (spec_fingerprint, state);
+CREATE TABLE IF NOT EXISTS results (
+    job_id  TEXT PRIMARY KEY REFERENCES jobs (id),
+    payload TEXT NOT NULL
+);
+"""
+
+
+class SQLiteJobStore:
+    """Thread-safe, durable job registry on SQLite (WAL mode).
+
+    Drop-in for :class:`~repro.service.jobs.JobStore`: same constructor
+    shape, same lifecycle methods, same in-memory :class:`Job` objects
+    (``cancel_event`` and the live ``trajectory`` are process-local by
+    nature).  The database is the source of truth for everything
+    durable.
+    """
+
+    def __init__(self, state_dir: Union[str, Path], memo: bool = True):
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.db_path = self.state_dir / "jobs.db"
+        self.legacy_log_path = self.state_dir / "jobs.jsonl"
+        self.memo = memo
+        self._lock = threading.RLock()
+        self._queue_ready = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._counter = 0
+        self._requeued: List[str] = []
+        self._migrated_jobs = 0
+        self._closed = False
+        self._conn = sqlite3.connect(
+            str(self.db_path), check_same_thread=False, isolation_level=None
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._init_db()
+        self._migrate_legacy_log()
+        self._load()
+
+    # -- database plumbing ----------------------------------------------
+    def _init_db(self) -> None:
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=5000")
+        # executescript issues an implicit COMMIT, so it must run outside
+        # _tx; the DDL is idempotent (IF NOT EXISTS throughout).
+        self._conn.executescript(_SCHEMA_SQL)
+        with self._tx():
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.executemany(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    [
+                        ("schema", SERVICE_DB_SCHEMA),
+                        ("schema_version", SCHEMA_VERSION),
+                        ("counter", "0"),
+                    ],
+                )
+            else:
+                check_schema_version(
+                    {"schema_version": row["value"]},
+                    f"service database {self.db_path}",
+                )
+
+    @contextmanager
+    def _tx(self):
+        """One ``BEGIN IMMEDIATE`` transaction (the connection runs in
+        autocommit otherwise, so every lifecycle write is explicit)."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        else:
+            self._conn.execute("COMMIT")
+
+    def _persist_counter(self) -> None:
+        self._conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'counter'",
+            (str(self._counter),),
+        )
+
+    # -- legacy-log migration -------------------------------------------
+    def _migrate_legacy_log(self) -> None:
+        """Import an existing ``jobs.jsonl`` once, then retire it."""
+        if not self.legacy_log_path.exists():
+            return
+        jobs, counter = replay_log(self.legacy_log_path)
+        with self._tx():
+            for seq, job in enumerate(
+                sorted(jobs.values(), key=lambda j: (j.created_at, j.id)),
+                start=1,
+            ):
+                parts = job.id.split("-")
+                numbered = len(parts) > 1 and parts[1].isdigit()
+                job_seq = int(parts[1]) if numbered else seq
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO jobs (id, seq, spec, "
+                    "spec_fingerprint, state, created_at, started_at, "
+                    "finished_at, error, cancel_requested, completed_runs, "
+                    "memo_hit, lease_owner) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0, NULL)",
+                    (
+                        job.id,
+                        job_seq,
+                        json.dumps(dump_job_spec(job.spec), sort_keys=True),
+                        fingerprint_job_spec(job.spec),
+                        job.state,
+                        job.created_at,
+                        job.started_at,
+                        job.finished_at,
+                        job.error,
+                        1 if job.cancel_event.is_set() else 0,
+                        job.completed_runs,
+                    ),
+                )
+                if job.results is not None:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO results (job_id, payload) "
+                        "VALUES (?, ?)",
+                        (
+                            job.id,
+                            json.dumps(
+                                [dump_estimation_result(r) for r in job.results]
+                            ),
+                        ),
+                    )
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'counter'"
+            ).fetchone()
+            self._counter = max(counter, int(row["value"]) if row else 0)
+            self._persist_counter()
+        self._migrated_jobs = len(jobs)
+        self.legacy_log_path.rename(
+            self.legacy_log_path.with_suffix(".jsonl.migrated")
+        )
+
+    # -- startup load ----------------------------------------------------
+    def _load(self) -> None:
+        """Hydrate jobs from the database; requeue unfinished ones."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'counter'"
+            ).fetchone()
+            self._counter = max(
+                self._counter, int(row["value"]) if row else 0
+            )
+            rows = self._conn.execute(
+                "SELECT j.*, r.payload AS results_payload "
+                "FROM jobs j LEFT JOIN results r ON r.job_id = j.id "
+                "ORDER BY j.created_at, j.seq"
+            ).fetchall()
+            with self._tx():
+                for row in rows:
+                    job = self._hydrate(row)
+                    if job is None:
+                        continue
+                    self._jobs[job.id] = job
+                    self._counter = max(self._counter, int(row["seq"]))
+                    if job.terminal:
+                        continue
+                    now = time.time()
+                    if job.results is not None:
+                        # Defense in depth: results without a terminal
+                        # state cannot happen through this store's
+                        # transactions, but must never re-run work.
+                        job.state = JobState.COMPLETED
+                        job.completed_runs = len(job.results)
+                        job.finished_at = job.finished_at or now
+                        self._conn.execute(
+                            "UPDATE jobs SET state = ?, completed_runs = ?, "
+                            "finished_at = ? WHERE id = ?",
+                            (job.state, job.completed_runs, job.finished_at,
+                             job.id),
+                        )
+                    elif job.cancel_event.is_set():
+                        # Cancellation requested of a dead server:
+                        # finish the job off, never re-run it.
+                        job.state = JobState.CANCELLED
+                        job.finished_at = job.finished_at or now
+                        self._conn.execute(
+                            "UPDATE jobs SET state = ?, finished_at = ? "
+                            "WHERE id = ?",
+                            (job.state, job.finished_at, job.id),
+                        )
+                    else:
+                        job.state = JobState.QUEUED
+                        job.started_at = None
+                        job.lease_owner = None
+                        self._conn.execute(
+                            "UPDATE jobs SET state = ?, started_at = NULL, "
+                            "lease_owner = NULL WHERE id = ?",
+                            (job.state, job.id),
+                        )
+                        self._requeued.append(job.id)
+                self._persist_counter()
+
+    def _hydrate(self, row: sqlite3.Row) -> Optional[Job]:
+        try:
+            spec = load_job_spec(json.loads(row["spec"]))
+        except Exception:
+            return None  # unreadable spec: leave the row, serve the rest
+        job = Job(row["id"], spec, float(row["created_at"]))
+        job.state = row["state"]
+        job.started_at = row["started_at"]
+        job.finished_at = row["finished_at"]
+        job.error = row["error"]
+        job.completed_runs = int(row["completed_runs"])
+        job.memo_hit = bool(row["memo_hit"])
+        job.lease_owner = row["lease_owner"]
+        if row["cancel_requested"]:
+            job.cancel_event.set()
+        if row["results_payload"] is not None:
+            job.results = [
+                load_estimation_result(r)
+                for r in json.loads(row["results_payload"])
+            ]
+        return job
+
+    # -- migration / replay diagnostics ----------------------------------
+    @property
+    def requeued_ids(self) -> List[str]:
+        """Jobs re-queued by startup recovery (restart diagnostics)."""
+        return list(self._requeued)
+
+    @property
+    def migrated_jobs(self) -> int:
+        """Jobs imported from a legacy ``jobs.jsonl`` at startup."""
+        return self._migrated_jobs
+
+    # -- job lifecycle ---------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        with self._lock:
+            fingerprint = fingerprint_job_spec(spec)
+            self._counter += 1
+            job_id = f"job-{self._counter:06d}-{uuid.uuid4().hex[:4]}"
+            job = Job(job_id, spec, time.time())
+            memo_payload = None
+            if self.memo:
+                memo_row = self._conn.execute(
+                    "SELECT r.payload FROM jobs j "
+                    "JOIN results r ON r.job_id = j.id "
+                    "WHERE j.spec_fingerprint = ? AND j.state = ? "
+                    "ORDER BY j.finished_at, j.seq LIMIT 1",
+                    (fingerprint, JobState.COMPLETED),
+                ).fetchone()
+                if memo_row is not None:
+                    memo_payload = memo_row["payload"]
+            spec_json = json.dumps(dump_job_spec(spec), sort_keys=True)
+            if memo_payload is not None:
+                # Deterministic estimator + identical fingerprint: the
+                # earlier job's results ARE this job's results.  Settle
+                # as completed without ever entering the queue.
+                job.results = [
+                    load_estimation_result(r)
+                    for r in json.loads(memo_payload)
+                ]
+                job.state = JobState.COMPLETED
+                job.completed_runs = len(job.results)
+                job.finished_at = job.created_at
+                job.memo_hit = True
+                with self._tx():
+                    self._insert_job(job, spec_json, fingerprint)
+                    self._conn.execute(
+                        "INSERT INTO results (job_id, payload) VALUES (?, ?)",
+                        (job.id, memo_payload),
+                    )
+                    self._persist_counter()
+                _METRICS.counter("service_memo_hits").inc()
+            else:
+                with self._tx():
+                    self._insert_job(job, spec_json, fingerprint)
+                    self._persist_counter()
+            self._jobs[job_id] = job
+            if not job.terminal:
+                self._queue_ready.notify()
+            return job
+
+    def _insert_job(self, job: Job, spec_json: str, fingerprint: str) -> None:
+        self._conn.execute(
+            "INSERT INTO jobs (id, seq, spec, spec_fingerprint, state, "
+            "created_at, started_at, finished_at, error, cancel_requested, "
+            "completed_runs, memo_hit, lease_owner) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, NULL)",
+            (
+                job.id,
+                self._counter,
+                spec_json,
+                fingerprint,
+                job.state,
+                job.created_at,
+                job.started_at,
+                job.finished_at,
+                job.error,
+                1 if job.cancel_event.is_set() else 0,
+                job.completed_runs,
+                1 if job.memo_hit else 0,
+            ),
+        )
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self, state: Optional[str] = None) -> List[Job]:
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.created_at)
+        if state is not None:
+            jobs = [j for j in jobs if j.state == state]
+        return jobs
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state — all known states present, zeros included."""
+        counts = {state: 0 for state in JobState.ALL}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def claim_next(
+        self, timeout: float = 0.5, owner: Optional[str] = None
+    ) -> Optional[Job]:
+        """Atomically lease the oldest queued job and mark it running.
+
+        The claim is a compare-and-swap ``UPDATE ... WHERE state =
+        'queued'``: under N replicas sharing the database, exactly one
+        claimant wins each job.  Jobs cancelled while queued are settled
+        and skipped in the same call — a cancellation never idles the
+        worker slot for a poll interval.
+        """
+        with self._lock:
+            if self._next_queued_id() is None:
+                self._queue_ready.wait(timeout)
+            while True:
+                job_id = self._next_queued_id()
+                if job_id is None:
+                    return None
+                job = self._jobs.get(job_id)
+                if job is None:
+                    # Submitted by another replica sharing the database.
+                    row = self._conn.execute(
+                        "SELECT j.*, r.payload AS results_payload "
+                        "FROM jobs j LEFT JOIN results r ON r.job_id = j.id "
+                        "WHERE j.id = ?",
+                        (job_id,),
+                    ).fetchone()
+                    job = self._hydrate(row) if row is not None else None
+                    if job is None:
+                        return None
+                    self._jobs[job_id] = job
+                if job.cancel_event.is_set():
+                    self._settle(job, JobState.CANCELLED)
+                    continue
+                now = time.time()
+                with self._tx():
+                    cursor = self._conn.execute(
+                        "UPDATE jobs SET state = ?, started_at = ?, "
+                        "lease_owner = ? WHERE id = ? AND state = ?",
+                        (JobState.RUNNING, now, owner, job_id,
+                         JobState.QUEUED),
+                    )
+                if cursor.rowcount != 1:
+                    continue  # lost the lease race to another claimant
+                job.state = JobState.RUNNING
+                job.started_at = now
+                job.lease_owner = owner
+                return job
+
+    def _next_queued_id(self) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT id FROM jobs WHERE state = ? "
+            "ORDER BY created_at, seq LIMIT 1",
+            (JobState.QUEUED,),
+        ).fetchone()
+        return row["id"] if row is not None else None
+
+    def _settle(
+        self,
+        job: Job,
+        state: str,
+        error: Optional[str] = None,
+        results: Optional[List[object]] = None,
+    ) -> None:
+        """Move a job to a terminal state in one transaction (with its
+        results, when completing) — the write that must never tear."""
+        now = time.time()
+        with self._tx():
+            if results is not None:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO results (job_id, payload) "
+                    "VALUES (?, ?)",
+                    (
+                        job.id,
+                        json.dumps(
+                            [dump_estimation_result(r) for r in results]
+                        ),
+                    ),
+                )
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
+                "completed_runs = ? WHERE id = ?",
+                (
+                    state,
+                    now,
+                    error,
+                    len(results) if results is not None else job.completed_runs,
+                    job.id,
+                ),
+            )
+        if results is not None:
+            job.results = list(results)
+            job.completed_runs = len(job.results)
+        job.state = state
+        job.finished_at = now
+        job.error = error
+
+    def mark_completed(self, job: Job, results: List[object]) -> None:
+        with self._lock:
+            self._settle(job, JobState.COMPLETED, results=list(results))
+
+    def mark_failed(self, job: Job, error: str) -> None:
+        with self._lock:
+            self._settle(job, JobState.FAILED, error=error)
+
+    def mark_cancelled(self, job: Job) -> None:
+        with self._lock:
+            self._settle(job, JobState.CANCELLED)
+
+    def request_cancel(self, job_id: str) -> Job:
+        """Flag a job for cancellation (raises ``KeyError`` if unknown,
+        :class:`~repro.errors.ConfigError` if already terminal)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.terminal:
+                raise ConfigError(
+                    f"job {job_id} is already {job.state}; nothing to cancel"
+                )
+            job.cancel_event.set()
+            if job.state == JobState.QUEUED:
+                # Not yet leased by any worker: settle it immediately
+                # (the same transaction records the request).
+                now = time.time()
+                with self._tx():
+                    self._conn.execute(
+                        "UPDATE jobs SET cancel_requested = 1, state = ?, "
+                        "finished_at = ? WHERE id = ?",
+                        (JobState.CANCELLED, now, job_id),
+                    )
+                job.state = JobState.CANCELLED
+                job.finished_at = now
+            else:
+                with self._tx():
+                    self._conn.execute(
+                        "UPDATE jobs SET cancel_requested = 1 WHERE id = ?",
+                        (job_id,),
+                    )
+            return job
+
+    def run_checkpoint_path(self, job_id: str) -> Path:
+        """Per-run JSONL checkpoint for a multi-run job (resume unit)."""
+        return self.state_dir / f"{job_id}.runs.jsonl"
+
+    def wake_all(self) -> None:
+        """Wake every worker blocked in :meth:`claim_next` (shutdown)."""
+        with self._lock:
+            self._queue_ready.notify_all()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._conn.close()

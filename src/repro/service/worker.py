@@ -91,8 +91,12 @@ class WorkerPool:
 
     # -- execution ------------------------------------------------------
     def _loop(self) -> None:
+        # The claim is an atomic store-side lease keyed by this thread's
+        # name; memo-settled jobs complete at submit time and are never
+        # handed out here.
+        owner = threading.current_thread().name
         while not self._stop.is_set():
-            job = self.store.claim_next(timeout=0.2)
+            job = self.store.claim_next(timeout=0.2, owner=owner)
             if job is None:
                 continue
             self._execute(job)

@@ -183,3 +183,89 @@ class TestReplay:
         reborn = JobStore(tmp_path)
         second = reborn.submit(make_spec())
         assert int(second.id.split("-")[1]) == int(first.id.split("-")[1]) + 1
+
+
+class TestReplayRegressions:
+    """Regression tests for the replay bugs the JSONL log papered over."""
+
+    def test_replay_restores_completed_runs(self, tmp_path):
+        # completed_runs used to replay as 0 even with results restored,
+        # so GET /v1/jobs/{id} after a restart reported no progress.
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec(num_runs=3))
+        store.claim_next(timeout=0.01)
+        store.mark_completed(job, [fake_result(v) for v in (1.0, 2.0, 3.0)])
+        store.close()
+
+        reborn = JobStore(tmp_path)
+        again = reborn.get(job.id)
+        assert again.completed_runs == 3
+        assert again.status_dict()["completed_runs"] == 3
+
+    def test_crash_between_result_and_state_events_stays_completed(
+        self, tmp_path
+    ):
+        # mark_completed appends a result event then a state event; a
+        # crash between the two used to replay as "has results but not
+        # terminal" -> requeued -> the finished work re-ran and its
+        # results were overwritten.
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec())
+        store.claim_next(timeout=0.01)
+        store.mark_completed(job, [fake_result(2.5)])
+        store.close()
+        log = tmp_path / "jobs.jsonl"
+        lines = log.read_text().splitlines(keepends=True)
+        last = json.loads(lines[-1])
+        assert last["event"] == "state" and last["state"] == JobState.COMPLETED
+        log.write_text("".join(lines[:-1]))  # the state event never landed
+
+        reborn = JobStore(tmp_path)
+        again = reborn.get(job.id)
+        assert again.state == JobState.COMPLETED
+        assert again.results[0].estimate == 2.5
+        assert again.completed_runs == 1
+        assert reborn.requeued_ids == []
+        assert reborn.claim_next(timeout=0.01) is None
+
+    def test_claim_skips_cancelled_head_and_claims_next_in_one_call(
+        self, tmp_path
+    ):
+        # A cancelled head-of-queue job used to make claim_next return
+        # None, idling the worker slot for a full poll interval.
+        store = JobStore(tmp_path)
+        first = store.submit(make_spec(seed=1))
+        second = store.submit(make_spec(seed=2))
+        first.cancel_event.set()  # cancelled while queued, unacknowledged
+        claimed = store.claim_next(timeout=0.01)
+        assert claimed is not None and claimed.id == second.id
+        assert claimed.state == JobState.RUNNING
+        assert first.state == JobState.CANCELLED
+
+    def test_counter_counts_jobs_dropped_for_unreadable_specs(self, tmp_path):
+        # A job whose spec no longer loads is dropped from replay, but
+        # its id must still advance the counter or fresh ids collide.
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec())
+        store.close()
+        log = tmp_path / "jobs.jsonl"
+        lines = []
+        for line in log.read_text().splitlines():
+            event = json.loads(line)
+            if event.get("event") == "submitted":
+                event["spec"] = {"schema_version": "1.0"}  # circuit lost
+            lines.append(json.dumps(event))
+        log.write_text("\n".join(lines) + "\n")
+
+        reborn = JobStore(tmp_path)
+        assert reborn.get(job.id) is None  # dropped, as before
+        fresh = reborn.submit(make_spec())
+        assert int(fresh.id.split("-")[1]) == int(job.id.split("-")[1]) + 1
+
+    def test_counts_tolerates_unknown_state_strings(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec())
+        job.state = "zombie"  # e.g. a corrupt log line replayed into memory
+        counts = store.counts()  # KeyError before the fix
+        assert counts["zombie"] == 1
+        assert counts[JobState.QUEUED] == 0

@@ -171,6 +171,41 @@ class TestMultiRunCheckpointResume:
             r.to_dict() for r in uninterrupted
         ]
 
+    def test_completed_runs_survive_kill_and_restart(
+        self, restartable, bench_path
+    ):
+        # Regression: a completed job's progress used to replay as
+        # completed_runs == 0 after a restart even though its results
+        # were restored.
+        spec = JobSpec(
+            circuit=str(bench_path),
+            config=EstimatorConfig(max_hyper_samples=8),
+            seed=4,
+            num_runs=3,
+            population_size=400,
+        )
+        server = start_server(restartable)
+        try:
+            client = Client(server.url)
+            job = client.submit(spec)
+            status = client.wait(job["id"], timeout=60)
+            assert status["completed_runs"] == 3
+            payload = client.result_payload(job["id"])
+        finally:
+            server.stop()
+
+        server = start_server(restartable)  # killed and restarted
+        try:
+            client = Client(server.url)
+            status = client.status(job["id"])
+            assert status["state"] == JobState.COMPLETED
+            assert status["completed_runs"] == 3  # was 0 before the fix
+            assert status["total_runs"] == 3
+            assert server.store.requeued_ids == []
+            assert client.result_payload(job["id"]) == payload
+        finally:
+            server.stop()
+
     def test_multi_run_job_reports_run_progress(self, restartable, bench_path):
         spec = self.make_spec(bench_path)
         server = start_server(restartable)

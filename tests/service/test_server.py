@@ -172,6 +172,35 @@ class TestMetrics:
         assert "repro_service_job_seconds" in text
 
 
+class TestMemoization:
+    def test_identical_spec_served_from_memo_bit_identical(
+        self, service, quick_spec
+    ):
+        from repro.obs.metrics import get_registry
+
+        _server, client = service
+        get_registry().reset()  # count this test's jobs only
+        first = client.submit(quick_spec)
+        client.wait(first["id"], timeout=30)
+        first_payload = client.result_payload(first["id"])
+
+        again = client.submit(quick_spec)
+        status = client.wait(again["id"], timeout=30)
+        assert status["state"] == JobState.COMPLETED
+        assert status["memo_hit"] is True
+        again_payload = client.result_payload(again["id"])
+        assert again_payload["results"] == first_payload["results"]
+
+        # Memoized-not-recomputed: exactly one job went through the
+        # worker pool, and the memo counter recorded the second.
+        text = client.metrics()
+        assert "repro_service_memo_hits 1" in text
+        assert (
+            'repro_service_jobs_finished_total{state="completed"} 1' in text
+        )
+        assert 'repro_service_jobs{state="completed"} 2' in text
+
+
 class TestConcurrency:
     def test_eight_concurrent_submissions_all_complete_deterministically(
         self, service, bench_path
