@@ -19,6 +19,7 @@ benchmark pins that contract down three ways:
   disabled run, so leaving metrics on in production is viable.
 """
 
+import json
 import time
 
 import numpy as np
@@ -26,7 +27,7 @@ import pytest
 
 from repro.estimation import MaxPowerEstimator, run_many
 from repro.evt.distributions import GeneralizedWeibull
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_registry, get_span_recorder, get_tracer
 from repro.vectors.population import FinitePopulation
 
 NUM_RUNS = 40
@@ -36,6 +37,10 @@ POOL_SIZE = 20_000
 #: Instrumentation touches per hyper-sample (counters, timers,
 #: histogram) — generous over-count of the actual call sites.
 TOUCHES_PER_HYPER_SAMPLE = 16
+
+#: Span call sites per estimator run (run + per-k hyper_sample +
+#: per-k mle.fit, k <= 25) — generous over-count.
+SPAN_SITES_PER_RUN = 80
 
 
 @pytest.fixture(scope="module")
@@ -66,7 +71,19 @@ def _timed_runs(estimator, num_runs=NUM_RUNS):
     return time.perf_counter() - start, [r.estimate for r in results]
 
 
-def test_disabled_observability_is_bit_identical(estimator, clean_registry, tmp_path):
+@pytest.fixture()
+def clean_spans():
+    spans = get_span_recorder()
+    spans.disable()
+    spans.reset()
+    yield spans
+    spans.disable()
+    spans.reset()
+
+
+def test_disabled_observability_is_bit_identical(
+    estimator, clean_registry, clean_spans, tmp_path
+):
     _, baseline = _timed_runs(estimator, num_runs=10)
 
     clean_registry.enable()
@@ -76,9 +93,13 @@ def test_disabled_observability_is_bit_identical(estimator, clean_registry, tmp_
     tracer.open(tmp_path / "bench.jsonl")
     _, with_trace = _timed_runs(estimator, num_runs=10)
     tracer.close()
+
+    clean_spans.enable()
+    _, with_spans = _timed_runs(estimator, num_runs=10)
+    clean_spans.disable()
     clean_registry.disable()
 
-    assert baseline == with_metrics == with_trace
+    assert baseline == with_metrics == with_trace == with_spans
 
 
 def test_disabled_primitives_are_sub_microsecond(clean_registry):
@@ -121,3 +142,65 @@ def test_enabled_metrics_overhead_is_bounded(estimator, clean_registry):
     )
     # Generous bound for noisy CI machines; locally this is ~1.0x.
     assert ratio < 1.5
+
+
+def test_spans_overhead_and_artifact(
+    estimator, clean_registry, clean_spans, results_dir
+):
+    """Spans column: disabled spans cost one flag check (<= 2% of a
+    run); enabled spans stay bit-identical and near disabled
+    throughput.  The whole A/B lands in ``BENCH_7.json``."""
+    # Warm-up to stabilize caches.
+    _timed_runs(estimator, num_runs=5)
+    disabled_time, disabled = _timed_runs(estimator)
+    clean_registry.enable()
+    metrics_time, with_metrics = _timed_runs(estimator)
+    clean_spans.enable()
+    spans_time, with_spans = _timed_runs(estimator)
+    clean_spans.disable()
+    clean_registry.disable()
+
+    bit_identical = disabled == with_metrics == with_spans
+    assert bit_identical
+
+    # The disabled fast path: `span()` returns the shared null object
+    # after a single flag test.
+    n = 200_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with clean_spans.span("bench_noop"):
+            pass
+    per_call = (time.perf_counter() - start) / n
+    per_run_disabled = disabled_time / NUM_RUNS
+    overhead_pct = 100.0 * (per_call * SPAN_SITES_PER_RUN) / per_run_disabled
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "num_runs": NUM_RUNS,
+        "pool_size": POOL_SIZE,
+        "bit_identical": bit_identical,
+        "modes": {
+            "disabled": {"wall_time_s": disabled_time},
+            "metrics": {
+                "wall_time_s": metrics_time,
+                "ratio_vs_disabled": metrics_time / disabled_time,
+            },
+            "spans": {
+                "wall_time_s": spans_time,
+                "ratio_vs_disabled": spans_time / disabled_time,
+            },
+        },
+        "null_span_call_us": per_call * 1e6,
+        "spans_disabled_overhead_pct": overhead_pct,
+    }
+    (results_dir / "BENCH_7.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(
+        f"\nspans column: disabled {disabled_time:.2f}s, metrics "
+        f"{metrics_time:.2f}s, spans {spans_time:.2f}s; null span "
+        f"{per_call * 1e6:.2f}us -> {overhead_pct:.3f}% of a run"
+    )
+    assert per_call < 2e-6
+    assert overhead_pct <= 2.0
+    assert spans_time / disabled_time < 1.5

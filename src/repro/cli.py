@@ -19,6 +19,10 @@ Subcommands
 ``submit CIRCUIT``
     Submit an estimation job to a running service and (by default) wait
     for and print its result.
+``trace JOB``
+    Fetch a job's span trace from a running service and render it as a
+    text waterfall; ``--export FILE`` writes Chrome trace-event JSON
+    (openable at https://ui.perfetto.dev).
 
 Observability
 -------------
@@ -315,6 +319,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw result payload JSON instead of the summary",
     )
 
+    tc = sub.add_parser(
+        "trace", help="render a job's span trace from a running service"
+    )
+    tc.add_argument("job", help="job id (as printed by submit)")
+    tc.add_argument(
+        "--url",
+        default=os.environ.get("REPRO_SERVICE_URL", "http://127.0.0.1:8000"),
+        help="service base URL (default: REPRO_SERVICE_URL or local :8000)",
+    )
+    tc.add_argument(
+        "--export",
+        type=Path,
+        default=None,
+        help=(
+            "also write the trace as Chrome trace-event JSON "
+            "(open it at https://ui.perfetto.dev)"
+        ),
+    )
+    tc.add_argument(
+        "--json", action="store_true",
+        help="print the raw trace payload JSON instead of the waterfall",
+    )
+    tc.add_argument(
+        "--width", type=int, default=48,
+        help="waterfall bar width in characters",
+    )
+
     rep = sub.add_parser(
         "report",
         help=(
@@ -517,6 +548,39 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     else:
         for result in client.results(job["id"]):
             print(result.summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs import render_span_waterfall, to_chrome_trace
+    from .service import Client
+
+    client = Client(args.url)
+    payload = client.trace(args.job)
+    spans = payload["spans"]
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+    elif not spans:
+        print(
+            f"no spans recorded for job {payload['id']} "
+            f"(trace_id={payload['trace_id']})"
+        )
+    else:
+        print(
+            f"job {payload['id']}  trace {payload['trace_id']}  "
+            f"state {payload['state']}  {len(spans)} span(s)"
+        )
+        print(render_span_waterfall(spans, width=args.width))
+    if args.export is not None:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            _json.dump(to_chrome_trace(spans), handle, indent=2)
+        print(
+            f"chrome trace written to {args.export} "
+            "(open at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -724,6 +788,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "report":

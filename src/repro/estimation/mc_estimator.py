@@ -32,6 +32,7 @@ from ..obs.metrics import (
     DEFAULT_K_BUCKETS,
     get_registry,
 )
+from ..obs.spans import get_span_recorder
 from ..obs.trace import get_tracer
 from ..vectors.generators import RngLike, as_rng
 from ..vectors.population import PowerPopulation
@@ -44,6 +45,7 @@ __all__ = ["MaxPowerEstimator"]
 # record is a branch on the registry's enabled flag (no-op fast path).
 _METRICS = get_registry()
 _TRACER = get_tracer()
+_SPANS = get_span_recorder()
 _RUN_TIMER = _METRICS.timer("estimator_run_seconds")
 _HS_TIMER = _METRICS.timer("estimator_hyper_sample_seconds")
 _RUNS_TOTAL = _METRICS.counter("estimator_runs_total")
@@ -201,7 +203,7 @@ class MaxPowerEstimator:
         ``hyper_sample`` trace event fires per hyper-sample either way.
         """
         gen = as_rng(rng)
-        with _HS_TIMER.time():
+        with _SPANS.span("estimator.hyper_sample", k=index) as span, _HS_TIMER.time():
             # Batched fast path: all n*m units in one vectorized draw.
             maxima = self.population.sample_block_maxima(self.n, self.m, gen)
             units = self.n * self.m
@@ -224,6 +226,11 @@ class MaxPowerEstimator:
                 estimate = max(estimate, float(maxima.max()))
                 if self.upper_bound is not None:
                     estimate = min(estimate, self.upper_bound)
+            span.set(
+                estimate=estimate,
+                units=units,
+                fallback=fallback_reason is not None,
+            )
         hs = HyperSample(
             index=index,
             maxima=maxima,
@@ -291,7 +298,12 @@ class MaxPowerEstimator:
                 finite_correction=self.finite_correction,
             )
         _RUNS_TOTAL.inc()
-        with _RUN_TIMER.time():
+        with _SPANS.span(
+            "estimator.run",
+            population=self.population.name,
+            n=self.n,
+            m=self.m,
+        ) as run_span, _RUN_TIMER.time():
             estimates = []
             for k in range(1, self.max_hyper_samples + 1):
                 hs = self.hyper_sample(k, gen, _trace=False)
@@ -330,6 +342,12 @@ class MaxPowerEstimator:
                 interval = t_mean_interval(estimates, self.confidence)
                 result.interval = interval
                 result.estimate = interval.mean
+            run_span.set(
+                k=result.k,
+                converged=result.converged,
+                estimate=result.estimate,
+                units_used=result.units_used,
+            )
         _K_HIST.observe(result.k)
         if result.converged:
             _RUNS_CONVERGED.inc()

@@ -84,6 +84,7 @@ import numpy as np
 
 from ..errors import ConfigError, TaskTimeoutError, WorkerError
 from ..obs.metrics import get_registry
+from ..obs.spans import get_span_recorder
 from ..obs.trace import get_tracer
 from .checkpoint import open_checkpoint
 from .mc_estimator import MaxPowerEstimator
@@ -176,7 +177,12 @@ def _seed_key(base_seed: SeedLike, num_runs: int) -> str:
 # Worker-process side
 # ----------------------------------------------------------------------
 
-def _init_worker(estimator: MaxPowerEstimator, obs_enabled: bool = False) -> None:
+def _init_worker(
+    estimator: MaxPowerEstimator,
+    obs_enabled: bool = False,
+    spans_enabled: bool = False,
+    span_context=None,
+) -> None:
     global _WORKER_ESTIMATOR
     # Unpickling the estimator here rebuilds its BitParallelSimulator,
     # which (on the default kernel) compiles the circuit's struct-of-
@@ -195,6 +201,16 @@ def _init_worker(estimator: MaxPowerEstimator, obs_enabled: bool = False) -> Non
         registry.enable()
     else:
         registry.disable()
+    # Spans follow the same snapshot/merge route as metrics; the parent's
+    # ambient span context (e.g. the service's job.run span) is
+    # re-attached here so worker-side spans graft onto the same tree.
+    spans = get_span_recorder()
+    spans.reset()
+    if spans_enabled:
+        spans.enable()
+    else:
+        spans.disable()
+    spans.attach(span_context)
     get_tracer().close()
 
 
@@ -208,14 +224,32 @@ def _require_estimator() -> MaxPowerEstimator:
 
 
 def _task_snapshot():
-    """Metrics recorded by the task that just ran (None when disabled).
+    """Observability recorded by the task that just ran (None when off).
 
-    ``reset=True`` keeps worker-side metrics task-scoped: every snapshot
-    shipped back is a disjoint delta, so the parent-side merge is exact
-    regardless of which worker ran which task.
+    ``reset=True`` keeps worker-side metrics and spans task-scoped:
+    every snapshot shipped back is a disjoint delta, so the parent-side
+    merge is exact regardless of which worker ran which task.  The
+    payload is ``{"metrics": <registry snapshot or None>,
+    "spans": <span records or None>}``.
     """
     registry = get_registry()
-    return registry.snapshot(reset=True) if registry.enabled else None
+    spans = get_span_recorder()
+    metrics = registry.snapshot(reset=True) if registry.enabled else None
+    span_records = spans.snapshot(reset=True) if spans.enabled else None
+    if metrics is None and span_records is None:
+        return None
+    return {"metrics": metrics, "spans": span_records}
+
+
+def _merge_task_snapshot(registry, snapshot) -> None:
+    """Fold one shipped task snapshot into the parent-side registry and
+    span recorder (no-op for ``None``)."""
+    if not snapshot:
+        return
+    if snapshot.get("metrics"):
+        registry.merge(snapshot["metrics"])
+    if snapshot.get("spans"):
+        get_span_recorder().merge(snapshot["spans"])
 
 
 def _guarded(index: int, attempt: int, call: Callable[[], object]):
@@ -322,24 +356,34 @@ def _handle_failure(
 
 
 def _scoped_attempt(registry, fn: Callable[[], object]):
-    """In-process analogue of the worker-side metric scoping.
+    """In-process analogue of the worker-side observability scoping.
 
     Snapshots the registry around one attempt so that, on failure, only
     the attempt's own partial metrics are discarded — totals stay exact
-    across retries on the serial path too.
+    across retries on the serial path too.  Spans recorded by a failed
+    attempt are dropped by high-water mark instead of snapshot/restore,
+    scoped to the ambient trace so concurrent jobs in other service
+    worker threads are never disturbed.
     """
-    if not registry.enabled:
+    spans = get_span_recorder()
+    marker = spans.marker() if spans.enabled else None
+    if not registry.enabled and marker is None:
         return fn()
-    baseline = registry.snapshot(reset=True)
+    baseline = registry.snapshot(reset=True) if registry.enabled else None
     try:
         result = fn()
     except Exception:
-        registry.snapshot(reset=True)  # discard the failed attempt
-        registry.merge(baseline)
+        if baseline is not None:
+            registry.snapshot(reset=True)  # discard the failed attempt
+            registry.merge(baseline)
+        if marker is not None:
+            ctx = spans.current_context()
+            spans.discard_after(marker, ctx.trace_id if ctx else None)
         raise
-    delta = registry.snapshot(reset=True)
-    registry.merge(baseline)
-    registry.merge(delta)
+    if baseline is not None:
+        delta = registry.snapshot(reset=True)
+        registry.merge(baseline)
+        registry.merge(delta)
     return result
 
 
@@ -397,10 +441,19 @@ def _run_pool(
     pool: Optional[ProcessPoolExecutor] = None
 
     def build() -> ProcessPoolExecutor:
+        # The span recorder's enablement and the ambient context (e.g.
+        # the service's job.run span) captured here carry the trace
+        # across the process boundary, including every rebuilt pool.
+        spans = get_span_recorder()
         return ProcessPoolExecutor(
             max_workers=window,
             initializer=_init_worker,
-            initargs=(estimator, registry.enabled),
+            initargs=(
+                estimator,
+                registry.enabled,
+                spans.enabled,
+                spans.current_context(),
+            ),
         )
 
     def recycle(kill: bool, cause: str) -> None:
@@ -471,8 +524,7 @@ def _run_pool(
                         )
                         pending.append((index, attempt + 1, payload))
                     else:
-                        if snapshot is not None:
-                            registry.merge(snapshot)
+                        _merge_task_snapshot(registry, snapshot)
                         on_result(index, result)
             if broken:
                 rebuilds += 1

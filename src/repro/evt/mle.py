@@ -30,6 +30,7 @@ from scipy import optimize
 
 from ..errors import EstimationError, FitError
 from ..obs.metrics import get_registry
+from ..obs.spans import get_span_recorder
 from ..obs.trace import get_tracer
 from .distributions import GeneralizedWeibull
 
@@ -37,6 +38,7 @@ __all__ = ["WeibullFit", "fit_weibull_mle", "fit_weibull_mle_scipy", "fisher_cov
 
 _METRICS = get_registry()
 _TRACER = get_tracer()
+_SPANS = get_span_recorder()
 _FIT_TIMER = _METRICS.timer("mle_fit_seconds")
 _FITS_TOTAL = _METRICS.counter("mle_fits_total")
 
@@ -207,20 +209,23 @@ def fit_weibull_mle(
     FitError
         On degenerate samples or a failed inner solve.
     """
-    with _FIT_TIMER.time():
-        try:
-            fit, diag = _fit_weibull_mle_impl(
-                x, mu_span, grid_points, min_offset_frac
-            )
-        except FitError as exc:
-            _METRICS.counter("mle_fit_errors_total", cause=exc.cause).inc()
-            if _TRACER.enabled:
-                _TRACER.emit("mle_fit_error", cause=exc.cause, reason=str(exc))
-            raise
-    _FITS_TOTAL.inc()
-    _METRICS.counter("mle_refine_total", path=diag["refine"]).inc()
-    if _TRACER.enabled:
-        _TRACER.emit("mle_fit", **fit.to_dict(), **diag)
+    with _SPANS.span("mle.fit", m=len(x)) as span:
+        with _FIT_TIMER.time():
+            try:
+                fit, diag = _fit_weibull_mle_impl(
+                    x, mu_span, grid_points, min_offset_frac
+                )
+            except FitError as exc:
+                _METRICS.counter("mle_fit_errors_total", cause=exc.cause).inc()
+                if _TRACER.enabled:
+                    _TRACER.emit("mle_fit_error", cause=exc.cause, reason=str(exc))
+                span.set(cause=exc.cause)
+                raise
+        _FITS_TOTAL.inc()
+        _METRICS.counter("mle_refine_total", path=diag["refine"]).inc()
+        if _TRACER.enabled:
+            _TRACER.emit("mle_fit", **fit.to_dict(), **diag)
+        span.set(alpha=fit.alpha, beta=fit.beta, mu=fit.mu, refine=diag["refine"])
     return fit
 
 

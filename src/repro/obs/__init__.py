@@ -9,6 +9,9 @@ or scipy):
 * :mod:`repro.obs.trace` — structured JSONL trace events plus an
   in-memory ring buffer (one ``hyper_sample`` event per Figure 4
   iteration is the core signal);
+* :mod:`repro.obs.spans` — hierarchical spans with W3C trace-context
+  propagation, following one job across HTTP, queue, worker-thread and
+  pool-process boundaries;
 * :mod:`repro.obs.export` — Prometheus text exposition and the human
   convergence-diagnostics report.
 
@@ -44,6 +47,16 @@ from .metrics import (
     Timer,
     get_registry,
 )
+from .spans import (
+    Span,
+    SpanContext,
+    SpanRecorder,
+    build_span_tree,
+    get_span_recorder,
+    parse_traceparent,
+    render_span_waterfall,
+    to_chrome_trace,
+)
 from .trace import EVENT_TYPES, TraceRecorder, get_tracer, jsonable
 
 __all__ = [
@@ -59,6 +72,14 @@ __all__ = [
     "get_tracer",
     "EVENT_TYPES",
     "jsonable",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "get_span_recorder",
+    "parse_traceparent",
+    "build_span_tree",
+    "to_chrome_trace",
+    "render_span_waterfall",
     "render_prometheus",
     "write_metrics_file",
     "load_metrics_file",

@@ -43,8 +43,14 @@ def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 
 
+def _escape_label_value(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _labels_fragment(labels: Dict[str, str], extra: str = "") -> str:
-    parts = [f'{_sanitize(k)}="{v}"' for k, v in sorted(labels.items())]
+    parts = [
+        f'{_sanitize(k)}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -60,37 +66,126 @@ def _fmt(value: float) -> str:
     return repr(float(value)) if not float(value).is_integer() else str(int(value))
 
 
-def render_prometheus(snapshot: dict, prefix: str = _PREFIX) -> str:
-    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text."""
-    lines: List[str] = []
-    typed: set = set()
+#: ``# HELP`` strings for the metric families the pipeline records.
+#: Unknown families fall back to a generic line so every exposition is
+#: still spec-complete.
+_HELP: Dict[str, str] = {
+    "estimator_runs_total": "Figure 4 estimation runs started",
+    "estimator_runs_converged_total": "Runs whose CI half-width met the error target",
+    "estimator_hyper_samples_total": "Hyper-samples (maxima of m-unit blocks) drawn",
+    "estimator_fallbacks_total": "Hyper-samples that fell back to the observed block maximum",
+    "estimator_units_total": "Simulated vector pairs consumed by estimation",
+    "estimator_nonregular_fits_total": "Fits in the non-regular MLE regime (alpha <= 2)",
+    "estimator_run_seconds": "Wall-clock time of full estimation runs",
+    "estimator_hyper_sample_seconds": "Wall-clock time per hyper-sample",
+    "estimator_alpha": "Fitted generalized-Weibull shape parameter alpha",
+    "estimator_k": "Hyper-samples needed per run (k at termination)",
+    "mle_fits_total": "Successful profile-MLE Weibull fits",
+    "mle_fit_errors_total": "Profile-MLE fits that raised FitError",
+    "mle_refine_total": "MLE grid refinement outcomes by path",
+    "mle_fit_seconds": "Wall-clock time of profile-MLE fits",
+    "population_build_seconds": "Wall-clock time to build a finite population",
+    "population_build_chunk_seconds": "Wall-clock time per simulated population chunk",
+    "population_pairs_built_total": "Vector pairs simulated into populations",
+    "population_streamed_units_total": "Vector pairs streamed without materialization",
+    "population_cache_hits_total": "On-disk population cache hits",
+    "population_cache_misses_total": "On-disk population cache misses",
+    "population_memcache_hits_total": "In-memory population cache hits",
+    "population_cache_load_seconds": "Wall-clock time to load a cached population",
+    "sim_compile_total": "Circuit compilations into struct-of-arrays plans",
+    "sim_compile_seconds": "Wall-clock time of circuit compilation",
+    "sim_plan_cache_hits_total": "Compiled-plan cache hits",
+    "sim_batch_eval_total": "Batched gate-level evaluations",
+    "sim_steps_total": "Simulated vector-pair steps",
+    "parallel_retries_total": "Task retries after crashes, hangs or worker loss",
+    "parallel_task_timeouts_total": "Tasks that exceeded their deadline",
+    "parallel_pool_rebuilds_total": "Process-pool kill/rebuild cycles",
+    "parallel_serial_degradations_total": "Batches that degraded to serial execution",
+    "checkpoint_results_total": "Checkpoint results loaded or written",
+    "experiment_seconds": "Wall-clock time per experiment",
+    "experiment_checkpoints_total": "Experiment checkpoint events",
+    "service_jobs": "Jobs currently known to the store, by state",
+    "service_jobs_finished_total": "Jobs finished by the worker pool, by terminal state",
+    "service_job_seconds": "Wall-clock time jobs spend executing",
+    "service_memo_hits": "Submissions settled from the content-keyed result memo",
+    "service_population_cache_total": "Worker-pool population cache lookups by outcome",
+    "service_http_request_seconds": "HTTP request latency by endpoint and method",
+    "service_http_responses_total": "HTTP responses by endpoint and status code",
+    "service_queue_depth": "Jobs waiting in the queued state",
+    "service_active_leases": "Jobs currently leased to worker threads",
+    "service_oldest_lease_age_seconds": "Age of the oldest active job lease",
+    "service_busy_workers": "Worker threads currently executing a job",
+    "service_worker_saturation": "Busy fraction of the worker pool (0..1)",
+}
 
-    def type_line(name: str, kind: str) -> None:
-        if name not in typed:
-            lines.append(f"# TYPE {name} {kind}")
-            typed.add(name)
+_KIND_NOUN = {
+    "counter": "cumulative count",
+    "gauge": "gauge",
+    "summary": "timing summary",
+    "histogram": "distribution histogram",
+}
+
+
+def _help_text(name: str, base: str, kind: str) -> str:
+    text = _HELP.get(base)
+    if text is None and base.endswith(("_min", "_max")) and base[:-4] in _HELP:
+        word = "Minimum" if base.endswith("_min") else "Maximum"
+        text = f"{word} single observation of {base[:-4]}"
+    if text is None:
+        text = f"{_KIND_NOUN.get(kind, kind)} recorded by the repro pipeline"
+    return f"# HELP {name} {text}"
+
+
+def render_prometheus(snapshot: dict, prefix: str = _PREFIX) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    Spec-compliant exposition: every family gets exactly one ``# HELP``
+    and one ``# TYPE`` line with all its samples contiguous beneath them
+    (labeled series of one name are grouped even when the snapshot
+    interleaves them); timers render as ``summary`` families restricted
+    to the ``_count``/``_sum`` series the spec allows, with the observed
+    extrema as separate ``<name>_min``/``<name>_max`` gauge families;
+    histograms render cumulative ``_bucket{le=...}`` series with the
+    implicit ``+Inf`` bucket, ``_sum`` and ``_count``.
+    """
+    # family name -> {"kind", "base", "lines"} in first-seen order.
+    families: "Dict[str, dict]" = {}
+
+    def family(name: str, base: str, kind: str) -> List[str]:
+        fam = families.get(name)
+        if fam is None:
+            fam = {"kind": kind, "base": base, "lines": []}
+            families[name] = fam
+        return fam["lines"]
 
     for item in snapshot.get("counters", ()):
-        name = prefix + _sanitize(item["name"])
-        type_line(name, "counter")
-        lines.append(f"{name}{_labels_fragment(item['labels'])} {_fmt(item['value'])}")
+        base = _sanitize(item["name"])
+        name = prefix + base
+        family(name, base, "counter").append(
+            f"{name}{_labels_fragment(item['labels'])} {_fmt(item['value'])}"
+        )
     for item in snapshot.get("gauges", ()):
-        name = prefix + _sanitize(item["name"])
-        type_line(name, "gauge")
-        lines.append(f"{name}{_labels_fragment(item['labels'])} {_fmt(item['value'])}")
+        base = _sanitize(item["name"])
+        name = prefix + base
+        family(name, base, "gauge").append(
+            f"{name}{_labels_fragment(item['labels'])} {_fmt(item['value'])}"
+        )
     for item in snapshot.get("timers", ()):
-        name = prefix + _sanitize(item["name"])
-        type_line(name, "summary")
+        base = _sanitize(item["name"])
+        name = prefix + base
         frag = _labels_fragment(item["labels"])
+        lines = family(name, base, "summary")
         lines.append(f"{name}_count{frag} {_fmt(item['count'])}")
         lines.append(f"{name}_sum{frag} {_fmt(item['total'])}")
-        if item.get("min") is not None:
-            lines.append(f"{name}_min{frag} {_fmt(item['min'])}")
-        if item.get("max") is not None:
-            lines.append(f"{name}_max{frag} {_fmt(item['max'])}")
+        for stat in ("min", "max"):
+            if item.get(stat) is not None:
+                family(f"{name}_{stat}", f"{base}_{stat}", "gauge").append(
+                    f"{name}_{stat}{frag} {_fmt(item[stat])}"
+                )
     for item in snapshot.get("histograms", ()):
-        name = prefix + _sanitize(item["name"])
-        type_line(name, "histogram")
+        base = _sanitize(item["name"])
+        name = prefix + base
+        lines = family(name, base, "histogram")
         cumulative = 0
         for bound, count in zip(item["bounds"], item["counts"]):
             cumulative += count
@@ -102,7 +197,13 @@ def render_prometheus(snapshot: dict, prefix: str = _PREFIX) -> str:
         frag = _labels_fragment(item["labels"])
         lines.append(f"{name}_sum{frag} {_fmt(item['sum'])}")
         lines.append(f"{name}_count{frag} {_fmt(item['count'])}")
-    return "\n".join(lines) + "\n"
+
+    out: List[str] = []
+    for name, fam in families.items():
+        out.append(_help_text(name, fam["base"], fam["kind"]))
+        out.append(f"# TYPE {name} {fam['kind']}")
+        out.extend(fam["lines"])
+    return "\n".join(out) + "\n"
 
 
 def write_metrics_file(path: Union[str, Path], snapshot: dict) -> Path:

@@ -48,6 +48,7 @@ EVENT_TYPES = (
     "pool_rebuild",
     "parallel_degraded",
     "checkpoint",
+    "span",
 )
 
 DEFAULT_RING_SIZE = 4096

@@ -44,6 +44,7 @@ __all__ = [
     "CHECKPOINT_SCHEMA",
     "SERVICE_LOG_SCHEMA",
     "SERVICE_DB_SCHEMA",
+    "SERVICE_TRACE_SCHEMA",
     "parse_schema_version",
     "check_schema_version",
     "stamp",
@@ -82,6 +83,10 @@ SERVICE_LOG_SCHEMA = "repro.service_jobs/v1"
 
 #: Type tag of the job server's SQLite store (``meta`` table).
 SERVICE_DB_SCHEMA = "repro.service_jobs_db/v1"
+
+#: Type tag of persisted/served span-tree payloads
+#: (``GET /v1/jobs/{id}/trace`` and the ``spans`` table).
+SERVICE_TRACE_SCHEMA = "repro.service_trace/v1"
 
 
 def parse_schema_version(version: str) -> Tuple[int, int]:

@@ -32,6 +32,7 @@ import urllib.request
 from typing import Iterator, List, Optional, Union
 
 from ..errors import ServiceError
+from ..obs.spans import SpanContext, get_span_recorder, new_span_id, new_trace_id
 from ..schemas import check_schema_version, load_estimation_result
 
 __all__ = ["Client"]
@@ -51,12 +52,16 @@ class Client:
         path: str,
         body: Optional[dict] = None,
         raw: bool = False,
+        headers: Optional[dict] = None,
     ):
+        all_headers = dict(headers or {})
+        if body is not None:
+            all_headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
             self.base_url + path,
             method=method,
             data=json.dumps(body).encode("utf-8") if body is not None else None,
-            headers={"Content-Type": "application/json"} if body is not None else {},
+            headers=all_headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -102,7 +107,23 @@ class Client:
             if config is not None:
                 spec_kwargs["config"] = config
             payload = JobSpec(circuit=str(circuit_or_spec), **spec_kwargs).to_dict()
-        status = self._request("POST", "/v1/jobs", body=payload)
+        # Propagate W3C trace context: if this process records spans, the
+        # submit becomes a child of the ambient trace; otherwise a fresh
+        # (unrecorded) context still names the trace so the server-side
+        # span tree is connected end to end.
+        spans = get_span_recorder()
+        with spans.span("client.submit", circuit=payload.get("circuit")):
+            context = spans.current_context()
+            if context is None or context.span_id is None:
+                context = SpanContext(
+                    trace_id=new_trace_id(), span_id=new_span_id()
+                )
+            status = self._request(
+                "POST",
+                "/v1/jobs",
+                body=payload,
+                headers={"traceparent": context.to_traceparent()},
+            )
         check_schema_version(status, "job status payload")
         return status
 
@@ -186,6 +207,14 @@ class Client:
                     f"job {job_id} still {status['state']} after {timeout:g}s"
                 )
             time.sleep(poll_interval)
+
+    def trace(self, job_id: str) -> dict:
+        """The job's span tree payload (``trace_id`` + flat ``spans``
+        list; feed it to :func:`repro.obs.build_span_tree` or
+        :func:`repro.obs.to_chrome_trace`)."""
+        payload = self._request("GET", f"/v1/jobs/{job_id}/trace")
+        check_schema_version(payload, "job trace payload")
+        return payload
 
     # -- service introspection ------------------------------------------
     def health(self) -> dict:

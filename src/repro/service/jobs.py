@@ -148,10 +148,25 @@ class Job:
         self.memo_hit = False
         #: Worker (or, eventually, replica) that claimed the job.
         self.lease_owner: Optional[str] = None
+        #: Span context captured from the submitting request (None when
+        #: tracing was off at submission): which trace the job belongs
+        #: to and which span — usually the server's ``http.request`` —
+        #: its own spans parent on.
+        self.trace_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
         return self.state in JobState.TERMINAL
+
+    @property
+    def trace_context(self):
+        """The job's :class:`~repro.obs.spans.SpanContext` (or ``None``)."""
+        if self.trace_id is None:
+            return None
+        from ..obs.spans import SpanContext  # lazy: keep jobs import-light
+
+        return SpanContext(trace_id=self.trace_id, span_id=self.parent_span_id)
 
     def status_dict(self) -> dict:
         """JSON-able status payload served by ``GET /v1/jobs/{id}``."""
@@ -168,6 +183,7 @@ class Job:
             "completed_runs": self.completed_runs,
             "total_runs": self.spec.num_runs,
             "memo_hit": self.memo_hit,
+            "trace_id": self.trace_id,
             "trajectory": list(self.trajectory),
         }
 
@@ -196,6 +212,7 @@ class JobStore:
         self._queue: List[str] = []  # FIFO of queued job ids
         self._counter = 0
         self._requeued: List[str] = []
+        self._spans: Dict[str, List[dict]] = {}
         self._replay()
         self._handle = self._open_log()
 
@@ -242,10 +259,17 @@ class JobStore:
 
     # -- job lifecycle --------------------------------------------------
     def submit(self, spec: JobSpec) -> Job:
+        from ..obs.spans import get_span_recorder, new_trace_id
+
         with self._lock:
             self._counter += 1
             job_id = f"job-{self._counter:06d}-{uuid.uuid4().hex[:4]}"
             job = Job(job_id, spec, time.time())
+            spans = get_span_recorder()
+            if spans.enabled:
+                context = spans.current_context()
+                job.trace_id = context.trace_id if context else new_trace_id()
+                job.parent_span_id = context.span_id if context else None
             self._jobs[job_id] = job
             self._queue.append(job_id)
             self._append(
@@ -369,6 +393,47 @@ class JobStore:
     def run_checkpoint_path(self, job_id: str) -> Path:
         """Per-run JSONL checkpoint for a multi-run job (resume unit)."""
         return self.state_dir / f"{job_id}.runs.jsonl"
+
+    # -- span persistence (interface parity with SQLiteJobStore; this
+    # -- legacy backend keeps spans in memory only) ----------------------
+    def save_spans(self, job_id: str, spans: List[dict]) -> None:
+        with self._lock:
+            self._spans[job_id] = list(spans)
+
+    def stored_spans(self, job_id: str) -> List[dict]:
+        with self._lock:
+            return list(self._spans.get(job_id, ()))
+
+    # -- telemetry introspection ------------------------------------------
+    @property
+    def backend(self) -> str:
+        return "jsonl"
+
+    def lease_info(self) -> Dict[str, object]:
+        """Active-lease telemetry for ``/healthz`` and the gauges."""
+        now = time.time()
+        with self._lock:
+            ages = [
+                now - job.started_at
+                for job in self._jobs.values()
+                if job.state == JobState.RUNNING and job.started_at is not None
+            ]
+        return {
+            "active_leases": len(ages),
+            "oldest_lease_age_seconds": max(ages) if ages else 0.0,
+        }
+
+    def memo_stats(self) -> Dict[str, object]:
+        """Memo effectiveness (always zero hits — this backend does not
+        memoize)."""
+        with self._lock:
+            total = len(self._jobs)
+            hits = sum(1 for job in self._jobs.values() if job.memo_hit)
+        return {
+            "hits": hits,
+            "jobs": total,
+            "ratio": (hits / total) if total else 0.0,
+        }
 
     def wake_all(self) -> None:
         """Wake every worker blocked in :meth:`claim_next` (shutdown)."""

@@ -35,7 +35,9 @@ from urllib.parse import parse_qs, urlparse
 from ..errors import ConfigError, ReproError, SchemaError
 from ..obs.export import render_prometheus
 from ..obs.metrics import get_registry
-from .jobs import JobSpec, JobState
+from ..obs.spans import get_span_recorder, parse_traceparent
+from ..schemas import SCHEMA_VERSION, SERVICE_TRACE_SCHEMA
+from .jobs import Job, JobSpec, JobState
 from .store import SQLiteJobStore
 from .worker import WorkerPool
 
@@ -43,6 +45,43 @@ __all__ = ["JobServer", "serve"]
 
 #: Largest accepted request body (a job spec is a few hundred bytes).
 MAX_BODY_BYTES = 1 << 20
+
+#: Latency buckets for ``service_http_request_seconds`` — sub-ms static
+#: endpoints up through multi-second synchronous submits.
+_HTTP_BUCKETS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0, 30.0)
+
+#: Gauges recomputed from live server state on every ``/metrics`` scrape
+#: (any stale registry-resident series with these names is dropped first).
+_SCRAPE_GAUGES = frozenset(
+    {
+        "service_jobs",
+        "service_queue_depth",
+        "service_active_leases",
+        "service_oldest_lease_age_seconds",
+        "service_busy_workers",
+        "service_worker_saturation",
+    }
+)
+
+
+def _endpoint_label(segments) -> str:
+    """Collapse a request path to its route template so the per-endpoint
+    histogram has bounded label cardinality (job ids never become labels)."""
+    if segments == ["healthz"]:
+        return "/healthz"
+    if segments == ["metrics"]:
+        return "/metrics"
+    if len(segments) >= 2 and segments[0] == "v1" and segments[1] == "jobs":
+        rest = segments[2:]
+        if not rest:
+            return "/v1/jobs"
+        if len(rest) == 1:
+            return "/v1/jobs/{id}"
+        if rest[1:] == ["result"]:
+            return "/v1/jobs/{id}/result"
+        if rest[1:] == ["trace"]:
+            return "/v1/jobs/{id}/trace"
+    return "other"
 
 
 class _ApiError(Exception):
@@ -65,6 +104,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -73,6 +113,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         body = text.encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -98,29 +139,70 @@ class _Handler(BaseHTTPRequestHandler):
         app = self.server.app  # type: ignore[attr-defined]
         parsed = urlparse(self.path)
         segments = [s for s in parsed.path.split("/") if s]
+        endpoint = _endpoint_label(segments)
+        spans = get_span_recorder()
+        request_span = None
+        if spans.enabled:
+            # W3C trace-context: a traceparent header joins the caller's
+            # trace; its absence (or a malformed value) starts a new one.
+            context = parse_traceparent(self.headers.get("traceparent"))
+            request_span = spans.start(
+                "http.request",
+                parent=context,
+                method=method,
+                path=parsed.path,
+                endpoint=endpoint,
+            )
+        self._status = 0
+        started = time.perf_counter()
         try:
-            self._route(app, method, segments, parse_qs(parsed.query))
-        except _ApiError as exc:
-            self._send_json(
-                exc.status,
-                {"error": {"status": exc.status, "message": exc.message}},
-            )
-        except (SchemaError, ConfigError) as exc:
-            self._send_json(400, {"error": {"status": 400, "message": str(exc)}})
-        except ReproError as exc:
-            self._send_json(500, {"error": {"status": 500, "message": str(exc)}})
-        except BrokenPipeError:
-            pass  # client went away mid-response
-        except Exception as exc:  # noqa: BLE001 — last-resort envelope
-            self._send_json(
-                500,
-                {
-                    "error": {
-                        "status": 500,
-                        "message": f"{type(exc).__name__}: {exc}",
-                    }
-                },
-            )
+            try:
+                self._route(app, method, segments, parse_qs(parsed.query))
+            except _ApiError as exc:
+                self._send_json(
+                    exc.status,
+                    {"error": {"status": exc.status, "message": exc.message}},
+                )
+            except (SchemaError, ConfigError) as exc:
+                self._send_json(
+                    400, {"error": {"status": 400, "message": str(exc)}}
+                )
+            except ReproError as exc:
+                self._send_json(
+                    500, {"error": {"status": 500, "message": str(exc)}}
+                )
+            except BrokenPipeError:
+                pass  # client went away mid-response
+            except Exception as exc:  # noqa: BLE001 — last-resort envelope
+                self._send_json(
+                    500,
+                    {
+                        "error": {
+                            "status": 500,
+                            "message": f"{type(exc).__name__}: {exc}",
+                        }
+                    },
+                )
+        finally:
+            elapsed = time.perf_counter() - started
+            registry = get_registry()
+            registry.histogram(
+                "service_http_request_seconds",
+                _HTTP_BUCKETS,
+                endpoint=endpoint,
+                method=method,
+            ).observe(elapsed)
+            registry.counter(
+                "service_http_responses_total",
+                endpoint=endpoint,
+                status=str(self._status),
+            ).inc()
+            if request_span is not None:
+                spans.finish(
+                    request_span,
+                    status="error" if self._status >= 500 else "ok",
+                    http_status=self._status,
+                )
 
     # -- routing --------------------------------------------------------
     def _route(self, app: "JobServer", method: str, segments, query) -> None:
@@ -166,6 +248,8 @@ class _Handler(BaseHTTPRequestHandler):
                         + (f": {job.error}" if job.error else ""),
                     )
                 return self._send_json(200, job.result_dict())
+            if rest[1:] == ["trace"] and method == "GET":
+                return self._send_json(200, app.job_trace(job))
         raise _ApiError(404, f"no route for {method} /{'/'.join(segments)}")
 
     # -- verbs ----------------------------------------------------------
@@ -222,13 +306,42 @@ class JobServer:
 
     # -- payload builders (also used by the handler) --------------------
     def health(self) -> dict:
+        counts = self.store.counts()
+        lease = self.store.lease_info()
+        memo = self.store.memo_stats()
         return {
             "status": "ok",
-            "jobs": self.store.counts(),
+            "jobs": counts,
             "workers": self.pool.num_workers,
+            "busy_workers": self.pool.busy_count(),
+            "queue_depth": counts.get("queued", 0),
+            "active_leases": lease["active_leases"],
+            "oldest_lease_age_seconds": lease["oldest_lease_age_seconds"],
+            "memo_hit_ratio": memo["ratio"],
+            "store_backend": self.store.backend,
             "uptime_seconds": (
                 time.time() - self._started_at if self._started_at else 0.0
             ),
+        }
+
+    def job_trace(self, job: Job) -> dict:
+        """The job's span tree payload: durable spans persisted by the
+        worker merged with whatever is still live in the recorder
+        (deduplicated by span id, ordered by start time)."""
+        merged = {}
+        for record in self.store.stored_spans(job.id):
+            merged[record["span_id"]] = record
+        if job.trace_id is not None:
+            for record in get_span_recorder().spans_for_trace(job.trace_id):
+                merged[record["span_id"]] = record
+        spans = sorted(merged.values(), key=lambda r: r.get("start_ts", 0.0))
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "schema": SERVICE_TRACE_SCHEMA,
+            "id": job.id,
+            "trace_id": job.trace_id,
+            "state": job.state,
+            "spans": spans,
         }
 
     def metrics_text(self) -> str:
@@ -239,9 +352,10 @@ class JobServer:
         # a dashboard sees queued=0, not a missing series.
         gauges = [
             g for g in snapshot.get("gauges", [])
-            if g.get("name") != "service_jobs"
+            if g.get("name") not in _SCRAPE_GAUGES
         ]
-        for state, count in self.store.counts().items():
+        counts = self.store.counts()
+        for state, count in counts.items():
             gauges.append(
                 {
                     "name": "service_jobs",
@@ -249,12 +363,43 @@ class JobServer:
                     "value": float(count),
                 }
             )
+        lease = self.store.lease_info()
+        busy = self.pool.busy_count()
+        for name, value in (
+            ("service_queue_depth", float(counts.get("queued", 0))),
+            ("service_active_leases", float(lease["active_leases"])),
+            (
+                "service_oldest_lease_age_seconds",
+                float(lease["oldest_lease_age_seconds"]),
+            ),
+            ("service_busy_workers", float(busy)),
+            ("service_worker_saturation", busy / self.pool.num_workers),
+        ):
+            gauges.append({"name": name, "labels": {}, "value": value})
         snapshot["gauges"] = gauges
         return render_prometheus(snapshot)
+
+    def telemetry_summary(self) -> str:
+        """One line for the ``repro serve`` shutdown log."""
+        counts = self.store.counts()
+        memo = self.store.memo_stats()
+        uptime = time.time() - self._started_at if self._started_at else 0.0
+        finished = sum(
+            counts.get(state, 0) for state in ("completed", "failed", "cancelled")
+        )
+        return (
+            f"served {sum(counts.values())} job(s) in {uptime:.1f}s "
+            f"({finished} finished: "
+            f"{counts.get('completed', 0)} completed, "
+            f"{counts.get('failed', 0)} failed, "
+            f"{counts.get('cancelled', 0)} cancelled; "
+            f"memo hit ratio {memo['ratio']:.2f})"
+        )
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "JobServer":
         get_registry().enable()
+        get_span_recorder().enable()
         self._started_at = time.time()
         self.pool.start()
         self._thread = threading.Thread(
@@ -314,4 +459,6 @@ def serve(
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        summary = server.telemetry_summary()
         server.stop()
+        print(summary)

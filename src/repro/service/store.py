@@ -36,8 +36,14 @@ Schema (``jobs.db``)::
          spec_fingerprint TEXT, state TEXT, created_at REAL,
          started_at REAL, finished_at REAL, error TEXT,
          cancel_requested INTEGER, completed_runs INTEGER,
-         memo_hit INTEGER, lease_owner TEXT)
+         memo_hit INTEGER, lease_owner TEXT,
+         trace_id TEXT, parent_span_id TEXT)
     results(job_id TEXT PRIMARY KEY, payload TEXT)  -- JSON result list
+    spans(job_id TEXT PRIMARY KEY, payload TEXT)    -- JSON span records
+
+The two trace columns carry each job's span context (captured from the
+submitting request) across the queue; databases created before they
+existed are migrated in place with guarded ``ALTER TABLE``\\ s.
 
 Per-run checkpoints of multi-run jobs stay in their JSONL files
 (``<job id>.runs.jsonl``) — they are the resume unit of the
@@ -57,9 +63,11 @@ from typing import Dict, List, Optional, Union
 
 from ..errors import ConfigError
 from ..obs.metrics import get_registry
+from ..obs.spans import get_span_recorder, new_trace_id
 from ..schemas import (
     SCHEMA_VERSION,
     SERVICE_DB_SCHEMA,
+    SERVICE_TRACE_SCHEMA,
     check_schema_version,
     dump_estimation_result,
     dump_job_spec,
@@ -100,7 +108,18 @@ CREATE TABLE IF NOT EXISTS results (
     job_id  TEXT PRIMARY KEY REFERENCES jobs (id),
     payload TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS spans (
+    job_id  TEXT PRIMARY KEY REFERENCES jobs (id),
+    payload TEXT NOT NULL
+);
 """
+
+#: Columns added after the first released database schema; applied with
+#: guarded ``ALTER TABLE`` so existing stores upgrade in place.
+_JOBS_COLUMN_MIGRATIONS = (
+    ("trace_id", "TEXT"),
+    ("parent_span_id", "TEXT"),
+)
 
 
 class SQLiteJobStore:
@@ -142,6 +161,15 @@ class SQLiteJobStore:
         # executescript issues an implicit COMMIT, so it must run outside
         # _tx; the DDL is idempotent (IF NOT EXISTS throughout).
         self._conn.executescript(_SCHEMA_SQL)
+        existing = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(jobs)")
+        }
+        for column, ddl_type in _JOBS_COLUMN_MIGRATIONS:
+            if column not in existing:
+                self._conn.execute(
+                    f"ALTER TABLE jobs ADD COLUMN {column} {ddl_type}"
+                )
         with self._tx():
             row = self._conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
@@ -308,6 +336,8 @@ class SQLiteJobStore:
         job.completed_runs = int(row["completed_runs"])
         job.memo_hit = bool(row["memo_hit"])
         job.lease_owner = row["lease_owner"]
+        job.trace_id = row["trace_id"]
+        job.parent_span_id = row["parent_span_id"]
         if row["cancel_requested"]:
             job.cancel_event.set()
         if row["results_payload"] is not None:
@@ -335,6 +365,14 @@ class SQLiteJobStore:
             self._counter += 1
             job_id = f"job-{self._counter:06d}-{uuid.uuid4().hex[:4]}"
             job = Job(job_id, spec, time.time())
+            spans = get_span_recorder()
+            if spans.enabled:
+                # The job row carries the submitting request's trace
+                # context through the queue so the worker that claims it
+                # can graft its spans onto the same tree.
+                context = spans.current_context()
+                job.trace_id = context.trace_id if context else new_trace_id()
+                job.parent_span_id = context.span_id if context else None
             memo_payload = None
             if self.memo:
                 memo_row = self._conn.execute(
@@ -367,6 +405,15 @@ class SQLiteJobStore:
                     )
                     self._persist_counter()
                 _METRICS.counter("service_memo_hits").inc()
+                if spans.enabled:
+                    memo_span = spans.emit(
+                        "job.memo_settle",
+                        parent=job.trace_context,
+                        start_ts=job.created_at,
+                        job_id=job.id,
+                    )
+                    if memo_span is not None:
+                        self.save_spans(job.id, [memo_span])
             else:
                 with self._tx():
                     self._insert_job(job, spec_json, fingerprint)
@@ -380,8 +427,9 @@ class SQLiteJobStore:
         self._conn.execute(
             "INSERT INTO jobs (id, seq, spec, spec_fingerprint, state, "
             "created_at, started_at, finished_at, error, cancel_requested, "
-            "completed_runs, memo_hit, lease_owner) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, NULL)",
+            "completed_runs, memo_hit, lease_owner, trace_id, "
+            "parent_span_id) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, NULL, ?, ?)",
             (
                 job.id,
                 self._counter,
@@ -395,6 +443,8 @@ class SQLiteJobStore:
                 1 if job.cancel_event.is_set() else 0,
                 job.completed_runs,
                 1 if job.memo_hit else 0,
+                job.trace_id,
+                job.parent_span_id,
             ),
         )
 
@@ -555,6 +605,67 @@ class SQLiteJobStore:
                         (job_id,),
                     )
             return job
+
+    # -- span persistence -------------------------------------------------
+    def save_spans(self, job_id: str, spans: List[dict]) -> None:
+        """Durably attach a job's finished span records (idempotent —
+        the last write wins, which is what retried jobs want)."""
+        payload = json.dumps(
+            {
+                "schema": SERVICE_TRACE_SCHEMA,
+                "schema_version": SCHEMA_VERSION,
+                "spans": list(spans),
+            }
+        )
+        with self._lock:
+            with self._tx():
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO spans (job_id, payload) "
+                    "VALUES (?, ?)",
+                    (job_id, payload),
+                )
+
+    def stored_spans(self, job_id: str) -> List[dict]:
+        """A job's persisted span records (empty when none were saved)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM spans WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            return []
+        payload = json.loads(row["payload"])
+        check_schema_version(payload, f"span payload for {job_id}")
+        return payload["spans"]
+
+    # -- telemetry introspection ------------------------------------------
+    @property
+    def backend(self) -> str:
+        return "sqlite"
+
+    def lease_info(self) -> Dict[str, object]:
+        """Active-lease telemetry for ``/healthz`` and the gauges."""
+        now = time.time()
+        with self._lock:
+            ages = [
+                now - job.started_at
+                for job in self._jobs.values()
+                if job.state == JobState.RUNNING and job.started_at is not None
+            ]
+        return {
+            "active_leases": len(ages),
+            "oldest_lease_age_seconds": max(ages) if ages else 0.0,
+        }
+
+    def memo_stats(self) -> Dict[str, object]:
+        """Memo effectiveness over every job this store knows about."""
+        with self._lock:
+            total = len(self._jobs)
+            hits = sum(1 for job in self._jobs.values() if job.memo_hit)
+        return {
+            "hits": hits,
+            "jobs": total,
+            "ratio": (hits / total) if total else 0.0,
+        }
 
     def run_checkpoint_path(self, job_id: str) -> Path:
         """Per-run JSONL checkpoint for a multi-run job (resume unit)."""

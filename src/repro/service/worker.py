@@ -31,6 +31,7 @@ from ..api import build_population, run_many
 from ..errors import JobCancelledError
 from ..estimation.mc_estimator import MaxPowerEstimator
 from ..obs.metrics import get_registry
+from ..obs.spans import get_span_recorder
 from ..obs.trace import get_tracer
 from .jobs import Job, JobStore
 
@@ -38,6 +39,7 @@ __all__ = ["WorkerPool"]
 
 _METRICS = get_registry()
 _TRACER = get_tracer()
+_SPANS = get_span_recorder()
 _JOB_TIMER = _METRICS.timer("service_job_seconds")
 
 #: Populations kept per pool; a handful covers a benchmark sweep.
@@ -72,6 +74,13 @@ class WorkerPool:
         self._threads: List[threading.Thread] = []
         self._cache_lock = threading.Lock()
         self._populations: "OrderedDict[tuple, object]" = OrderedDict()
+        self._busy_lock = threading.Lock()
+        self._busy = 0
+
+    def busy_count(self) -> int:
+        """Worker threads currently executing a job (saturation gauge)."""
+        with self._busy_lock:
+            return self._busy
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -137,26 +146,89 @@ class WorkerPool:
     def _execute(self, job: Job) -> None:
         if _TRACER.enabled:
             _TRACER.emit("job_start", job_id=job.id, circuit=job.spec.circuit)
-        try:
-            with _JOB_TIMER.time():
-                results = self._run(job)
-        except JobCancelledError:
-            self.store.mark_cancelled(job)
-            _METRICS.counter("service_jobs_finished_total", state="cancelled").inc()
-            if _TRACER.enabled:
-                _TRACER.emit("job_end", job_id=job.id, state="cancelled")
-        except Exception as exc:  # noqa: BLE001 — job isolation boundary
-            self.store.mark_failed(job, f"{type(exc).__name__}: {exc}")
-            _METRICS.counter("service_jobs_finished_total", state="failed").inc()
-            if _TRACER.enabled:
-                _TRACER.emit(
-                    "job_end", job_id=job.id, state="failed", error=str(exc)
+        with self._busy_lock:
+            self._busy += 1
+        # Re-attach the trace context the job carried through the queue so
+        # estimator/fit/population spans nest under this job's trace even
+        # though a different thread than the HTTP handler runs it.
+        tracing = _SPANS.enabled and job.trace_id is not None
+        context = job.trace_context if tracing else None
+        token = _SPANS.attach(context) if tracing else None
+        run_span = None
+        if tracing:
+            if job.started_at is not None:
+                _SPANS.emit(
+                    "job.queue_wait",
+                    parent=context,
+                    start_ts=job.created_at,
+                    duration_s=max(0.0, job.started_at - job.created_at),
+                    job_id=job.id,
                 )
-        else:
-            self.store.mark_completed(job, results)
-            _METRICS.counter("service_jobs_finished_total", state="completed").inc()
-            if _TRACER.enabled:
-                _TRACER.emit("job_end", job_id=job.id, state="completed")
+                _SPANS.emit(
+                    "job.claim",
+                    parent=context,
+                    start_ts=job.started_at,
+                    job_id=job.id,
+                    lease_owner=job.lease_owner,
+                )
+            run_span = _SPANS.start(
+                "job.run",
+                job_id=job.id,
+                circuit=job.spec.circuit,
+                num_runs=job.spec.num_runs,
+            )
+        try:
+            try:
+                with _JOB_TIMER.time():
+                    results = self._run(job)
+            except JobCancelledError:
+                self._settle(job, run_span, "cancelled", self.store.mark_cancelled)
+            except Exception as exc:  # noqa: BLE001 — job isolation boundary
+                message = f"{type(exc).__name__}: {exc}"
+                self._settle(
+                    job,
+                    run_span,
+                    "failed",
+                    lambda j: self.store.mark_failed(j, message),
+                    error=message,
+                )
+            else:
+                self._settle(
+                    job,
+                    run_span,
+                    "completed",
+                    lambda j: self.store.mark_completed(j, results),
+                )
+        finally:
+            if token is not None:
+                _SPANS.detach(token)
+            with self._busy_lock:
+                self._busy -= 1
+
+    def _settle(self, job: Job, run_span, state: str, commit, error=None) -> None:
+        """Finish the job's run span, commit its terminal state, and
+        persist the trace so it survives a server restart."""
+        if run_span is not None:
+            attrs = {"state": state}
+            if error is not None:
+                attrs["error"] = error
+            _SPANS.finish(
+                run_span,
+                status="error" if state == "failed" else "ok",
+                **attrs,
+            )
+        with _SPANS.span("job.commit", job_id=job.id, state=state):
+            commit(job)
+        _METRICS.counter("service_jobs_finished_total", state=state).inc()
+        if _TRACER.enabled:
+            payload = {"job_id": job.id, "state": state}
+            if error is not None:
+                payload["error"] = error
+            _TRACER.emit("job_end", **payload)
+        if _SPANS.enabled and job.trace_id is not None:
+            records = _SPANS.spans_for_trace(job.trace_id)
+            if records:
+                self.store.save_spans(job.id, records)
 
     def _run(self, job: Job) -> List[object]:
         spec = job.spec

@@ -66,6 +66,7 @@ from ..errors import SimulationError
 from ..netlist.circuit import Circuit
 from ..netlist.gates import GateType, eval_gate_words
 from ..obs.metrics import get_registry
+from ..obs.spans import get_span_recorder
 from ..obs.trace import get_tracer
 
 __all__ = [
@@ -112,6 +113,7 @@ _UNIT_LANE_BLOCK = 4096
 
 _METRICS = get_registry()
 _TRACER = get_tracer()
+_SPANS = get_span_recorder()
 _COMPILE_TIMER = _METRICS.timer("sim_compile_seconds")
 _COMPILE_TOTAL = _METRICS.counter("sim_compile_total")
 _PLAN_CACHE_HITS = _METRICS.counter("sim_plan_cache_hits_total")
@@ -831,9 +833,15 @@ def compile_plan(circuit: Circuit) -> CompiledPlan:
     built: List[float] = []
 
     def build() -> CompiledPlan:
-        start = time.perf_counter()
-        plan = CompiledPlan(circuit)
-        elapsed = time.perf_counter() - start
+        with _SPANS.span("sim.compile", circuit=circuit.name) as span:
+            start = time.perf_counter()
+            plan = CompiledPlan(circuit)
+            elapsed = time.perf_counter() - start
+            span.set(
+                num_gates=plan.num_gates,
+                num_batches=len(plan.batches),
+                depth=plan.depth,
+            )
         built.append(elapsed)
         _COMPILE_TOTAL.inc()
         _COMPILE_TIMER.observe(elapsed)

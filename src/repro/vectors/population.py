@@ -32,6 +32,7 @@ import numpy as np
 
 from ..errors import PopulationError
 from ..obs.metrics import get_registry
+from ..obs.spans import get_span_recorder
 from ..obs.trace import get_tracer
 from .generators import RngLike, as_rng
 
@@ -52,6 +53,7 @@ DEFAULT_BUILD_CHUNK = 4096
 
 _METRICS = get_registry()
 _TRACER = get_tracer()
+_SPANS = get_span_recorder()
 _BUILD_TIMER = _METRICS.timer("population_build_seconds")
 _CHUNK_TIMER = _METRICS.timer("population_build_chunk_seconds")
 _PAIRS_TOTAL = _METRICS.counter("population_pairs_built_total")
@@ -324,20 +326,28 @@ class FinitePopulation(PowerPopulation):
                 powers = _as_power_array(power_function(v1, v2), count)
             return v1, v2, powers
 
-        start = time.perf_counter()
-        if workers == 1 or len(counts) == 1:
-            parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
-                simulate_chunk(c, s) for c, s in zip(counts, children)
-            ]
-        else:
-            with ThreadPoolExecutor(
-                max_workers=min(workers, len(counts))
-            ) as pool:
-                parts = list(pool.map(simulate_chunk, counts, children))
-        elapsed = time.perf_counter() - start
-        v1 = np.concatenate([p[0] for p in parts])
-        v2 = np.concatenate([p[1] for p in parts])
-        powers = np.concatenate([p[2] for p in parts])
+        with _SPANS.span(
+            "population.build",
+            name=name,
+            num_pairs=num_pairs,
+            chunks=len(counts),
+            workers=workers,
+        ) as span:
+            start = time.perf_counter()
+            if workers == 1 or len(counts) == 1:
+                parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = [
+                    simulate_chunk(c, s) for c, s in zip(counts, children)
+                ]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, len(counts))
+                ) as pool:
+                    parts = list(pool.map(simulate_chunk, counts, children))
+            elapsed = time.perf_counter() - start
+            v1 = np.concatenate([p[0] for p in parts])
+            v2 = np.concatenate([p[1] for p in parts])
+            powers = np.concatenate([p[2] for p in parts])
+            span.set(seconds=elapsed)
         _BUILD_TIMER.observe(elapsed)
         _PAIRS_TOTAL.inc(num_pairs)
         if _TRACER.enabled:

@@ -242,3 +242,61 @@ class TestValidation:
             run_many(estimator, 2, resume=True)
         with pytest.raises(ConfigError, match="requires a checkpoint"):
             hyper_sample_many(estimator, 2, resume=True)
+
+
+class TestMetricsSurviveRebuild:
+    def test_histograms_and_timers_survive_hung_pool_rebuild(
+        self, estimator, baseline, registry
+    ):
+        """A hung task's kill/rebuild must not lose the metrics of tasks
+        that completed before the pool went down (regression: merged
+        snapshots dropped on rebuild leave histogram counts short)."""
+        run_many(estimator, 4, base_seed=BASE_SEED, workers=1)
+        serial = registry.snapshot(reset=True)
+
+        faulty = FaultyEstimator(
+            estimator, hang_indices={1}, hang_seconds=30.0
+        )
+        results = run_many(
+            faulty, 4, base_seed=BASE_SEED, workers=2,
+            retries=2, task_timeout=3.0, backoff=0.0,
+        )
+        rebuilt = registry.snapshot(reset=True)
+        assert dicts(results) == baseline[:4]
+        assert any(
+            c["name"] == "parallel_pool_rebuilds_total" and c["value"] >= 1
+            for c in rebuilt["counters"]
+        )
+
+        def hist_counts(snap):
+            return {
+                (h["name"], tuple(sorted(h["labels"].items()))): h["counts"]
+                for h in snap["histograms"]
+            }
+
+        def timer_counts(snap):
+            return {
+                (t["name"], tuple(sorted(t["labels"].items()))): t["count"]
+                for t in snap["timers"]
+            }
+
+        # Estimation metrics identical to the serial reference;
+        # parallel_* bookkeeping exists only in the faulted run.
+        serial_hists = hist_counts(serial)
+        rebuilt_hists = hist_counts(rebuilt)
+        assert serial_hists and serial_hists == {
+            k: v
+            for k, v in rebuilt_hists.items()
+            if not k[0].startswith("parallel_")
+        }
+        serial_timers = timer_counts(serial)
+        rebuilt_timers = timer_counts(rebuilt)
+        assert serial_timers and serial_timers == {
+            k: v
+            for k, v in rebuilt_timers.items()
+            if not k[0].startswith("parallel_")
+        }
+        # Timer maxima survive the merge (a lost merge zeroes them out).
+        for t in rebuilt["timers"]:
+            if not t["name"].startswith("parallel_"):
+                assert t["max"] > 0.0

@@ -63,6 +63,91 @@ class TestPrometheus:
         assert "x_estimator_runs_total 4" in text
 
 
+class TestScrapeFormatValid:
+    """Validate the exposition against the Prometheus text-format spec:
+    exactly one HELP/TYPE per family, samples contiguous under their
+    family header, legal sample names for each type, escaped labels."""
+
+    def _parse(self, text):
+        families = {}
+        current = None
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                name = line.split(" ", 3)[2]
+                assert name not in families, f"duplicate HELP for {name}"
+                current = families[name] = {"help": line, "type": None, "samples": []}
+            elif line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert current is not None and name in families
+                assert families[name]["type"] is None, f"duplicate TYPE for {name}"
+                families[name]["type"] = kind
+            else:
+                assert current is not None, f"sample before any family: {line}"
+                sample = line.split("{")[0].split(" ")[0]
+                current["samples"].append((sample, line))
+        return families
+
+    def test_every_family_has_help_and_type(self, snapshot):
+        families = self._parse(render_prometheus(snapshot))
+        assert families
+        for name, family in families.items():
+            assert family["type"] in ("counter", "gauge", "summary", "histogram")
+            assert family["help"].startswith(f"# HELP {name} ")
+            assert family["samples"], f"family {name} has no samples"
+
+    def test_sample_names_legal_for_type(self, snapshot):
+        families = self._parse(render_prometheus(snapshot))
+        for name, family in families.items():
+            for sample, _ in family["samples"]:
+                if family["type"] == "summary":
+                    assert sample in (f"{name}_count", f"{name}_sum")
+                elif family["type"] == "histogram":
+                    assert sample in (
+                        f"{name}_bucket", f"{name}_count", f"{name}_sum"
+                    )
+                else:
+                    assert sample == name
+
+    def test_histogram_bucket_counts_monotone_and_inf_total(self, snapshot):
+        families = self._parse(render_prometheus(snapshot))
+        for name, family in families.items():
+            if family["type"] != "histogram":
+                continue
+            counts = []
+            for sample, line in family["samples"]:
+                if sample == f"{name}_bucket":
+                    counts.append(float(line.rsplit(" ", 1)[1]))
+            assert counts == sorted(counts)
+            count_line = next(
+                line for sample, line in family["samples"]
+                if sample == f"{name}_count"
+            )
+            assert counts[-1] == float(count_line.rsplit(" ", 1)[1])
+            assert 'le="+Inf"' in family["samples"][len(counts) - 1][1]
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter(
+            "mle_fit_errors_total", cause='quo"te\\back\nnewline'
+        ).inc()
+        text = render_prometheus(reg.snapshot())
+        assert '\\"' in text and "\\n" in text and "\\\\" in text
+        # one line per sample: the newline must not split the exposition
+        sample_lines = [
+            line for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_timer_min_max_are_their_own_gauge_families(self, snapshot):
+        families = self._parse(render_prometheus(snapshot))
+        assert families["repro_estimator_run_seconds"]["type"] == "summary"
+        assert families["repro_estimator_run_seconds_min"]["type"] == "gauge"
+        assert families["repro_estimator_run_seconds_max"]["type"] == "gauge"
+
+
 class TestFileRoundTrip:
     def test_json_snapshot_round_trip(self, snapshot, tmp_path):
         path = write_metrics_file(tmp_path / "m.json", snapshot)

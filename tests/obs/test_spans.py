@@ -1,0 +1,251 @@
+"""Unit tests for the span layer: recorder, context propagation,
+traceparent parsing, and the presentation helpers."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    SpanContext,
+    SpanRecorder,
+    build_span_tree,
+    get_span_recorder,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    render_span_waterfall,
+    to_chrome_trace,
+)
+
+
+@pytest.fixture
+def recorder():
+    r = SpanRecorder()
+    r.enable()
+    return r
+
+
+class TestIdsAndTraceparent:
+    def test_id_widths_are_w3c(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)
+        int(new_span_id(), 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+    def test_roundtrip(self):
+        ctx = SpanContext(trace_id=new_trace_id(), span_id=new_span_id())
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+
+    def test_header_format(self):
+        ctx = SpanContext(trace_id="ab" * 16, span_id="cd" * 8)
+        assert ctx.to_traceparent() == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-abc-def-01",  # wrong widths
+            "00-" + "g" * 32 + "-" + "1" * 16 + "-01",  # non-hex
+            "ff-" + "1" * 32 + "-" + "2" * 16 + "-01",  # forbidden version
+            "00-" + "0" * 32 + "-" + "2" * 16 + "-01",  # all-zero trace
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+            "00-" + "1" * 32 + "-" + "2" * 16,  # missing flags
+        ],
+    )
+    def test_malformed_headers_rejected(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_context_without_span_id_still_serializes(self):
+        ctx = SpanContext(trace_id="ab" * 16)
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed is not None and parsed.trace_id == "ab" * 16
+
+
+class TestRecorder:
+    def test_disabled_fast_path_records_nothing(self):
+        r = SpanRecorder()
+        assert r.start("x") is None
+        with r.span("y") as span:
+            span.set(a=1)
+        assert r.emit("z") is None
+        assert r.snapshot() == []
+
+    def test_start_finish_records(self, recorder):
+        span = recorder.start("phase", k=3)
+        recorder.finish(span, extra="v")
+        (record,) = recorder.snapshot()
+        assert record["name"] == "phase"
+        assert record["status"] == "ok"
+        assert record["attributes"] == {"k": 3, "extra": "v"}
+        assert record["parent_id"] is None
+        assert record["duration_s"] >= 0.0
+
+    def test_nesting_via_ambient_context(self, recorder):
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        inner, outer = sorted(
+            recorder.snapshot(), key=lambda r: r["name"]
+        )
+        assert inner["trace_id"] == outer["trace_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        # Ambient context restored after the tree finishes.
+        assert recorder.current_context() is None
+
+    def test_explicit_parent_wins_over_ambient(self, recorder):
+        remote = SpanContext(trace_id=new_trace_id(), span_id=new_span_id())
+        with recorder.span("ambient"):
+            span = recorder.start("child", parent=remote)
+            recorder.finish(span)
+        child = next(r for r in recorder.snapshot() if r["name"] == "child")
+        assert child["trace_id"] == remote.trace_id
+        assert child["parent_id"] == remote.span_id
+
+    def test_exception_marks_error_status(self, recorder):
+        with pytest.raises(ValueError):
+            with recorder.span("boom"):
+                raise ValueError("bad")
+        (record,) = recorder.snapshot()
+        assert record["status"] == "error"
+        assert "ValueError: bad" in record["attributes"]["error"]
+
+    def test_emit_retroactive(self, recorder):
+        parent = SpanContext(trace_id=new_trace_id(), span_id=new_span_id())
+        record = recorder.emit(
+            "job.queue_wait", parent=parent, start_ts=123.0, duration_s=4.5
+        )
+        assert record["start_ts"] == 123.0
+        assert record["duration_s"] == 4.5
+        assert record["trace_id"] == parent.trace_id
+        # emit never touches the ambient context
+        assert recorder.current_context() is None
+
+    def test_attach_detach(self, recorder):
+        ctx = SpanContext(trace_id=new_trace_id(), span_id=new_span_id())
+        token = recorder.attach(ctx)
+        assert recorder.current_context() == ctx
+        with recorder.span("child"):
+            pass
+        recorder.detach(token)
+        assert recorder.current_context() is None
+        (record,) = recorder.snapshot()
+        assert record["trace_id"] == ctx.trace_id
+
+    def test_context_is_per_thread(self, recorder):
+        seen = {}
+
+        def worker():
+            seen["ctx"] = recorder.current_context()
+
+        ctx = SpanContext(trace_id=new_trace_id(), span_id=new_span_id())
+        token = recorder.attach(ctx)
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        recorder.detach(token)
+        assert seen["ctx"] is None
+
+    def test_snapshot_reset_and_merge(self, recorder):
+        with recorder.span("a"):
+            pass
+        shipped = recorder.snapshot(reset=True)
+        assert recorder.snapshot() == []
+        target = SpanRecorder()  # disabled, like an aggregating parent
+        target.merge(shipped)
+        merged = target.snapshot()
+        assert [r["name"] for r in merged] == ["a"]
+        assert "_seq" not in merged[0]
+
+    def test_marker_discard_scoped_to_trace(self, recorder):
+        with recorder.span("kept"):
+            pass
+        kept_trace = recorder.snapshot()[0]["trace_id"]
+        marker = recorder.marker()
+        # New spans on two traces: only the targeted one is dropped.
+        recorder.emit("doomed", parent=SpanContext(trace_id="f" * 32))
+        recorder.emit("other", parent=SpanContext(trace_id="e" * 32))
+        assert recorder.discard_after(marker, trace_id="f" * 32) == 1
+        names = {r["name"] for r in recorder.snapshot()}
+        assert names == {"kept", "other"}
+        assert recorder.spans_for_trace(kept_trace)
+
+    def test_lru_eviction_of_traces(self):
+        r = SpanRecorder(max_traces=2)
+        r.enable()
+        for i in range(3):
+            r.emit("s", parent=SpanContext(trace_id=f"{i:032x}"))
+        assert r.spans_for_trace(f"{0:032x}") == []
+        assert r.spans_for_trace(f"{2:032x}")
+
+    def test_span_emits_trace_event_when_tracer_enabled(self, tmp_path, recorder):
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        path = tmp_path / "trace.jsonl"
+        tracer.open(path)
+        try:
+            with recorder.span("traced"):
+                pass
+        finally:
+            tracer.close()
+        events = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        span_events = [e for e in events if e["event"] == "span"]
+        assert span_events and span_events[0]["name"] == "traced"
+
+    def test_global_recorder_is_singleton(self):
+        assert get_span_recorder() is get_span_recorder()
+
+
+class TestPresentation:
+    def _sample(self):
+        r = SpanRecorder()
+        r.enable()
+        with r.span("root", endpoint="/v1/jobs"):
+            with r.span("child", k=1):
+                pass
+            with r.span("child", k=2):
+                pass
+        return r.snapshot()
+
+    def test_build_span_tree(self):
+        spans = self._sample()
+        (root,) = build_span_tree(spans)
+        assert root["name"] == "root"
+        assert [c["attributes"]["k"] for c in root["children"]] == [1, 2]
+
+    def test_unknown_parent_becomes_root(self):
+        spans = self._sample()
+        orphans = [s for s in spans if s["name"] == "child"]
+        roots = build_span_tree(orphans)
+        assert len(roots) == 2
+
+    def test_chrome_trace_shape(self):
+        payload = to_chrome_trace(self._sample())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 3
+        assert all(e["ph"] == "X" for e in events)
+        assert events == sorted(events, key=lambda e: e["ts"])
+        json.dumps(payload)  # must be serializable as-is
+
+    def test_waterfall_renders_all_spans(self):
+        text = render_span_waterfall(self._sample())
+        assert "root" in text and text.count("child") == 2
+        assert "3 spans" in text
+
+    def test_waterfall_empty(self):
+        assert render_span_waterfall([]) == "(no spans)"

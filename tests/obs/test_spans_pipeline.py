@@ -1,0 +1,151 @@
+"""Spans threaded through the estimation pipeline.
+
+Covers the tentpole's estimator-side acceptance criteria:
+
+* enabling spans reproduces the span-free estimates bit-for-bit;
+* one ``estimator.run`` span parents one ``estimator.hyper_sample`` span
+  per k, each with its ``mle.fit`` child;
+* spans recorded inside pool worker processes ship back with task
+  results and merge into the parent's buffer on the same trace;
+* a failed serial attempt's spans are discarded, so retries never leave
+  duplicate phases in the tree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimation.mc_estimator import MaxPowerEstimator
+from repro.estimation.parallel import run_many
+from repro.evt.distributions import GeneralizedWeibull
+from repro.obs import build_span_tree, get_registry, get_span_recorder
+from repro.obs.spans import SpanContext, new_span_id, new_trace_id
+from repro.vectors.population import FinitePopulation
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    dist = GeneralizedWeibull.from_scale(alpha=4.0, scale=0.3, mu=1.0)
+    powers = np.clip(dist.rvs(6000, rng=0), 0.0, None)
+    pop = FinitePopulation(powers, name="synthetic")
+    return MaxPowerEstimator(pop, error=0.05, confidence=0.90)
+
+
+def _run(estimator, seed=7):
+    return estimator.run(np.random.default_rng(seed))
+
+
+class TestBitIdentity:
+    def test_spans_enabled_is_bit_identical(self, estimator):
+        baseline = _run(estimator)
+        get_span_recorder().enable()
+        with_spans = _run(estimator)
+        assert with_spans.estimate == baseline.estimate
+        assert with_spans.units_used == baseline.units_used
+        assert with_spans.k == baseline.k
+        for a, b in zip(baseline.hyper_samples, with_spans.hyper_samples):
+            assert a.estimate == b.estimate
+            assert np.array_equal(a.maxima, b.maxima)
+
+    def test_disabled_run_records_no_spans(self, estimator):
+        spans = get_span_recorder()
+        assert not spans.enabled
+        _run(estimator)
+        assert spans.snapshot() == []
+
+
+class TestEstimatorSpanTree:
+    def test_run_span_parents_per_k_hyper_samples(self, estimator):
+        spans = get_span_recorder()
+        spans.enable()
+        result = _run(estimator)
+        records = spans.snapshot()
+        (root,) = build_span_tree(records)
+        assert root["name"] == "estimator.run"
+        assert root["attributes"]["k"] == result.k
+        assert root["attributes"]["estimate"] == result.estimate
+        hypers = [
+            c for c in root["children"] if c["name"] == "estimator.hyper_sample"
+        ]
+        assert [h["attributes"]["k"] for h in hypers] == list(
+            range(1, result.k + 1)
+        )
+        for h, hs in zip(hypers, result.hyper_samples):
+            assert h["attributes"]["estimate"] == hs.estimate
+            fits = [c for c in h["children"] if c["name"] == "mle.fit"]
+            if hs.fit is not None:
+                assert len(fits) == 1
+                assert fits[0]["attributes"]["alpha"] == hs.fit.alpha
+
+    def test_all_spans_share_one_trace(self, estimator):
+        spans = get_span_recorder()
+        spans.enable()
+        _run(estimator)
+        assert len({r["trace_id"] for r in spans.snapshot()}) == 1
+
+
+class TestCrossProcessSpans:
+    def test_pool_worker_spans_merge_onto_parent_trace(self, estimator):
+        spans = get_span_recorder()
+        spans.enable()
+        get_registry().enable()
+        parent = SpanContext(trace_id=new_trace_id(), span_id=new_span_id())
+        token = spans.attach(parent)
+        try:
+            run_many(estimator, 3, base_seed=11, workers=2)
+        finally:
+            spans.detach(token)
+        records = spans.spans_for_trace(parent.trace_id)
+        runs = [r for r in records if r["name"] == "estimator.run"]
+        assert len(runs) == 3
+        # worker spans are re-parented nowhere — they keep the ids they
+        # had in the child, so the tree stays connected through `parent`
+        assert all(r["trace_id"] == parent.trace_id for r in records)
+        hypers = [r for r in records if r["name"] == "estimator.hyper_sample"]
+        assert len(hypers) == sum(
+            run["attributes"]["k"] for run in runs
+        )
+
+    def test_disabled_parent_keeps_workers_span_silent(self, estimator):
+        spans = get_span_recorder()
+        assert not spans.enabled
+        run_many(estimator, 2, base_seed=1, workers=2)
+        assert spans.snapshot() == []
+
+
+class _CrashAfterRun:
+    """Run the real estimator, then fail the attempt — the recorded
+    spans of that attempt must be discarded on retry."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def run(self, rng):
+        from repro.estimation import parallel
+
+        result = self.inner.run(rng)
+        task = parallel.current_task()
+        if task is not None and task.attempt == 0 and task.index == 1:
+            raise RuntimeError("injected failure after a recorded run")
+        return result
+
+
+class TestRetryDiscard:
+    def test_failed_serial_attempt_spans_are_discarded(self, estimator):
+        spans = get_span_recorder()
+        spans.enable()
+        parent = SpanContext(trace_id=new_trace_id(), span_id=new_span_id())
+        token = spans.attach(parent)
+        try:
+            results = run_many(
+                _CrashAfterRun(estimator), 3, base_seed=11, workers=1,
+                retries=1, backoff=0.0,
+            )
+        finally:
+            spans.detach(token)
+        clean = run_many(estimator, 3, base_seed=11, workers=1)
+        assert [r.estimate for r in results] == [r.estimate for r in clean]
+        records = spans.spans_for_trace(parent.trace_id)
+        runs = [r for r in records if r["name"] == "estimator.run"]
+        # exactly one estimator.run span per task — the crashed first
+        # attempt of task 1 left nothing behind
+        assert len(runs) == 3

@@ -12,6 +12,7 @@ import pytest
 from repro.api import EstimatorConfig
 from repro.netlist.bench import dump_bench
 from repro.obs.metrics import get_registry
+from repro.obs.spans import get_span_recorder
 from repro.service import Client, JobServer
 from repro.service.jobs import JobSpec
 
@@ -37,9 +38,11 @@ def quick_spec(bench_path):
 
 @pytest.fixture
 def service(tmp_path):
-    """A running JobServer + bound Client; metrics state restored after."""
+    """A running JobServer + bound Client; obs state restored after."""
     registry = get_registry()
+    spans = get_span_recorder()
     was_enabled = registry.enabled
+    spans_enabled = spans.enabled
     server = JobServer(port=0, state_dir=tmp_path / "state", workers=2)
     server.start()
     try:
@@ -49,3 +52,6 @@ def service(tmp_path):
         if not was_enabled:
             registry.disable()
             registry.reset()
+        if not spans_enabled:
+            spans.disable()
+            spans.reset()

@@ -1,0 +1,191 @@
+"""End-to-end trace propagation through the service.
+
+One submitted job must yield a single connected span tree reachable via
+``GET /v1/jobs/{id}/trace``: HTTP accept -> queue wait -> claim -> run
+-> population build -> per-k hyper-samples -> fit -> commit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import build_span_tree
+from repro.obs.spans import get_span_recorder
+from repro.errors import ServiceError
+
+#: Phases the acceptance criteria require in a completed job's tree.
+REQUIRED_PHASES = {
+    "http.request",
+    "job.queue_wait",
+    "job.claim",
+    "job.run",
+    "population.build",
+    "estimator.run",
+    "estimator.hyper_sample",
+    "mle.fit",
+    "job.commit",
+}
+
+
+@pytest.fixture
+def completed_trace(service, quick_spec):
+    server, client = service
+    job = client.submit(quick_spec)
+    client.wait(job["id"], timeout=30)
+    return server, client, job, client.trace(job["id"])
+
+
+class TestTraceEndpoint:
+    def test_status_carries_trace_id(self, service, quick_spec):
+        _, client = service
+        job = client.submit(quick_spec)
+        assert job["trace_id"]
+        client.wait(job["id"], timeout=30)
+
+    def test_payload_shape(self, completed_trace):
+        _, _, job, payload = completed_trace
+        assert payload["schema"] == "repro.service_trace/v1"
+        assert payload["id"] == job["id"]
+        assert payload["trace_id"] == job["trace_id"]
+        assert payload["state"] == "completed"
+        json.dumps(payload)
+
+    def test_single_connected_tree_with_all_phases(self, completed_trace):
+        _, _, _, payload = completed_trace
+        spans = payload["spans"]
+        assert {s["trace_id"] for s in spans} == {payload["trace_id"]}
+        assert REQUIRED_PHASES <= {s["name"] for s in spans}
+        roots = build_span_tree(spans)
+        assert len(roots) == 1  # client.submit is the single root
+
+        def count(node):
+            return 1 + sum(count(c) for c in node["children"])
+
+        assert count(roots[0]) == len(spans)
+
+    def test_one_hyper_sample_span_per_k(self, completed_trace):
+        _, client, job, payload = completed_trace
+        status = client.status(job["id"])
+        ks = sorted(
+            s["attributes"]["k"]
+            for s in payload["spans"]
+            if s["name"] == "estimator.hyper_sample"
+        )
+        assert ks == [e["k"] for e in status["trajectory"]]
+
+    def test_spans_persisted_durably(self, completed_trace):
+        server, _, job, payload = completed_trace
+        stored = server.store.stored_spans(job["id"])
+        assert stored
+        stored_ids = {s["span_id"] for s in stored}
+        live_ids = {s["span_id"] for s in payload["spans"]}
+        # the worker persisted the whole trace it saw at settle time
+        assert stored_ids <= live_ids
+
+    def test_unknown_job_404(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as err:
+            client.trace("job-nope")
+        assert err.value.status == 404
+
+    def test_memo_hit_still_yields_trace(self, service, quick_spec):
+        _, client = service
+        first = client.submit(quick_spec)
+        client.wait(first["id"], timeout=30)
+        second = client.submit(quick_spec)
+        assert second["memo_hit"]
+        payload = client.trace(second["id"])
+        names = {s["name"] for s in payload["spans"]}
+        assert "job.memo_settle" in names
+
+    def test_external_traceparent_joins_trace(self, service, quick_spec):
+        _, client = service
+        trace_id, span_id = "ab" * 16, "cd" * 8
+        status = client._request(
+            "POST",
+            "/v1/jobs",
+            body=quick_spec.to_dict(),
+            headers={"traceparent": f"00-{trace_id}-{span_id}-01"},
+        )
+        assert status["trace_id"] == trace_id
+        client.wait(status["id"], timeout=30)
+        payload = client.trace(status["id"])
+        assert payload["trace_id"] == trace_id
+        assert all(s["trace_id"] == trace_id for s in payload["spans"])
+
+
+class TestServiceTelemetry:
+    def test_health_enriched(self, completed_trace):
+        _, client, _, _ = completed_trace
+        health = client.health()
+        assert health["queue_depth"] == 0
+        assert health["active_leases"] == 0
+        assert health["oldest_lease_age_seconds"] == 0.0
+        assert 0.0 <= health["memo_hit_ratio"] <= 1.0
+        assert health["store_backend"] == "sqlite"
+        assert health["busy_workers"] == 0
+
+    def test_metrics_expose_http_histogram_and_gauges(self, completed_trace):
+        _, client, _, _ = completed_trace
+        text = client.metrics()
+        assert "# TYPE repro_service_http_request_seconds histogram" in text
+        assert 'endpoint="/v1/jobs"' in text
+        assert 'method="POST"' in text
+        assert "repro_service_http_request_seconds_bucket" in text
+        for gauge in (
+            "repro_service_queue_depth",
+            "repro_service_active_leases",
+            "repro_service_oldest_lease_age_seconds",
+            "repro_service_busy_workers",
+            "repro_service_worker_saturation",
+        ):
+            assert f"{gauge} " in text
+
+    def test_responses_counter_labels_status(self, completed_trace):
+        _, client, _, _ = completed_trace
+        text = client.metrics()
+        assert 'repro_service_http_responses_total{endpoint="/v1/jobs",status="201"}' in text
+
+    def test_telemetry_summary_line(self, completed_trace):
+        server, _, _, _ = completed_trace
+        line = server.telemetry_summary()
+        assert "1 completed" in line
+        assert "memo hit ratio" in line
+
+
+class TestTraceCli:
+    def test_trace_command_waterfall_and_export(
+        self, completed_trace, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        _, client, job, _ = completed_trace
+        export = tmp_path / "trace.json"
+        rc = main(
+            [
+                "trace",
+                job["id"],
+                "--url",
+                client.base_url,
+                "--export",
+                str(export),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "estimator.hyper_sample" in out
+        assert job["id"] in out
+        chrome = json.loads(export.read_text())
+        assert chrome["traceEvents"]
+        assert all(e["ph"] == "X" for e in chrome["traceEvents"])
+
+    def test_trace_command_json(self, completed_trace, capsys):
+        from repro.cli import main
+
+        _, client, job, _ = completed_trace
+        rc = main(["trace", job["id"], "--url", client.base_url, "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["id"] == job["id"]
