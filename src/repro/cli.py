@@ -275,6 +275,48 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    srv.add_argument(
+        "--replica-id", default=None,
+        help=(
+            "stable identity of this replica in a multi-replica fabric "
+            "(several servers sharing one --state-dir); defaults to "
+            "host:port, which is stable across restarts and distinct "
+            "between replicas on different ports"
+        ),
+    )
+    srv.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help=(
+            "running-job lease time-to-live; a replica that misses "
+            "heartbeats this long has its jobs reclaimed (stolen) by a "
+            "surviving replica (default: 30)"
+        ),
+    )
+    srv.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help=(
+            "bound the shared job queue; submits beyond it get 429 + "
+            "Retry-After instead of unbounded backlog (default: unbounded)"
+        ),
+    )
+    srv.add_argument(
+        "--rate-limit", type=float, default=None, metavar="PER_SECOND",
+        help=(
+            "per-tenant token-bucket submit rate (tenant = X-API-Key "
+            "header, anonymous when absent); over-rate submits get 429"
+        ),
+    )
+    srv.add_argument(
+        "--rate-burst", type=float, default=None, metavar="TOKENS",
+        help="token-bucket capacity (default: max(1, rate-limit))",
+    )
+    srv.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help=(
+            "max queued+running jobs per tenant; submits beyond it get "
+            "429 until earlier jobs settle (default: unlimited)"
+        ),
+    )
 
     sb = sub.add_parser("submit", help="submit a job to a running service")
     sb.add_argument("circuit", help="suite name or .bench/.v path")
@@ -305,6 +347,14 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--seed", type=int, default=0, help="random seed")
     sb.add_argument(
         "--runs", type=int, default=1, help="independent repetitions"
+    )
+    sb.add_argument(
+        "--api-key",
+        default=os.environ.get("REPRO_API_KEY"),
+        help=(
+            "tenant credential sent as X-API-Key (default: REPRO_API_KEY); "
+            "scopes the server's per-tenant rate limit and quota"
+        ),
     )
     sb.add_argument(
         "--no-wait", dest="wait", action="store_false", default=True,
@@ -485,6 +535,10 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
 
+    kwargs = {}
+    if args.lease_ttl is not None:
+        # 0 disables leasing entirely (single-replica, no heartbeats).
+        kwargs["lease_ttl"] = args.lease_ttl or None
     serve(
         host=args.host,
         port=args.port,
@@ -492,6 +546,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         verbose=args.verbose,
         memo=not args.no_memo,
+        replica_id=args.replica_id,
+        max_queue_depth=args.max_queue_depth,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        tenant_quota=args.tenant_quota,
+        **kwargs,
     )
     return 0
 
@@ -512,7 +572,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         sim_mode=args.mode,
         frequency_mhz=args.frequency_mhz,
     )
-    client = Client(args.url)
+    client = Client(args.url, api_key=args.api_key)
     job = client.submit(spec)
     print(f"submitted {job['id']} to {args.url}", file=sys.stderr)
     if not args.wait:

@@ -86,10 +86,20 @@ class ServiceError(ReproError):
         HTTP status code of the failed request, or ``None`` when the
         error did not come from an HTTP response (connection refused,
         wait timeout, ...).
+    retry_after:
+        Seconds the server asked the client to back off (the
+        ``Retry-After`` header of a 429 admission rejection), or
+        ``None`` when the response carried no such hint.
     """
 
-    def __init__(self, message: str, status: "int | None" = None):
+    def __init__(
+        self,
+        message: str,
+        status: "int | None" = None,
+        retry_after: "float | None" = None,
+    ):
         self.status = status
+        self.retry_after = retry_after
         super().__init__(message)
 
 

@@ -45,6 +45,7 @@ __all__ = [
     "SERVICE_LOG_SCHEMA",
     "SERVICE_DB_SCHEMA",
     "SERVICE_TRACE_SCHEMA",
+    "SERVICE_EVENTS_SCHEMA",
     "parse_schema_version",
     "check_schema_version",
     "stamp",
@@ -87,6 +88,10 @@ SERVICE_DB_SCHEMA = "repro.service_jobs_db/v1"
 #: Type tag of persisted/served span-tree payloads
 #: (``GET /v1/jobs/{id}/trace`` and the ``spans`` table).
 SERVICE_TRACE_SCHEMA = "repro.service_trace/v1"
+
+#: Type tag of the server-sent-event stream served by
+#: ``GET /v1/jobs/{id}/events`` (each event's ``data:`` payload).
+SERVICE_EVENTS_SCHEMA = "repro.service_events/v1"
 
 
 def parse_schema_version(version: str) -> Tuple[int, int]:

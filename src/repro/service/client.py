@@ -18,9 +18,24 @@ One class, three idioms::
         print(k, status["trajectory"][-1]["rel_half_width"] if k else None)
 
 Every HTTP failure raises :class:`~repro.errors.ServiceError` carrying
-the server's message and the status code; payload schema versions are
-validated on receipt, so a client never silently consumes a payload
-from an incompatible future server.
+the server's message and the status code (plus ``retry_after`` on a 429
+admission rejection); payload schema versions are validated on receipt,
+so a client never silently consumes a payload from an incompatible
+future server.
+
+**Replica resilience.**  Idempotent requests (every ``GET``) retry with
+exponential backoff through transient connection failures, so a replica
+bounce mid-:meth:`Client.wait` or mid-:meth:`Client.stream` is
+invisible — the restarted (or surviving) replica picks the job up from
+the shared store and the client's poll/stream simply resumes.  Submits
+are *not* retried automatically (a retried ``POST`` could double-submit
+under memoization-off servers); catch the :class:`ServiceError` and
+resubmit if that's what you want.
+
+:meth:`Client.stream` consumes the server's ``/events`` server-sent
+-events endpoint (push; one event per state change / new hyper-sample /
+completed run) and transparently falls back to status polling against
+servers that predate SSE.
 """
 
 from __future__ import annotations
@@ -37,15 +52,80 @@ from ..schemas import check_schema_version, load_estimation_result
 
 __all__ = ["Client"]
 
+_TERMINAL = ("completed", "failed", "cancelled")
+
 
 class Client:
-    """HTTP client bound to one service base URL."""
+    """HTTP client bound to one service base URL.
 
-    def __init__(self, base_url: str = "http://127.0.0.1:8000", timeout: float = 30.0):
+    ``api_key`` (sent as ``X-API-Key``) names the tenant for per-tenant
+    admission limits; ``retries``/``retry_backoff`` bound how long
+    idempotent requests ride out a replica restart (backoff doubles per
+    attempt: 0.2, 0.4, 0.8, ... seconds).
+    """
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8000",
+        timeout: float = 30.0,
+        api_key: Optional[str] = None,
+        retries: int = 5,
+        retry_backoff: float = 0.2,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.api_key = api_key
+        self.retries = max(0, int(retries))
+        self.retry_backoff = retry_backoff
 
     # -- transport ------------------------------------------------------
+    def _base_headers(self) -> dict:
+        return {"X-API-Key": self.api_key} if self.api_key is not None else {}
+
+    def _urlopen(self, request: urllib.request.Request, retryable: bool):
+        """``urlopen`` with bounded retry on transient transport faults.
+
+        Retries only connection-level failures (refused, reset, dropped
+        mid-restart) — an HTTP error response is a server answer, not a
+        transport fault, and propagates immediately.
+        """
+        attempt = 0
+        while True:
+            try:
+                return urllib.request.urlopen(request, timeout=self.timeout)
+            except urllib.error.HTTPError:
+                raise
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                attempt += 1
+                if not retryable or attempt > self.retries:
+                    reason = getattr(exc, "reason", exc)
+                    raise ServiceError(
+                        f"{request.get_method()} {request.selector} failed: "
+                        f"{reason} (is the service running at "
+                        f"{self.base_url}?)"
+                    ) from None
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+
+    @staticmethod
+    def _http_error(method: str, path: str, exc: urllib.error.HTTPError):
+        detail = exc.read().decode("utf-8", "replace")
+        try:
+            message = json.loads(detail)["error"]["message"]
+        except Exception:
+            message = detail or exc.reason
+        retry_after: Optional[float] = None
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        return ServiceError(
+            f"{method} {path} -> {exc.code}: {message}",
+            status=exc.code,
+            retry_after=retry_after,
+        )
+
     def _request(
         self,
         method: str,
@@ -54,7 +134,8 @@ class Client:
         raw: bool = False,
         headers: Optional[dict] = None,
     ):
-        all_headers = dict(headers or {})
+        all_headers = self._base_headers()
+        all_headers.update(headers or {})
         if body is not None:
             all_headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
@@ -64,22 +145,10 @@ class Client:
             headers=all_headers,
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with self._urlopen(request, retryable=method == "GET") as response:
                 payload = response.read()
         except urllib.error.HTTPError as exc:
-            detail = exc.read().decode("utf-8", "replace")
-            try:
-                message = json.loads(detail)["error"]["message"]
-            except Exception:
-                message = detail or exc.reason
-            raise ServiceError(
-                f"{method} {path} -> {exc.code}: {message}", status=exc.code
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"{method} {path} failed: {exc.reason} "
-                f"(is the service running at {self.base_url}?)"
-            ) from None
+            raise self._http_error(method, path, exc) from None
         if raw:
             return payload.decode("utf-8")
         return json.loads(payload)
@@ -187,9 +256,32 @@ class Client:
     ) -> Iterator[dict]:
         """Yield a status dict whenever the job makes visible progress
         (new trajectory entry, completed run, or state change); the
-        final yield is the terminal status."""
+        final yield is the terminal status.
+
+        Prefers the server's ``GET /v1/jobs/{id}/events`` SSE endpoint
+        (events are pushed, so latency is one server-side poll tick
+        instead of ``poll_interval``) and reconnects through transient
+        disconnects; a server without the endpoint gets plain status
+        polling.  Either way every yielded dict has the same shape, and
+        duplicates replayed across a reconnect are suppressed.
+        """
         deadline = time.monotonic() + timeout if timeout is not None else None
-        last = (None, -1, -1)
+        # Mutable so the SSE leg's progress survives a fallback to polling.
+        last = [(None, -1, -1)]
+        sse = self._stream_sse(job_id, deadline, timeout, last)
+        if sse is not None:
+            yield from sse
+            return
+        yield from self._stream_poll(job_id, poll_interval, deadline, timeout, last)
+
+    def _stream_poll(
+        self,
+        job_id: str,
+        poll_interval: float,
+        deadline: Optional[float],
+        timeout: Optional[float],
+        last: list,
+    ) -> Iterator[dict]:
         while True:
             status = self.status(job_id)
             mark = (
@@ -197,16 +289,133 @@ class Client:
                 len(status["trajectory"]),
                 status["completed_runs"],
             )
-            if mark != last:
-                last = mark
+            if mark != last[0]:
+                last[0] = mark
                 yield status
-            if status["state"] in ("completed", "failed", "cancelled"):
+            if status["state"] in _TERMINAL:
                 return
             if deadline is not None and time.monotonic() >= deadline:
                 raise ServiceError(
                     f"job {job_id} still {status['state']} after {timeout:g}s"
                 )
             time.sleep(poll_interval)
+
+    def _stream_sse(
+        self,
+        job_id: str,
+        deadline: Optional[float],
+        timeout: Optional[float],
+        last: list,
+    ):
+        """The SSE leg of :meth:`stream`, or ``None`` when the server
+        has no ``/events`` endpoint (fall back to polling).
+
+        Returns a generator rather than being one so the
+        capability probe (the first connection attempt) happens eagerly
+        — a generator's body wouldn't run until first ``next()``.
+        """
+        path = f"/v1/jobs/{job_id}/events"
+        response = self._open_events(path)
+        if response is None:
+            return None
+
+        def events() -> Iterator[dict]:
+            conn = response
+            attempt = 0
+            while True:
+                disconnected = False
+                try:
+                    for payload in self._parse_sse(conn):
+                        attempt = 0  # healthy stream: reset retry budget
+                        mark = (
+                            payload["state"],
+                            len(payload["trajectory"]),
+                            payload["completed_runs"],
+                        )
+                        if mark != last[0]:
+                            last[0] = mark
+                            yield payload
+                        if payload["state"] in _TERMINAL:
+                            return
+                        if (
+                            deadline is not None
+                            and time.monotonic() >= deadline
+                        ):
+                            raise ServiceError(
+                                f"job {job_id} still {payload['state']} "
+                                f"after {timeout:g}s"
+                            )
+                except (OSError, ValueError):
+                    # Dropped mid-stream (replica killed, proxy reset) or
+                    # a frame truncated by the cut: reconnect and let the
+                    # mark dedup swallow the replayed snapshot.
+                    disconnected = True
+                finally:
+                    conn.close()
+                if not disconnected:
+                    # Clean end without a terminal event: the server shut
+                    # down gracefully mid-stream.  Reconnect (retried —
+                    # another replica or a restart finishes the job).
+                    pass
+                attempt += 1
+                if attempt > self.retries:
+                    raise ServiceError(
+                        f"event stream for job {job_id} lost and "
+                        f"{self.retries} reconnects failed "
+                        f"(is the service running at {self.base_url}?)"
+                    )
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"job {job_id} event stream timed out after "
+                        f"{timeout:g}s"
+                    )
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                conn = self._open_events(path)
+                if conn is None:  # downgraded server mid-stream
+                    yield from self._stream_poll(
+                        job_id, 0.2, deadline, timeout, last
+                    )
+                    return
+
+        return events()
+
+    def _open_events(self, path: str):
+        """One SSE connection attempt; ``None`` means the server has no
+        events endpoint (404/405) and the caller should poll instead.
+
+        A 404 is ambiguous (unknown endpoint vs. unknown job) — polling
+        resolves it: the status request re-raises a crisp 404 for a
+        genuinely missing job.
+        """
+        headers = self._base_headers()
+        headers["Accept"] = "text/event-stream"
+        request = urllib.request.Request(self.base_url + path, headers=headers)
+        try:
+            return self._urlopen(request, retryable=True)
+        except urllib.error.HTTPError as exc:
+            exc.read()
+            if exc.code in (404, 405):
+                return None
+            raise self._http_error("GET", path, exc) from None
+
+    def _parse_sse(self, response) -> Iterator[dict]:
+        """Decode ``data:`` frames off one SSE connection into validated
+        status payloads; comments (keepalives) and other fields are
+        skipped.  Ends when the server closes the stream."""
+        data_lines: List[str] = []
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\r\n")
+            if not line:  # blank line: dispatch accumulated event
+                if data_lines:
+                    payload = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    check_schema_version(payload, "job event payload")
+                    yield payload
+                continue
+            if line.startswith(":"):
+                continue  # keepalive comment
+            if line.startswith("data:"):
+                data_lines.append(line[5:].lstrip(" "))
 
     def trace(self, job_id: str) -> dict:
         """The job's span tree payload (``trace_id`` + flat ``spans``

@@ -146,8 +146,19 @@ class Job:
         #: True when the job was settled from a memoized result of an
         #: earlier identical spec instead of running (SQLite store).
         self.memo_hit = False
-        #: Worker (or, eventually, replica) that claimed the job.
+        #: Worker thread that claimed the job.
         self.lease_owner: Optional[str] = None
+        #: Replica (store instance) holding the lease, and when the
+        #: lease lapses unless the worker heartbeat renews it first.
+        self.lease_replica: Optional[str] = None
+        self.lease_expires_at: Optional[float] = None
+        #: Set by a failed heartbeat renewal: the lease expired and was
+        #: reclaimed (probably by another replica), so this process must
+        #: unwind without committing anything.  Process-local.
+        self.lease_lost = False
+        #: Tenant (API-key header) the job was submitted under, for
+        #: per-tenant admission quotas; ``None`` = anonymous.
+        self.tenant: Optional[str] = None
         #: Span context captured from the submitting request (None when
         #: tracing was off at submission): which trace the job belongs
         #: to and which span — usually the server's ``http.request`` —
@@ -183,6 +194,7 @@ class Job:
             "completed_runs": self.completed_runs,
             "total_runs": self.spec.num_runs,
             "memo_hit": self.memo_hit,
+            "tenant": self.tenant,
             "trace_id": self.trace_id,
             "trajectory": list(self.trajectory),
         }
@@ -258,13 +270,14 @@ class JobStore:
         return list(self._requeued)
 
     # -- job lifecycle --------------------------------------------------
-    def submit(self, spec: JobSpec) -> Job:
+    def submit(self, spec: JobSpec, tenant: Optional[str] = None) -> Job:
         from ..obs.spans import get_span_recorder, new_trace_id
 
         with self._lock:
             self._counter += 1
             job_id = f"job-{self._counter:06d}-{uuid.uuid4().hex[:4]}"
             job = Job(job_id, spec, time.time())
+            job.tenant = tenant
             spans = get_span_recorder()
             if spans.enabled:
                 context = spans.current_context()
@@ -272,14 +285,15 @@ class JobStore:
                 job.parent_span_id = context.span_id if context else None
             self._jobs[job_id] = job
             self._queue.append(job_id)
-            self._append(
-                {
-                    "event": "submitted",
-                    "id": job_id,
-                    "t": job.created_at,
-                    "spec": dump_job_spec(spec),
-                }
-            )
+            event = {
+                "event": "submitted",
+                "id": job_id,
+                "t": job.created_at,
+                "spec": dump_job_spec(spec),
+            }
+            if tenant is not None:
+                event["tenant"] = tenant
+            self._append(event)
             self._queue_ready.notify()
             return job
 
@@ -410,11 +424,16 @@ class JobStore:
         return "jsonl"
 
     def lease_info(self) -> Dict[str, object]:
-        """Active-lease telemetry for ``/healthz`` and the gauges."""
+        """Active-lease telemetry for ``/healthz`` and the gauges.
+
+        Ages are clamped to >= 0: ``started_at`` is wall clock, so a
+        backwards clock step must never surface a negative age in
+        ``/healthz`` or the ``service_oldest_lease_age_seconds`` gauge.
+        """
         now = time.time()
         with self._lock:
             ages = [
-                now - job.started_at
+                max(0.0, now - job.started_at)
                 for job in self._jobs.values()
                 if job.state == JobState.RUNNING and job.started_at is not None
             ]
@@ -422,6 +441,34 @@ class JobStore:
             "active_leases": len(ages),
             "oldest_lease_age_seconds": max(ages) if ages else 0.0,
         }
+
+    # -- lease lifecycle (interface parity with SQLiteJobStore; this
+    # -- single-process backend has no replicas, so leases never expire
+    # -- and renewal always succeeds) ------------------------------------
+    #: No lease expiry on this backend (one process owns the queue).
+    lease_ttl: Optional[float] = None
+    heartbeat_interval: Optional[float] = None
+    replica_id: Optional[str] = None
+
+    def renew_lease(self, job: Job) -> bool:
+        return True
+
+    def reap_expired(self) -> List[str]:
+        return []
+
+    def queue_depth(self) -> int:
+        """Jobs currently queued (the admission-control signal)."""
+        with self._lock:
+            return len(self._queue)
+
+    def tenant_active_jobs(self, tenant: Optional[str]) -> int:
+        """Non-terminal jobs submitted by ``tenant`` (quota signal)."""
+        with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.tenant == tenant and not job.terminal
+            )
 
     def memo_stats(self) -> Dict[str, object]:
         """Memo effectiveness (always zero hits — this backend does not
@@ -499,6 +546,7 @@ def replay_log(log_path: Union[str, Path]) -> Tuple[Dict[str, Job], int]:
                 except Exception:
                     continue  # unreadable spec: drop the job, keep the log
                 jobs[job_id] = Job(job_id, spec, float(event.get("t", 0.0)))
+                jobs[job_id].tenant = event.get("tenant")
             elif kind == "state" and job_id in jobs:
                 job = jobs[job_id]
                 job.state = event.get("state", job.state)

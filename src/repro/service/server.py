@@ -6,14 +6,18 @@ Endpoints (JSON in, JSON out; see ``docs/api.md`` for curl examples)::
     GET    /v1/jobs              list jobs (?state= filter)  -> 200 list
     GET    /v1/jobs/{id}         status + per-k trajectory   -> 200 status
     GET    /v1/jobs/{id}/result  completed results           -> 200 results
+    GET    /v1/jobs/{id}/events  server-sent-events stream   -> 200 SSE
     DELETE /v1/jobs/{id}         request cancellation        -> 202 status
     GET    /healthz              liveness + job counts       -> 200
     GET    /metrics              Prometheus text exposition  -> 200
 
 Error envelope: ``{"error": {"status": <int>, "message": <str>}}`` with
-400 for malformed specs/payloads, 404 for unknown jobs and paths, and
-409 for state conflicts (result of an unfinished job, cancelling a
-finished one).
+400 for malformed specs/payloads, 404 for unknown jobs and paths, 409
+for state conflicts (result of an unfinished job, cancelling a finished
+one), and 429 + ``Retry-After`` when admission control rejects a submit
+(bounded queue depth, per-tenant token-bucket rate limit, or per-tenant
+active-job quota — the tenant is the ``X-API-Key`` request header,
+anonymous when absent).
 
 Built on ``http.server.ThreadingHTTPServer`` — one thread per request,
 stdlib only — with the actual estimation work done by the
@@ -27,6 +31,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from math import ceil
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Union
@@ -36,9 +41,13 @@ from ..errors import ConfigError, ReproError, SchemaError
 from ..obs.export import render_prometheus
 from ..obs.metrics import get_registry
 from ..obs.spans import get_span_recorder, parse_traceparent
-from ..schemas import SCHEMA_VERSION, SERVICE_TRACE_SCHEMA
+from ..schemas import (
+    SCHEMA_VERSION,
+    SERVICE_EVENTS_SCHEMA,
+    SERVICE_TRACE_SCHEMA,
+)
 from .jobs import Job, JobSpec, JobState
-from .store import SQLiteJobStore
+from .store import DEFAULT_LEASE_TTL, SQLiteJobStore
 from .worker import WorkerPool
 
 __all__ = ["JobServer", "serve"]
@@ -60,6 +69,7 @@ _SCRAPE_GAUGES = frozenset(
         "service_oldest_lease_age_seconds",
         "service_busy_workers",
         "service_worker_saturation",
+        "service_queue_limit",
     }
 )
 
@@ -81,13 +91,16 @@ def _endpoint_label(segments) -> str:
             return "/v1/jobs/{id}/result"
         if rest[1:] == ["trace"]:
             return "/v1/jobs/{id}/trace"
+        if rest[1:] == ["events"]:
+            return "/v1/jobs/{id}/events"
     return "other"
 
 
 class _ApiError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, headers: Optional[dict] = None):
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
         super().__init__(message)
 
 
@@ -102,12 +115,16 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -162,6 +179,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     exc.status,
                     {"error": {"status": exc.status, "message": exc.message}},
+                    headers=exc.headers,
                 )
             except (SchemaError, ConfigError) as exc:
                 self._send_json(
@@ -216,7 +234,11 @@ class _Handler(BaseHTTPRequestHandler):
             rest = segments[2:]
             if not rest:
                 if method == "POST":
-                    job = app.store.submit(JobSpec.from_dict(self._read_body()))
+                    tenant = self.headers.get("X-API-Key") or None
+                    app.admit(tenant)
+                    job = app.store.submit(
+                        JobSpec.from_dict(self._read_body()), tenant=tenant
+                    )
                     return self._send_json(201, job.status_dict())
                 if method == "GET":
                     state = (query.get("state") or [None])[0]
@@ -250,7 +272,70 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._send_json(200, job.result_dict())
             if rest[1:] == ["trace"] and method == "GET":
                 return self._send_json(200, app.job_trace(job))
+            if rest[1:] == ["events"] and method == "GET":
+                return self._serve_events(app, job)
         raise _ApiError(404, f"no route for {method} /{'/'.join(segments)}")
+
+    # -- server-sent events ----------------------------------------------
+    def _serve_events(self, app: "JobServer", job: Job) -> None:
+        """Stream the job's progress as SSE until it settles.
+
+        One ``state``/``progress``/``run`` event per visible change (the
+        ``data:`` payload is the full schema-stamped status dict, so a
+        consumer needs no side requests); the first event is always a
+        snapshot and the last carries the terminal state.  Comment
+        keepalives flow while nothing changes so idle proxies and client
+        read timeouts don't sever a healthy stream.  The response is
+        unframed (``Connection: close``) — one server thread per
+        subscriber, same as a poll-loop client that never sleeps.
+        """
+        self._status = 200
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        self.wfile.write(b"retry: 1000\n\n")
+        seq = 0
+        last_mark = None
+        idle = 0.0
+        while True:
+            current = app.store.get(job.id) or job
+            status = current.status_dict()
+            mark = (
+                status["state"],
+                len(status["trajectory"]),
+                status["completed_runs"],
+            )
+            if mark != last_mark:
+                if last_mark is None or status["state"] != last_mark[0]:
+                    kind = "state"
+                elif len(status["trajectory"]) != last_mark[1]:
+                    kind = "progress"
+                else:
+                    kind = "run"
+                seq += 1
+                payload = dict(status)
+                payload["schema"] = SERVICE_EVENTS_SCHEMA
+                payload["event"] = kind
+                body = json.dumps(payload)
+                self.wfile.write(
+                    f"id: {seq}\nevent: {kind}\ndata: {body}\n\n".encode("utf-8")
+                )
+                self.wfile.flush()
+                last_mark = mark
+                idle = 0.0
+            if status["state"] in JobState.TERMINAL:
+                return
+            if app.closing:
+                return  # server shutting down: end the stream cleanly
+            time.sleep(app.sse_poll_interval)
+            idle += app.sse_poll_interval
+            if idle >= app.sse_keepalive_interval:
+                self.wfile.write(b": keepalive\n\n")
+                self.wfile.flush()
+                idle = 0.0
 
     # -- verbs ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802
@@ -277,6 +362,21 @@ class JobServer:
     startup.  ``memo=False`` disables content-keyed result memoization
     (every submission runs, even when an identical spec already
     completed).
+
+    **Multi-replica.**  N servers may share one ``state_dir``: claims
+    are atomic leases, expired leases are stolen by surviving replicas,
+    and any replica serves status/results for any job.  ``replica_id``
+    defaults to ``host:port`` — stable across restarts (a crash-restart
+    reclaims its own leases immediately) and distinct between replicas
+    (which must bind different ports).  ``lease_ttl=None`` disables
+    lease expiry (single-replica semantics).
+
+    **Admission control.**  ``max_queue_depth`` bounds the shared queue;
+    ``rate_limit`` (submits/second, burst ``rate_burst``) and
+    ``tenant_quota`` (active jobs) apply per tenant — the ``X-API-Key``
+    header, anonymous when absent.  Rejections are 429 with a
+    ``Retry-After`` header and are counted in
+    ``service_admission_rejections_total{reason=...}``.
     """
 
     def __init__(
@@ -287,22 +387,113 @@ class JobServer:
         workers: int = 2,
         verbose: bool = False,
         memo: bool = True,
+        replica_id: Optional[str] = None,
+        lease_ttl: Optional[float] = DEFAULT_LEASE_TTL,
+        max_queue_depth: Optional[int] = None,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[int] = None,
+        tenant_quota: Optional[int] = None,
     ):
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ConfigError("max_queue_depth must be >= 0 (or None)")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ConfigError("rate_limit must be positive (or None)")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ConfigError("tenant_quota must be >= 1 (or None)")
         self.host = host
         self.state_dir = Path(state_dir)
-        self.store = SQLiteJobStore(self.state_dir, memo=memo)
-        self.pool = WorkerPool(self.store, num_workers=workers)
+        # Bind before building the store: the resolved port is part of
+        # the default replica identity (stable across restarts, distinct
+        # between replicas sharing a state dir).
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.app = self  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._httpd.daemon_threads = True
         self.port = self._httpd.server_address[1]
+        self.replica_id = replica_id or f"{host}:{self.port}"
+        self.store = SQLiteJobStore(
+            self.state_dir, memo=memo,
+            replica_id=self.replica_id, lease_ttl=lease_ttl,
+        )
+        self.pool = WorkerPool(self.store, num_workers=workers)
+        self.max_queue_depth = max_queue_depth
+        self.rate_limit = rate_limit
+        self.rate_burst = (
+            rate_burst
+            if rate_burst is not None
+            else (max(1, int(rate_limit)) if rate_limit is not None else 1)
+        )
+        self.tenant_quota = tenant_quota
+        #: Seconds a 429 tells the client to back off when the wait is
+        #: not rate-limiter-determined (queue full / quota reached).
+        self.retry_after_seconds = 1
+        #: SSE cadence: job-state poll period and idle keepalive period.
+        self.sse_poll_interval = 0.05
+        self.sse_keepalive_interval = 10.0
+        self._admission_lock = threading.Lock()
+        self._buckets: dict = {}  # tenant -> (tokens, last monotonic)
         self._thread: Optional[threading.Thread] = None
         self._started_at: Optional[float] = None
+        self._closing = False
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    # -- admission control ----------------------------------------------
+    def admit(self, tenant: Optional[str]) -> None:
+        """Gate one ``POST /v1/jobs``; raises a 429 :class:`_ApiError`
+        with a ``Retry-After`` header when the submit must back off.
+
+        Checks, cheapest first: per-tenant token bucket (``rate_limit``
+        tokens/second, capacity ``rate_burst``), per-tenant active-job
+        quota, then the shared bounded queue.
+        """
+        if self.rate_limit is not None:
+            now = time.monotonic()
+            with self._admission_lock:
+                tokens, last = self._buckets.get(
+                    tenant, (float(self.rate_burst), now)
+                )
+                tokens = min(
+                    float(self.rate_burst),
+                    tokens + (now - last) * self.rate_limit,
+                )
+                if tokens < 1.0:
+                    self._buckets[tenant] = (tokens, now)
+                    retry = max(1, ceil((1.0 - tokens) / self.rate_limit))
+                    self._reject("rate_limited", retry, tenant)
+                self._buckets[tenant] = (tokens - 1.0, now)
+        if self.tenant_quota is not None:
+            if self.store.tenant_active_jobs(tenant) >= self.tenant_quota:
+                self._reject("quota", self.retry_after_seconds, tenant)
+        if self.max_queue_depth is not None:
+            if self.store.queue_depth() >= self.max_queue_depth:
+                self._reject("queue_full", self.retry_after_seconds, tenant)
+
+    def _reject(self, reason: str, retry_after: int, tenant: Optional[str]) -> None:
+        get_registry().counter(
+            "service_admission_rejections_total", reason=reason
+        ).inc()
+        who = f"tenant {tenant!r}" if tenant else "anonymous"
+        detail = {
+            "rate_limited": f"rate limit exceeded for {who}",
+            "quota": (
+                f"active-job quota ({self.tenant_quota}) reached for {who}"
+            ),
+            "queue_full": (
+                f"queue full ({self.max_queue_depth} job(s) queued)"
+            ),
+        }[reason]
+        raise _ApiError(
+            429,
+            f"{detail}; retry after {retry_after}s",
+            headers={"Retry-After": retry_after},
+        )
 
     # -- payload builders (also used by the handler) --------------------
     def health(self) -> dict:
@@ -314,9 +505,14 @@ class JobServer:
             "jobs": counts,
             "workers": self.pool.num_workers,
             "busy_workers": self.pool.busy_count(),
-            "queue_depth": counts.get("queued", 0),
+            "queue_depth": self.store.queue_depth(),
+            "queue_limit": self.max_queue_depth,
             "active_leases": lease["active_leases"],
             "oldest_lease_age_seconds": lease["oldest_lease_age_seconds"],
+            "replica_id": self.replica_id,
+            "lease_ttl_seconds": self.store.lease_ttl,
+            "rate_limit_per_second": self.rate_limit,
+            "tenant_quota": self.tenant_quota,
             "memo_hit_ratio": memo["ratio"],
             "store_backend": self.store.backend,
             "uptime_seconds": (
@@ -365,8 +561,8 @@ class JobServer:
             )
         lease = self.store.lease_info()
         busy = self.pool.busy_count()
-        for name, value in (
-            ("service_queue_depth", float(counts.get("queued", 0))),
+        scrape = [
+            ("service_queue_depth", float(self.store.queue_depth())),
             ("service_active_leases", float(lease["active_leases"])),
             (
                 "service_oldest_lease_age_seconds",
@@ -374,7 +570,12 @@ class JobServer:
             ),
             ("service_busy_workers", float(busy)),
             ("service_worker_saturation", busy / self.pool.num_workers),
-        ):
+        ]
+        if self.max_queue_depth is not None:
+            scrape.append(
+                ("service_queue_limit", float(self.max_queue_depth))
+            )
+        for name, value in scrape:
             gauges.append({"name": name, "labels": {}, "value": value})
         snapshot["gauges"] = gauges
         return render_prometheus(snapshot)
@@ -411,6 +612,7 @@ class JobServer:
         return self
 
     def stop(self) -> None:
+        self._closing = True  # ends in-flight SSE streams at next poll
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
@@ -433,17 +635,28 @@ def serve(
     workers: int = 2,
     verbose: bool = False,
     memo: bool = True,
+    replica_id: Optional[str] = None,
+    lease_ttl: Optional[float] = DEFAULT_LEASE_TTL,
+    max_queue_depth: Optional[int] = None,
+    rate_limit: Optional[float] = None,
+    rate_burst: Optional[float] = None,
+    tenant_quota: Optional[int] = None,
 ) -> None:
     """Run the job server until interrupted (the ``repro serve`` entry)."""
     server = JobServer(
         host=host, port=port, state_dir=state_dir, workers=workers,
-        verbose=verbose, memo=memo,
+        verbose=verbose, memo=memo, replica_id=replica_id,
+        lease_ttl=lease_ttl, max_queue_depth=max_queue_depth,
+        rate_limit=rate_limit, rate_burst=rate_burst,
+        tenant_quota=tenant_quota,
     )
     requeued = server.store.requeued_ids
     migrated = server.store.migrated_jobs
     server.start()
     print(f"repro service listening on {server.url}")
     print(f"state dir: {server.state_dir.resolve()}")
+    ttl = "off" if lease_ttl is None else f"{lease_ttl:g}s"
+    print(f"replica {server.replica_id} (lease ttl {ttl})")
     if migrated:
         print(
             f"migrated {migrated} job(s) from jobs.jsonl into jobs.db "

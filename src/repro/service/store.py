@@ -12,6 +12,20 @@ modes an event log can only paper over:
   ``UPDATE ... WHERE state = 'queued'`` lease keyed by owner, so the
   store is ready to sit under N server replicas without double-running
   a job.
+* **Lease expiry + work stealing.**  Every claim stamps
+  ``lease_expires_at = now + lease_ttl`` and records the claiming
+  replica (``lease_replica``).  Workers renew the lease by heartbeat
+  (:meth:`SQLiteJobStore.renew_lease`, every ``lease_ttl / 3``); a
+  replica that dies mid-job simply stops renewing, and any replica's
+  reaper (:meth:`SQLiteJobStore.reap_expired` — also run
+  opportunistically on every claim poll) atomically flips the expired
+  lease back to ``queued`` so a surviving replica re-runs the job.
+  Re-runs are bit-identical by the estimator's seed contract, terminal
+  commits are compare-and-swapped on the lease (a worker whose lease
+  was stolen can never double-commit), and each reclaim increments the
+  ``service_lease_reclaims`` counter.  Startup recovery requeues only
+  leases owned by this replica or already expired — never a live lease
+  held by another replica sharing the database.
 * **Result memoization.**  Every job row carries a
   ``spec_fingerprint`` — the content hash of its canonical
   :func:`~repro.schemas.dump_job_spec` payload
@@ -37,7 +51,8 @@ Schema (``jobs.db``)::
          started_at REAL, finished_at REAL, error TEXT,
          cancel_requested INTEGER, completed_runs INTEGER,
          memo_hit INTEGER, lease_owner TEXT,
-         trace_id TEXT, parent_span_id TEXT)
+         trace_id TEXT, parent_span_id TEXT,
+         lease_replica TEXT, lease_expires_at REAL, tenant TEXT)
     results(job_id TEXT PRIMARY KEY, payload TEXT)  -- JSON result list
     spans(job_id TEXT PRIMARY KEY, payload TEXT)    -- JSON span records
 
@@ -99,7 +114,10 @@ CREATE TABLE IF NOT EXISTS jobs (
     cancel_requested INTEGER NOT NULL DEFAULT 0,
     completed_runs   INTEGER NOT NULL DEFAULT 0,
     memo_hit         INTEGER NOT NULL DEFAULT 0,
-    lease_owner      TEXT
+    lease_owner      TEXT,
+    lease_replica    TEXT,
+    lease_expires_at REAL,
+    tenant           TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, created_at, seq);
 CREATE INDEX IF NOT EXISTS jobs_by_fingerprint
@@ -119,7 +137,15 @@ CREATE TABLE IF NOT EXISTS spans (
 _JOBS_COLUMN_MIGRATIONS = (
     ("trace_id", "TEXT"),
     ("parent_span_id", "TEXT"),
+    ("lease_replica", "TEXT"),
+    ("lease_expires_at", "REAL"),
+    ("tenant", "TEXT"),
 )
+
+#: Default seconds a claimed job may go without a heartbeat before any
+#: replica may steal its lease.  Three heartbeats fit in one TTL, so a
+#: single delayed renewal never loses a live job.
+DEFAULT_LEASE_TTL = 30.0
 
 
 class SQLiteJobStore:
@@ -132,12 +158,29 @@ class SQLiteJobStore:
     durable.
     """
 
-    def __init__(self, state_dir: Union[str, Path], memo: bool = True):
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        memo: bool = True,
+        replica_id: Optional[str] = None,
+        lease_ttl: Optional[float] = DEFAULT_LEASE_TTL,
+    ):
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self.db_path = self.state_dir / "jobs.db"
         self.legacy_log_path = self.state_dir / "jobs.jsonl"
         self.memo = memo
+        #: Identity of this store instance among replicas sharing the
+        #: database.  Pass a stable id to reclaim your own leases
+        #: immediately after a crash-restart; the random default means
+        #: a restarted process waits for lease expiry instead.
+        self.replica_id = replica_id or f"replica-{uuid.uuid4().hex[:8]}"
+        if lease_ttl is not None and lease_ttl <= 0:
+            raise ConfigError("lease_ttl must be positive (or None)")
+        #: Seconds a claim lives without renewal; ``None`` disables
+        #: expiry (single-replica deployments that prefer startup
+        #: recovery semantics only).
+        self.lease_ttl = lease_ttl
         self._lock = threading.RLock()
         self._queue_ready = threading.Condition(self._lock)
         self._jobs: Dict[str, Job] = {}
@@ -312,12 +355,25 @@ class SQLiteJobStore:
                             (job.state, job.finished_at, job.id),
                         )
                     else:
+                        if job.state == JobState.RUNNING and not (
+                            job.lease_replica == self.replica_id
+                            or job.lease_expires_at is None
+                            or job.lease_expires_at <= now
+                        ):
+                            # Live lease held by another replica sharing
+                            # the database: requeueing it here would
+                            # double-run the job.  Leave it running; the
+                            # reaper reclaims it if its owner dies.
+                            continue
                         job.state = JobState.QUEUED
                         job.started_at = None
                         job.lease_owner = None
+                        job.lease_replica = None
+                        job.lease_expires_at = None
                         self._conn.execute(
                             "UPDATE jobs SET state = ?, started_at = NULL, "
-                            "lease_owner = NULL WHERE id = ?",
+                            "lease_owner = NULL, lease_replica = NULL, "
+                            "lease_expires_at = NULL WHERE id = ?",
                             (job.state, job.id),
                         )
                         self._requeued.append(job.id)
@@ -336,6 +392,9 @@ class SQLiteJobStore:
         job.completed_runs = int(row["completed_runs"])
         job.memo_hit = bool(row["memo_hit"])
         job.lease_owner = row["lease_owner"]
+        job.lease_replica = row["lease_replica"]
+        job.lease_expires_at = row["lease_expires_at"]
+        job.tenant = row["tenant"]
         job.trace_id = row["trace_id"]
         job.parent_span_id = row["parent_span_id"]
         if row["cancel_requested"]:
@@ -359,12 +418,13 @@ class SQLiteJobStore:
         return self._migrated_jobs
 
     # -- job lifecycle ---------------------------------------------------
-    def submit(self, spec: JobSpec) -> Job:
+    def submit(self, spec: JobSpec, tenant: Optional[str] = None) -> Job:
         with self._lock:
             fingerprint = fingerprint_job_spec(spec)
             self._counter += 1
             job_id = f"job-{self._counter:06d}-{uuid.uuid4().hex[:4]}"
             job = Job(job_id, spec, time.time())
+            job.tenant = tenant
             spans = get_span_recorder()
             if spans.enabled:
                 # The job row carries the submitting request's trace
@@ -428,8 +488,8 @@ class SQLiteJobStore:
             "INSERT INTO jobs (id, seq, spec, spec_fingerprint, state, "
             "created_at, started_at, finished_at, error, cancel_requested, "
             "completed_runs, memo_hit, lease_owner, trace_id, "
-            "parent_span_id) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, NULL, ?, ?)",
+            "parent_span_id, tenant) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, NULL, ?, ?, ?)",
             (
                 job.id,
                 self._counter,
@@ -445,12 +505,72 @@ class SQLiteJobStore:
                 1 if job.memo_hit else 0,
                 job.trace_id,
                 job.parent_span_id,
+                job.tenant,
             ),
         )
 
     def get(self, job_id: str) -> Optional[Job]:
+        """Look a job up — across replicas.
+
+        A job submitted through another replica sharing the database is
+        hydrated on demand, and a non-terminal in-memory job is
+        refreshed from the database (unless this replica holds its
+        running lease, in which case local state is fresher), so any
+        replica can serve status and results for any job.
+        """
         with self._lock:
-            return self._jobs.get(job_id)
+            job = self._jobs.get(job_id)
+            if job is None:
+                job = self._fetch(job_id)
+                if job is not None:
+                    self._jobs[job_id] = job
+            elif not job.terminal:
+                self._refresh_locked(job)
+            return job
+
+    def _fetch(self, job_id: str) -> Optional[Job]:
+        row = self._conn.execute(
+            "SELECT j.*, r.payload AS results_payload "
+            "FROM jobs j LEFT JOIN results r ON r.job_id = j.id "
+            "WHERE j.id = ?",
+            (job_id,),
+        ).fetchone()
+        return self._hydrate(row) if row is not None else None
+
+    def _refresh_locked(self, job: Job) -> None:
+        """Fold the database row's view of ``job`` into the in-memory
+        object (another replica may have claimed or settled it)."""
+        row = self._conn.execute(
+            "SELECT j.*, r.payload AS results_payload "
+            "FROM jobs j LEFT JOIN results r ON r.job_id = j.id "
+            "WHERE j.id = ?",
+            (job.id,),
+        ).fetchone()
+        if row is None:
+            return
+        if (
+            row["state"] == JobState.RUNNING
+            and row["lease_replica"] == self.replica_id
+        ):
+            # We are executing it: the live trajectory/completed_runs in
+            # memory are ahead of the database.  Nothing to fold in.
+            return
+        job.state = row["state"]
+        job.started_at = row["started_at"]
+        job.finished_at = row["finished_at"]
+        job.error = row["error"]
+        job.completed_runs = int(row["completed_runs"])
+        job.memo_hit = bool(row["memo_hit"])
+        job.lease_owner = row["lease_owner"]
+        job.lease_replica = row["lease_replica"]
+        job.lease_expires_at = row["lease_expires_at"]
+        if row["cancel_requested"]:
+            job.cancel_event.set()
+        if row["results_payload"] is not None and job.results is None:
+            job.results = [
+                load_estimation_result(r)
+                for r in json.loads(row["results_payload"])
+            ]
 
     def list(self, state: Optional[str] = None) -> List[Job]:
         with self._lock:
@@ -474,11 +594,16 @@ class SQLiteJobStore:
 
         The claim is a compare-and-swap ``UPDATE ... WHERE state =
         'queued'``: under N replicas sharing the database, exactly one
-        claimant wins each job.  Jobs cancelled while queued are settled
-        and skipped in the same call — a cancellation never idles the
-        worker slot for a poll interval.
+        claimant wins each job.  Each claim stamps ``lease_expires_at``
+        (``now + lease_ttl``) and this store's ``replica_id``; expired
+        leases of dead replicas are reaped opportunistically before
+        looking for queued work, so work stealing needs no separate
+        scheduler.  Jobs cancelled while queued are settled and skipped
+        in the same call — a cancellation never idles the worker slot
+        for a poll interval.
         """
         with self._lock:
+            self._reap_expired_locked()
             if self._next_queued_id() is None:
                 self._queue_ready.wait(timeout)
             while True:
@@ -488,13 +613,7 @@ class SQLiteJobStore:
                 job = self._jobs.get(job_id)
                 if job is None:
                     # Submitted by another replica sharing the database.
-                    row = self._conn.execute(
-                        "SELECT j.*, r.payload AS results_payload "
-                        "FROM jobs j LEFT JOIN results r ON r.job_id = j.id "
-                        "WHERE j.id = ?",
-                        (job_id,),
-                    ).fetchone()
-                    job = self._hydrate(row) if row is not None else None
+                    job = self._fetch(job_id)
                     if job is None:
                         return None
                     self._jobs[job_id] = job
@@ -502,18 +621,29 @@ class SQLiteJobStore:
                     self._settle(job, JobState.CANCELLED)
                     continue
                 now = time.time()
+                expires = (
+                    now + self.lease_ttl if self.lease_ttl is not None else None
+                )
                 with self._tx():
                     cursor = self._conn.execute(
                         "UPDATE jobs SET state = ?, started_at = ?, "
-                        "lease_owner = ? WHERE id = ? AND state = ?",
-                        (JobState.RUNNING, now, owner, job_id,
-                         JobState.QUEUED),
+                        "lease_owner = ?, lease_replica = ?, "
+                        "lease_expires_at = ? WHERE id = ? AND state = ?",
+                        (JobState.RUNNING, now, owner, self.replica_id,
+                         expires, job_id, JobState.QUEUED),
                     )
                 if cursor.rowcount != 1:
                     continue  # lost the lease race to another claimant
                 job.state = JobState.RUNNING
                 job.started_at = now
                 job.lease_owner = owner
+                job.lease_replica = self.replica_id
+                job.lease_expires_at = expires
+                job.lease_lost = False
+                # Fresh list (not clear()): a steal-back re-run of a job
+                # whose previous attempt is still unwinding in another
+                # thread must not share its trajectory buffer.
+                job.trajectory = []
                 return job
 
     def _next_queued_id(self) -> Optional[str]:
@@ -524,18 +654,136 @@ class SQLiteJobStore:
         ).fetchone()
         return row["id"] if row is not None else None
 
+    # -- lease lifecycle --------------------------------------------------
+    @property
+    def heartbeat_interval(self) -> Optional[float]:
+        """How often workers should renew their leases (``lease_ttl / 3``
+        — three missed beats, not one, lose a live job)."""
+        return None if self.lease_ttl is None else self.lease_ttl / 3.0
+
+    def renew_lease(self, job: Job) -> bool:
+        """Heartbeat: push the job's lease expiry out by ``lease_ttl``.
+
+        The renewal is a compare-and-swap on (state, replica, owner): it
+        succeeds only while this replica still holds the running lease.
+        A failed renewal means the lease expired and was reclaimed —
+        ``job.lease_lost`` is set so the in-flight run's progress hooks
+        unwind promptly *without committing anything* (the terminal
+        commit is CAS-guarded on the same lease).  ``cancel_event`` is
+        deliberately left alone: it is shared with a same-process
+        steal-back re-run, which must not inherit a poisoned signal.
+
+        A successful renewal also folds in a ``cancel_requested`` flag
+        written by another replica, so cross-replica cancellation
+        propagates at heartbeat granularity.
+        """
+        with self._lock:
+            if job.terminal or job.state != JobState.RUNNING:
+                return not job.lease_lost
+            if self.lease_ttl is None:
+                return True
+            expires = time.time() + self.lease_ttl
+            with self._tx():
+                cursor = self._conn.execute(
+                    "UPDATE jobs SET lease_expires_at = ? "
+                    "WHERE id = ? AND state = ? AND lease_replica IS ? "
+                    "AND lease_owner IS ?",
+                    (expires, job.id, JobState.RUNNING, self.replica_id,
+                     job.lease_owner),
+                )
+            if cursor.rowcount != 1:
+                job.lease_lost = True
+                return False
+            job.lease_expires_at = expires
+            row = self._conn.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?", (job.id,)
+            ).fetchone()
+            if row is not None and row["cancel_requested"]:
+                job.cancel_event.set()
+            return True
+
+    def reap_expired(self) -> List[str]:
+        """Reclaim every expired lease back to ``queued`` (work stealing).
+
+        Safe to run on any replica at any time: each reclaim is a
+        compare-and-swap conditioned on the lease still being expired, so
+        a concurrent renewal or terminal commit wins cleanly.  Returns
+        the reclaimed job ids; each one increments the
+        ``service_lease_reclaims`` counter.
+        """
+        with self._lock:
+            return self._reap_expired_locked()
+
+    def _reap_expired_locked(self) -> List[str]:
+        now = time.time()
+        rows = self._conn.execute(
+            "SELECT id FROM jobs WHERE state = ? "
+            "AND lease_expires_at IS NOT NULL AND lease_expires_at <= ?",
+            (JobState.RUNNING, now),
+        ).fetchall()
+        reclaimed: List[str] = []
+        for row in rows:
+            with self._tx():
+                cursor = self._conn.execute(
+                    "UPDATE jobs SET state = ?, started_at = NULL, "
+                    "lease_owner = NULL, lease_replica = NULL, "
+                    "lease_expires_at = NULL "
+                    "WHERE id = ? AND state = ? "
+                    "AND lease_expires_at IS NOT NULL "
+                    "AND lease_expires_at <= ?",
+                    (JobState.QUEUED, row["id"], JobState.RUNNING, now),
+                )
+            if cursor.rowcount != 1:
+                continue  # renewed or settled between select and swap
+            reclaimed.append(row["id"])
+            job = self._jobs.get(row["id"])
+            if job is not None:
+                job.state = JobState.QUEUED
+                job.started_at = None
+                job.lease_owner = None
+                job.lease_replica = None
+                job.lease_expires_at = None
+            _METRICS.counter("service_lease_reclaims").inc()
+        if reclaimed:
+            self._queue_ready.notify_all()
+        return reclaimed
+
     def _settle(
         self,
         job: Job,
         state: str,
         error: Optional[str] = None,
         results: Optional[List[object]] = None,
-    ) -> None:
+        require_lease: bool = False,
+    ) -> bool:
         """Move a job to a terminal state in one transaction (with its
-        results, when completing) — the write that must never tear."""
+        results, when completing) — the write that must never tear.
+
+        With ``require_lease`` the transition is a compare-and-swap on
+        this replica's running lease: a worker whose lease expired and
+        was stolen can never double-commit.  Returns whether the commit
+        happened; on a lost lease the in-memory job is refreshed to the
+        database's (the winner's) view instead.
+        """
         now = time.time()
         with self._tx():
-            if results is not None:
+            sql = (
+                "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
+                "completed_runs = ?, lease_expires_at = NULL WHERE id = ?"
+            )
+            params: List[object] = [
+                state,
+                now,
+                error,
+                len(results) if results is not None else job.completed_runs,
+                job.id,
+            ]
+            if require_lease:
+                sql += " AND state = ? AND lease_replica IS ? AND lease_owner IS ?"
+                params += [JobState.RUNNING, self.replica_id, job.lease_owner]
+            cursor = self._conn.execute(sql, params)
+            committed = cursor.rowcount == 1
+            if committed and results is not None:
                 self._conn.execute(
                     "INSERT OR REPLACE INTO results (job_id, payload) "
                     "VALUES (?, ?)",
@@ -546,41 +794,58 @@ class SQLiteJobStore:
                         ),
                     ),
                 )
-            self._conn.execute(
-                "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
-                "completed_runs = ? WHERE id = ?",
-                (
-                    state,
-                    now,
-                    error,
-                    len(results) if results is not None else job.completed_runs,
-                    job.id,
-                ),
-            )
+        if not committed:
+            job.lease_lost = True
+            self._refresh_locked(job)
+            return False
         if results is not None:
             job.results = list(results)
             job.completed_runs = len(job.results)
         job.state = state
         job.finished_at = now
         job.error = error
+        return True
 
     def mark_completed(self, job: Job, results: List[object]) -> None:
         with self._lock:
-            self._settle(job, JobState.COMPLETED, results=list(results))
+            self._settle(
+                job, JobState.COMPLETED, results=list(results),
+                require_lease=True,
+            )
 
     def mark_failed(self, job: Job, error: str) -> None:
         with self._lock:
-            self._settle(job, JobState.FAILED, error=error)
+            self._settle(job, JobState.FAILED, error=error, require_lease=True)
 
     def mark_cancelled(self, job: Job) -> None:
         with self._lock:
-            self._settle(job, JobState.CANCELLED)
+            if job.lease_lost:
+                # The reaper already flipped the local job back to queued
+                # (or another replica re-claimed it): this worker's
+                # cancel must not clobber the stolen job's lifecycle.
+                self._refresh_locked(job)
+                return
+            require = job.state == JobState.RUNNING
+            self._settle(job, JobState.CANCELLED, require_lease=require)
 
     def request_cancel(self, job_id: str) -> Job:
         """Flag a job for cancellation (raises ``KeyError`` if unknown,
-        :class:`~repro.errors.ConfigError` if already terminal)."""
+        :class:`~repro.errors.ConfigError` if already terminal).
+
+        Works across replicas: a job running elsewhere gets its
+        ``cancel_requested`` flag set in the shared database, which the
+        owning replica folds into its live ``cancel_event`` at the next
+        heartbeat renewal.
+        """
         with self._lock:
-            job = self._jobs[job_id]
+            job = self._jobs.get(job_id)
+            if job is None:
+                job = self._fetch(job_id)
+                if job is None:
+                    raise KeyError(job_id)
+                self._jobs[job_id] = job
+            elif not job.terminal:
+                self._refresh_locked(job)
             if job.terminal:
                 raise ConfigError(
                     f"job {job_id} is already {job.state}; nothing to cancel"
@@ -588,16 +853,26 @@ class SQLiteJobStore:
             job.cancel_event.set()
             if job.state == JobState.QUEUED:
                 # Not yet leased by any worker: settle it immediately
-                # (the same transaction records the request).
+                # (the same transaction records the request).  The settle
+                # is CAS-guarded on 'queued' — if another replica claims
+                # the job in between, only the request flag is recorded
+                # and the owner aborts at its next heartbeat.
                 now = time.time()
                 with self._tx():
-                    self._conn.execute(
+                    cursor = self._conn.execute(
                         "UPDATE jobs SET cancel_requested = 1, state = ?, "
-                        "finished_at = ? WHERE id = ?",
-                        (JobState.CANCELLED, now, job_id),
+                        "finished_at = ? WHERE id = ? AND state = ?",
+                        (JobState.CANCELLED, now, job_id, JobState.QUEUED),
                     )
-                job.state = JobState.CANCELLED
-                job.finished_at = now
+                    if cursor.rowcount != 1:
+                        self._conn.execute(
+                            "UPDATE jobs SET cancel_requested = 1 "
+                            "WHERE id = ?",
+                            (job_id,),
+                        )
+                if cursor.rowcount == 1:
+                    job.state = JobState.CANCELLED
+                    job.finished_at = now
             else:
                 with self._tx():
                     self._conn.execute(
@@ -643,18 +918,50 @@ class SQLiteJobStore:
         return "sqlite"
 
     def lease_info(self) -> Dict[str, object]:
-        """Active-lease telemetry for ``/healthz`` and the gauges."""
+        """Active-lease telemetry for ``/healthz`` and the gauges.
+
+        Counts leases database-wide (every replica's, not just this
+        process's).  Ages are clamped to >= 0: ``started_at`` is wall
+        clock, so a backwards clock step must never surface a negative
+        age in ``/healthz`` or the ``service_oldest_lease_age_seconds``
+        gauge.
+        """
         now = time.time()
         with self._lock:
-            ages = [
-                now - job.started_at
-                for job in self._jobs.values()
-                if job.state == JobState.RUNNING and job.started_at is not None
-            ]
+            rows = self._conn.execute(
+                "SELECT started_at FROM jobs WHERE state = ?",
+                (JobState.RUNNING,),
+            ).fetchall()
+        ages = [
+            max(0.0, now - row["started_at"])
+            for row in rows
+            if row["started_at"] is not None
+        ]
         return {
-            "active_leases": len(ages),
+            "active_leases": len(rows),
             "oldest_lease_age_seconds": max(ages) if ages else 0.0,
         }
+
+    def queue_depth(self) -> int:
+        """Jobs currently queued, database-wide (the admission-control
+        signal — includes jobs submitted through other replicas)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs WHERE state = ?",
+                (JobState.QUEUED,),
+            ).fetchone()
+        return int(row["n"])
+
+    def tenant_active_jobs(self, tenant: Optional[str]) -> int:
+        """Non-terminal jobs submitted by ``tenant``, database-wide
+        (the per-tenant quota signal; ``None`` = anonymous)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs "
+                "WHERE tenant IS ? AND state IN (?, ?)",
+                (tenant, JobState.QUEUED, JobState.RUNNING),
+            ).fetchone()
+        return int(row["n"])
 
     def memo_stats(self) -> Dict[str, object]:
         """Memo effectiveness over every job this store knows about."""

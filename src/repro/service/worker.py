@@ -13,6 +13,17 @@ Each worker is a thread that claims one job at a time from the
   never recomputed, and the scheduler's seed contract keeps the final
   result list bit-identical to an uninterrupted execution.
 
+Under a lease-expiring store (:class:`~repro.service.store.SQLiteJobStore`
+with a ``lease_ttl``), the pool also runs one *lease keeper* thread: it
+renews the lease of every in-flight job each
+``store.heartbeat_interval`` seconds — independent of estimator
+progress, so a long fit step can't silently lose a healthy job — and
+reaps expired leases of dead replicas back to ``queued`` (work
+stealing).  A worker whose own lease was reclaimed observes
+``job.lease_lost`` in its progress hooks, unwinds without committing
+(the store's terminal commit is CAS-guarded on the lease anyway), and
+is counted under ``service_jobs_finished_total{state="lease_lost"}``.
+
 Populations are cached per worker pool (small LRU keyed on the exact
 build arguments) so repeated jobs against the same circuit skip the
 simulation of tens of thousands of vector pairs.  The cache key includes
@@ -76,6 +87,8 @@ class WorkerPool:
         self._populations: "OrderedDict[tuple, object]" = OrderedDict()
         self._busy_lock = threading.Lock()
         self._busy = 0
+        #: In-flight jobs by id — what the lease keeper renews.
+        self._active: dict = {}
 
     def busy_count(self) -> int:
         """Worker threads currently executing a job (saturation gauge)."""
@@ -90,6 +103,13 @@ class WorkerPool:
             )
             thread.start()
             self._threads.append(thread)
+        if getattr(self.store, "heartbeat_interval", None) is not None:
+            keeper = threading.Thread(
+                target=self._lease_keeper, name="repro-lease-keeper",
+                daemon=True,
+            )
+            keeper.start()
+            self._threads.append(keeper)
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
@@ -97,6 +117,22 @@ class WorkerPool:
         for thread in self._threads:
             thread.join(timeout)
         self._threads.clear()
+
+    # -- lease keeper ---------------------------------------------------
+    def _lease_keeper(self) -> None:
+        """Heartbeat + reaper: renew this pool's in-flight leases and
+        reclaim expired ones (any replica's) every heartbeat interval."""
+        interval = self.store.heartbeat_interval
+        while not self._stop.wait(interval):
+            with self._busy_lock:
+                active = list(self._active.values())
+            for job in active:
+                renewed = self.store.renew_lease(job)
+                _METRICS.counter(
+                    "service_lease_renewals_total",
+                    outcome="ok" if renewed else "lost",
+                ).inc()
+            self.store.reap_expired()
 
     # -- execution ------------------------------------------------------
     def _loop(self) -> None:
@@ -148,6 +184,7 @@ class WorkerPool:
             _TRACER.emit("job_start", job_id=job.id, circuit=job.spec.circuit)
         with self._busy_lock:
             self._busy += 1
+            self._active[job.id] = job
         # Re-attach the trace context the job carried through the queue so
         # estimator/fit/population spans nest under this job's trace even
         # though a different thread than the HTTP handler runs it.
@@ -204,10 +241,26 @@ class WorkerPool:
                 _SPANS.detach(token)
             with self._busy_lock:
                 self._busy -= 1
+                self._active.pop(job.id, None)
 
     def _settle(self, job: Job, run_span, state: str, commit, error=None) -> None:
         """Finish the job's run span, commit its terminal state, and
-        persist the trace so it survives a server restart."""
+        persist the trace so it survives a server restart.
+
+        A job whose lease was lost mid-run (expired and reclaimed by the
+        reaper — this replica no longer owns it) is never committed: the
+        store's CAS would reject the write anyway, the re-run owns the
+        lifecycle now, and the abandoned attempt is counted as
+        ``state="lease_lost"``.
+        """
+        if not job.lease_lost:
+            with _SPANS.span("job.commit", job_id=job.id, state=state):
+                commit(job)
+        if job.lease_lost:
+            # Either detected before the commit or discovered by the
+            # commit's own lease CAS: nothing was written.
+            state = "lease_lost"
+            error = None
         if run_span is not None:
             attrs = {"state": state}
             if error is not None:
@@ -217,8 +270,6 @@ class WorkerPool:
                 status="error" if state == "failed" else "ok",
                 **attrs,
             )
-        with _SPANS.span("job.commit", job_id=job.id, state=state):
-            commit(job)
         _METRICS.counter("service_jobs_finished_total", state=state).inc()
         if _TRACER.enabled:
             payload = {"job_id": job.id, "state": state}
@@ -235,11 +286,15 @@ class WorkerPool:
         population = self._population_for(job)
         if spec.num_runs == 1:
             estimator = MaxPowerEstimator.from_config(population, spec.config)
+            # Capture this attempt's buffer: a steal-back re-run swaps in
+            # a fresh list on job.trajectory, and a still-unwinding old
+            # attempt must keep writing to its own orphaned one.
+            trajectory = job.trajectory
 
             def progress(hs, interval, cumulative_units):
-                if job.cancel_event.is_set():
+                if job.cancel_event.is_set() or job.lease_lost:
                     raise JobCancelledError(f"job {job.id} cancelled")
-                job.trajectory.append(
+                trajectory.append(
                     _trajectory_entry(hs, interval, cumulative_units)
                 )
 
@@ -250,7 +305,7 @@ class WorkerPool:
             return [result]
 
         def on_result(index: int, result) -> None:
-            if job.cancel_event.is_set():
+            if job.cancel_event.is_set() or job.lease_lost:
                 raise JobCancelledError(f"job {job.id} cancelled")
             job.completed_runs += 1
 

@@ -55,3 +55,34 @@ def service(tmp_path):
         if not spans_enabled:
             spans.disable()
             spans.reset()
+
+
+@pytest.fixture
+def fabric(tmp_path):
+    """Factory for started JobServers (fabric/admission tests build
+    replicas with custom lease/limit knobs, often sharing a state dir);
+    every server made here is stopped and obs state restored after."""
+    registry = get_registry()
+    spans = get_span_recorder()
+    was_enabled = registry.enabled
+    spans_enabled = spans.enabled
+    servers = []
+
+    def make(subdir="state", **kwargs):
+        kwargs.setdefault("port", 0)
+        server = JobServer(state_dir=tmp_path / subdir, **kwargs)
+        server.start()
+        servers.append(server)
+        return server
+
+    try:
+        yield make
+    finally:
+        for server in servers:
+            server.stop()
+        if not was_enabled:
+            registry.disable()
+            registry.reset()
+        if not spans_enabled:
+            spans.disable()
+            spans.reset()

@@ -120,12 +120,15 @@ class TestRestart:
         assert reborn.requeued_ids == []
 
     def test_unfinished_jobs_requeue_with_lease_cleared(self, tmp_path):
-        store = SQLiteJobStore(tmp_path)
+        # Stable replica id = crash-restart of the same replica: its own
+        # leases are reclaimed immediately.  (A *different* replica's
+        # live lease is left alone — see test_fabric.py.)
+        store = SQLiteJobStore(tmp_path, replica_id="r1")
         queued = store.submit(make_spec(seed=1))
         store.claim_next(timeout=0.01, owner="worker-0")  # dies mid-run
         store.close()
 
-        reborn = SQLiteJobStore(tmp_path)
+        reborn = SQLiteJobStore(tmp_path, replica_id="r1")
         job = reborn.get(queued.id)
         assert job.state == JobState.QUEUED
         assert job.started_at is None and job.lease_owner is None
