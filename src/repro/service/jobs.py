@@ -57,7 +57,7 @@ from ..schemas import (
     load_job_spec,
 )
 
-__all__ = ["JobState", "JobSpec", "Job", "JobStore", "replay_log"]
+__all__ = ["JobState", "JobSpec", "Job", "JobLease", "JobStore", "replay_log"]
 
 
 class JobState:
@@ -74,6 +74,30 @@ class JobState:
 
     #: Every state, in lifecycle order (metrics export all of them).
     ALL = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
+
+
+class JobLease:
+    """One claim attempt's identity: the token minted by the store at
+    claim time, plus a process-local ``lost`` flag.
+
+    Every claim — including a steal-back re-claim of a job whose
+    previous attempt is still unwinding in another thread of the same
+    process — allocates a fresh instance.  Workers capture the instance
+    when they pick the job up and hand it back to ``renew_lease`` and
+    the ``mark_*`` commits, so a stale attempt compares (and poisons)
+    only its *own* token: it can neither pass the new attempt's lease
+    CAS nor un-poison itself when the job is re-claimed.
+    """
+
+    __slots__ = ("token", "owner", "lost")
+
+    def __init__(self, token: str, owner: Optional[str]):
+        self.token = token
+        self.owner = owner
+        self.lost = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobLease(token={self.token!r}, owner={self.owner!r}, lost={self.lost})"
 
 
 @dataclass(frozen=True)
@@ -152,10 +176,11 @@ class Job:
         #: lease lapses unless the worker heartbeat renews it first.
         self.lease_replica: Optional[str] = None
         self.lease_expires_at: Optional[float] = None
-        #: Set by a failed heartbeat renewal: the lease expired and was
-        #: reclaimed (probably by another replica), so this process must
-        #: unwind without committing anything.  Process-local.
-        self.lease_lost = False
+        #: The current claim attempt (fresh :class:`JobLease` per claim,
+        #: ``None`` while unclaimed).  Process-local; workers capture it
+        #: at claim time so a steal-back re-claim never aliases the
+        #: still-unwinding previous attempt's state.
+        self.lease: Optional[JobLease] = None
         #: Tenant (API-key header) the job was submitted under, for
         #: per-tenant admission quotas; ``None`` = anonymous.
         self.tenant: Optional[str] = None
@@ -171,6 +196,15 @@ class Job:
         return self.state in JobState.TERMINAL
 
     @property
+    def lease_lost(self) -> bool:
+        """Whether the *current* claim attempt lost its lease (expired
+        and reclaimed, probably by another replica).  A fresh claim has
+        a fresh lease, so a re-claimed job reads ``False`` here while
+        the orphaned previous attempt keeps its own poisoned
+        :class:`JobLease`."""
+        return self.lease is not None and self.lease.lost
+
+    @property
     def trace_context(self):
         """The job's :class:`~repro.obs.spans.SpanContext` (or ``None``)."""
         if self.trace_id is None:
@@ -180,7 +214,13 @@ class Job:
         return SpanContext(trace_id=self.trace_id, span_id=self.parent_span_id)
 
     def status_dict(self) -> dict:
-        """JSON-able status payload served by ``GET /v1/jobs/{id}``."""
+        """JSON-able status payload served by ``GET /v1/jobs/{id}``.
+
+        Deliberately omits ``tenant``: it is the submitter's raw
+        ``X-API-Key`` credential, and the status/list/SSE endpoints are
+        unauthenticated — echoing it would let any client harvest every
+        tenant's key.
+        """
         return {
             "schema_version": SCHEMA_VERSION,
             "id": self.id,
@@ -194,7 +234,6 @@ class Job:
             "completed_runs": self.completed_runs,
             "total_runs": self.spec.num_runs,
             "memo_hit": self.memo_hit,
-            "tenant": self.tenant,
             "trace_id": self.trace_id,
             "trajectory": list(self.trajectory),
         }
@@ -341,6 +380,7 @@ class JobStore:
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
                 job.lease_owner = owner
+                job.lease = JobLease(uuid.uuid4().hex, owner)
                 self._append(
                     {
                         "event": "state",
@@ -361,10 +401,14 @@ class JobStore:
             event["error"] = error
         self._append(event)
 
-    def mark_completed(self, job: Job, results: List[object]) -> None:
+    def mark_completed(
+        self, job: Job, results: List[object], lease: Optional[JobLease] = None
+    ) -> None:
         # Two appends, but no tearing hazard: replay treats the result
         # event itself as terminal, so a crash between them cannot
-        # requeue (and re-run) the finished job.
+        # requeue (and re-run) the finished job.  ``lease`` exists for
+        # interface parity with SQLiteJobStore; this single-process
+        # backend never expires leases, so there is nothing to CAS on.
         with self._lock:
             job.results = list(results)
             job.completed_runs = len(job.results)
@@ -377,11 +421,13 @@ class JobStore:
             )
             self._mark_locked(job, JobState.COMPLETED)
 
-    def mark_failed(self, job: Job, error: str) -> None:
+    def mark_failed(
+        self, job: Job, error: str, lease: Optional[JobLease] = None
+    ) -> None:
         with self._lock:
             self._mark_locked(job, JobState.FAILED, error=error)
 
-    def mark_cancelled(self, job: Job) -> None:
+    def mark_cancelled(self, job: Job, lease: Optional[JobLease] = None) -> None:
         with self._lock:
             self._mark_locked(job, JobState.CANCELLED)
 
@@ -450,7 +496,7 @@ class JobStore:
     heartbeat_interval: Optional[float] = None
     replica_id: Optional[str] = None
 
-    def renew_lease(self, job: Job) -> bool:
+    def renew_lease(self, job: Job, lease: Optional[JobLease] = None) -> bool:
         return True
 
     def reap_expired(self) -> List[str]:

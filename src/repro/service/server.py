@@ -55,6 +55,11 @@ __all__ = ["JobServer", "serve"]
 #: Largest accepted request body (a job spec is a few hundred bytes).
 MAX_BODY_BYTES = 1 << 20
 
+#: Token buckets kept before stale entries are evicted.  Bucket keys are
+#: raw ``X-API-Key`` values — attacker-chosen — so the map is bounded:
+#: a client cycling random keys must not inflate server memory.
+MAX_RATE_BUCKETS = 1024
+
 #: Latency buckets for ``service_http_request_seconds`` — sub-ms static
 #: endpoints up through multi-second synchronous submits.
 _HTTP_BUCKETS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0, 30.0)
@@ -431,7 +436,10 @@ class JobServer:
         self.sse_poll_interval = 0.05
         self.sse_keepalive_interval = 10.0
         self._admission_lock = threading.Lock()
-        self._buckets: dict = {}  # tenant -> (tokens, last monotonic)
+        # tenant -> (tokens, last monotonic).  Keys are attacker-chosen
+        # (the raw X-API-Key header), so the map is pruned past
+        # _MAX_BUCKETS — it must never grow without bound.
+        self._buckets: dict = {}
         self._thread: Optional[threading.Thread] = None
         self._started_at: Optional[float] = None
         self._closing = False
@@ -468,12 +476,38 @@ class JobServer:
                     retry = max(1, ceil((1.0 - tokens) / self.rate_limit))
                     self._reject("rate_limited", retry, tenant)
                 self._buckets[tenant] = (tokens - 1.0, now)
+                if len(self._buckets) > MAX_RATE_BUCKETS:
+                    self._prune_buckets_locked(now)
         if self.tenant_quota is not None:
             if self.store.tenant_active_jobs(tenant) >= self.tenant_quota:
                 self._reject("quota", self.retry_after_seconds, tenant)
         if self.max_queue_depth is not None:
             if self.store.queue_depth() >= self.max_queue_depth:
                 self._reject("queue_full", self.retry_after_seconds, tenant)
+
+    def _prune_buckets_locked(self, now: float) -> None:
+        """Evict token buckets so the map stays bounded.
+
+        First drops every bucket idle long enough to have refilled to
+        full burst — indistinguishable from a fresh one, so eviction is
+        semantically free.  If a flood of *recent* distinct keys still
+        holds the map over the cap, the oldest are dropped too; those
+        tenants restart from a full burst, a bounded over-admission
+        that beats unbounded memory growth.
+        """
+        refill = self.rate_burst / self.rate_limit
+        for key in [
+            k
+            for k, (_tokens, last) in self._buckets.items()
+            if now - last >= refill
+        ]:
+            del self._buckets[key]
+        excess = len(self._buckets) - MAX_RATE_BUCKETS
+        if excess > 0:
+            for key in sorted(
+                self._buckets, key=lambda k: self._buckets[k][1]
+            )[:excess]:
+                del self._buckets[key]
 
     def _reject(self, reason: str, retry_after: int, tenant: Optional[str]) -> None:
         get_registry().counter(

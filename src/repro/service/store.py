@@ -12,20 +12,24 @@ modes an event log can only paper over:
   ``UPDATE ... WHERE state = 'queued'`` lease keyed by owner, so the
   store is ready to sit under N server replicas without double-running
   a job.
-* **Lease expiry + work stealing.**  Every claim stamps
-  ``lease_expires_at = now + lease_ttl`` and records the claiming
+* **Lease expiry + work stealing.**  Every claim mints a globally
+  unique ``lease_token`` (one per claim *attempt*), stamps
+  ``lease_expires_at = now + lease_ttl``, and records the claiming
   replica (``lease_replica``).  Workers renew the lease by heartbeat
   (:meth:`SQLiteJobStore.renew_lease`, every ``lease_ttl / 3``); a
   replica that dies mid-job simply stops renewing, and any replica's
   reaper (:meth:`SQLiteJobStore.reap_expired` — also run
   opportunistically on every claim poll) atomically flips the expired
   lease back to ``queued`` so a surviving replica re-runs the job.
-  Re-runs are bit-identical by the estimator's seed contract, terminal
-  commits are compare-and-swapped on the lease (a worker whose lease
-  was stolen can never double-commit), and each reclaim increments the
-  ``service_lease_reclaims`` counter.  Startup recovery requeues only
-  leases owned by this replica or already expired — never a live lease
-  held by another replica sharing the database.
+  Re-runs are bit-identical by the estimator's seed contract, and
+  terminal commits are compare-and-swapped on the attempt's own
+  ``lease_token`` — not on mutable fields of the shared job object —
+  so a stale attempt can never double-commit, even when the *same*
+  process re-claims the job while the old attempt is still unwinding.
+  Each reclaim increments the ``service_lease_reclaims`` counter.
+  Startup recovery requeues only leases owned by this replica or
+  already expired — never a live lease held by another replica sharing
+  the database.
 * **Result memoization.**  Every job row carries a
   ``spec_fingerprint`` — the content hash of its canonical
   :func:`~repro.schemas.dump_job_spec` payload
@@ -52,7 +56,8 @@ Schema (``jobs.db``)::
          cancel_requested INTEGER, completed_runs INTEGER,
          memo_hit INTEGER, lease_owner TEXT,
          trace_id TEXT, parent_span_id TEXT,
-         lease_replica TEXT, lease_expires_at REAL, tenant TEXT)
+         lease_replica TEXT, lease_expires_at REAL, tenant TEXT,
+         lease_token TEXT)
     results(job_id TEXT PRIMARY KEY, payload TEXT)  -- JSON result list
     spans(job_id TEXT PRIMARY KEY, payload TEXT)    -- JSON span records
 
@@ -90,7 +95,7 @@ from ..schemas import (
     load_estimation_result,
     load_job_spec,
 )
-from .jobs import Job, JobSpec, JobState, replay_log
+from .jobs import Job, JobLease, JobSpec, JobState, replay_log
 
 __all__ = ["SQLiteJobStore"]
 
@@ -117,7 +122,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     lease_owner      TEXT,
     lease_replica    TEXT,
     lease_expires_at REAL,
-    tenant           TEXT
+    tenant           TEXT,
+    lease_token      TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, created_at, seq);
 CREATE INDEX IF NOT EXISTS jobs_by_fingerprint
@@ -140,6 +146,7 @@ _JOBS_COLUMN_MIGRATIONS = (
     ("lease_replica", "TEXT"),
     ("lease_expires_at", "REAL"),
     ("tenant", "TEXT"),
+    ("lease_token", "TEXT"),
 )
 
 #: Default seconds a claimed job may go without a heartbeat before any
@@ -373,7 +380,8 @@ class SQLiteJobStore:
                         self._conn.execute(
                             "UPDATE jobs SET state = ?, started_at = NULL, "
                             "lease_owner = NULL, lease_replica = NULL, "
-                            "lease_expires_at = NULL WHERE id = ?",
+                            "lease_expires_at = NULL, lease_token = NULL "
+                            "WHERE id = ?",
                             (job.state, job.id),
                         )
                         self._requeued.append(job.id)
@@ -624,13 +632,15 @@ class SQLiteJobStore:
                 expires = (
                     now + self.lease_ttl if self.lease_ttl is not None else None
                 )
+                token = uuid.uuid4().hex
                 with self._tx():
                     cursor = self._conn.execute(
                         "UPDATE jobs SET state = ?, started_at = ?, "
                         "lease_owner = ?, lease_replica = ?, "
-                        "lease_expires_at = ? WHERE id = ? AND state = ?",
+                        "lease_expires_at = ?, lease_token = ? "
+                        "WHERE id = ? AND state = ?",
                         (JobState.RUNNING, now, owner, self.replica_id,
-                         expires, job_id, JobState.QUEUED),
+                         expires, token, job_id, JobState.QUEUED),
                     )
                 if cursor.rowcount != 1:
                     continue  # lost the lease race to another claimant
@@ -639,11 +649,15 @@ class SQLiteJobStore:
                 job.lease_owner = owner
                 job.lease_replica = self.replica_id
                 job.lease_expires_at = expires
-                job.lease_lost = False
-                # Fresh list (not clear()): a steal-back re-run of a job
-                # whose previous attempt is still unwinding in another
-                # thread must not share its trajectory buffer.
+                # Fresh per-attempt state throughout (never reset shared
+                # fields in place): a steal-back re-run of a job whose
+                # previous attempt is still unwinding in another thread
+                # must not share its lease, trajectory buffer, or
+                # progress count — and the old attempt's poisoned
+                # JobLease must stay poisoned.
+                job.lease = JobLease(token, owner)
                 job.trajectory = []
+                job.completed_runs = 0
                 return job
 
     def _next_queued_id(self) -> Optional[str]:
@@ -661,40 +675,50 @@ class SQLiteJobStore:
         — three missed beats, not one, lose a live job)."""
         return None if self.lease_ttl is None else self.lease_ttl / 3.0
 
-    def renew_lease(self, job: Job) -> bool:
+    def renew_lease(self, job: Job, lease: Optional[JobLease] = None) -> bool:
         """Heartbeat: push the job's lease expiry out by ``lease_ttl``.
 
-        The renewal is a compare-and-swap on (state, replica, owner): it
-        succeeds only while this replica still holds the running lease.
-        A failed renewal means the lease expired and was reclaimed —
-        ``job.lease_lost`` is set so the in-flight run's progress hooks
-        unwind promptly *without committing anything* (the terminal
-        commit is CAS-guarded on the same lease).  ``cancel_event`` is
-        deliberately left alone: it is shared with a same-process
-        steal-back re-run, which must not inherit a poisoned signal.
+        The renewal is a compare-and-swap on the claim attempt's own
+        ``lease_token`` (``lease`` — captured by the worker at claim
+        time; defaults to the job's current attempt): it succeeds only
+        while that exact attempt still holds the running lease.  A
+        failed renewal means the lease expired and was reclaimed — the
+        *attempt's* ``lost`` flag is set so the in-flight run's progress
+        hooks unwind promptly *without committing anything* (the
+        terminal commit is CAS-guarded on the same token).  Comparing
+        the captured token instead of mutable fields on the shared job
+        object means a same-process steal-back re-claim can never make
+        a stale attempt's renewal (or commit) pass.  ``cancel_event``
+        is deliberately left alone: it is shared with the re-run, which
+        must not inherit a poisoned signal.
 
         A successful renewal also folds in a ``cancel_requested`` flag
         written by another replica, so cross-replica cancellation
         propagates at heartbeat granularity.
         """
         with self._lock:
+            if lease is None:
+                lease = job.lease
+            if lease is None or lease.lost:
+                return False
             if job.terminal or job.state != JobState.RUNNING:
-                return not job.lease_lost
+                # Settled locally (this attempt committed): nothing to
+                # renew, nothing lost.
+                return True
             if self.lease_ttl is None:
                 return True
             expires = time.time() + self.lease_ttl
             with self._tx():
                 cursor = self._conn.execute(
                     "UPDATE jobs SET lease_expires_at = ? "
-                    "WHERE id = ? AND state = ? AND lease_replica IS ? "
-                    "AND lease_owner IS ?",
-                    (expires, job.id, JobState.RUNNING, self.replica_id,
-                     job.lease_owner),
+                    "WHERE id = ? AND state = ? AND lease_token IS ?",
+                    (expires, job.id, JobState.RUNNING, lease.token),
                 )
             if cursor.rowcount != 1:
-                job.lease_lost = True
+                lease.lost = True
                 return False
-            job.lease_expires_at = expires
+            if job.lease is lease:
+                job.lease_expires_at = expires
             row = self._conn.execute(
                 "SELECT cancel_requested FROM jobs WHERE id = ?", (job.id,)
             ).fetchone()
@@ -727,7 +751,7 @@ class SQLiteJobStore:
                 cursor = self._conn.execute(
                     "UPDATE jobs SET state = ?, started_at = NULL, "
                     "lease_owner = NULL, lease_replica = NULL, "
-                    "lease_expires_at = NULL "
+                    "lease_expires_at = NULL, lease_token = NULL "
                     "WHERE id = ? AND state = ? "
                     "AND lease_expires_at IS NOT NULL "
                     "AND lease_expires_at <= ?",
@@ -738,6 +762,12 @@ class SQLiteJobStore:
             reclaimed.append(row["id"])
             job = self._jobs.get(row["id"])
             if job is not None:
+                if job.lease is not None:
+                    # This process held the expired lease: poison the
+                    # attempt so its progress hooks unwind, and detach
+                    # it — a re-claim mints a fresh JobLease.
+                    job.lease.lost = True
+                    job.lease = None
                 job.state = JobState.QUEUED
                 job.started_at = None
                 job.lease_owner = None
@@ -755,21 +785,28 @@ class SQLiteJobStore:
         error: Optional[str] = None,
         results: Optional[List[object]] = None,
         require_lease: bool = False,
+        lease: Optional[JobLease] = None,
     ) -> bool:
         """Move a job to a terminal state in one transaction (with its
         results, when completing) — the write that must never tear.
 
         With ``require_lease`` the transition is a compare-and-swap on
-        this replica's running lease: a worker whose lease expired and
-        was stolen can never double-commit.  Returns whether the commit
-        happened; on a lost lease the in-memory job is refreshed to the
-        database's (the winner's) view instead.
+        the committing attempt's own ``lease_token`` (``lease`` —
+        captured by the worker at claim time; defaults to the job's
+        current attempt): a worker whose lease expired and was stolen —
+        by another replica *or* by a re-claim in this very process —
+        can never double-commit.  Returns whether the commit happened;
+        on a lost lease the attempt is poisoned and the in-memory job
+        refreshed to the database's (the winner's) view instead.
         """
+        if lease is None:
+            lease = job.lease
         now = time.time()
         with self._tx():
             sql = (
                 "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
-                "completed_runs = ?, lease_expires_at = NULL WHERE id = ?"
+                "completed_runs = ?, lease_expires_at = NULL, "
+                "lease_token = NULL WHERE id = ?"
             )
             params: List[object] = [
                 state,
@@ -779,8 +816,11 @@ class SQLiteJobStore:
                 job.id,
             ]
             if require_lease:
-                sql += " AND state = ? AND lease_replica IS ? AND lease_owner IS ?"
-                params += [JobState.RUNNING, self.replica_id, job.lease_owner]
+                sql += " AND state = ? AND lease_token IS ?"
+                params += [
+                    JobState.RUNNING,
+                    lease.token if lease is not None else None,
+                ]
             cursor = self._conn.execute(sql, params)
             committed = cursor.rowcount == 1
             if committed and results is not None:
@@ -795,7 +835,8 @@ class SQLiteJobStore:
                     ),
                 )
         if not committed:
-            job.lease_lost = True
+            if lease is not None:
+                lease.lost = True
             self._refresh_locked(job)
             return False
         if results is not None:
@@ -804,29 +845,42 @@ class SQLiteJobStore:
         job.state = state
         job.finished_at = now
         job.error = error
+        if job.lease is lease:
+            job.lease = None  # the attempt settled the job; lease is done
         return True
 
-    def mark_completed(self, job: Job, results: List[object]) -> None:
+    def mark_completed(
+        self, job: Job, results: List[object], lease: Optional[JobLease] = None
+    ) -> None:
         with self._lock:
             self._settle(
                 job, JobState.COMPLETED, results=list(results),
-                require_lease=True,
+                require_lease=True, lease=lease,
             )
 
-    def mark_failed(self, job: Job, error: str) -> None:
+    def mark_failed(
+        self, job: Job, error: str, lease: Optional[JobLease] = None
+    ) -> None:
         with self._lock:
-            self._settle(job, JobState.FAILED, error=error, require_lease=True)
+            self._settle(
+                job, JobState.FAILED, error=error, require_lease=True,
+                lease=lease,
+            )
 
-    def mark_cancelled(self, job: Job) -> None:
+    def mark_cancelled(self, job: Job, lease: Optional[JobLease] = None) -> None:
         with self._lock:
-            if job.lease_lost:
+            if lease is None:
+                lease = job.lease
+            if lease is not None and lease.lost:
                 # The reaper already flipped the local job back to queued
                 # (or another replica re-claimed it): this worker's
                 # cancel must not clobber the stolen job's lifecycle.
                 self._refresh_locked(job)
                 return
-            require = job.state == JobState.RUNNING
-            self._settle(job, JobState.CANCELLED, require_lease=require)
+            require = job.state == JobState.RUNNING and lease is not None
+            self._settle(
+                job, JobState.CANCELLED, require_lease=require, lease=lease
+            )
 
     def request_cancel(self, job_id: str) -> Job:
         """Flag a job for cancellation (raises ``KeyError`` if unknown,

@@ -15,14 +15,22 @@ Each worker is a thread that claims one job at a time from the
 
 Under a lease-expiring store (:class:`~repro.service.store.SQLiteJobStore`
 with a ``lease_ttl``), the pool also runs one *lease keeper* thread: it
-renews the lease of every in-flight job each
+renews the lease of every in-flight claim attempt each
 ``store.heartbeat_interval`` seconds — independent of estimator
 progress, so a long fit step can't silently lose a healthy job — and
 reaps expired leases of dead replicas back to ``queued`` (work
-stealing).  A worker whose own lease was reclaimed observes
-``job.lease_lost`` in its progress hooks, unwinds without committing
-(the store's terminal commit is CAS-guarded on the lease anyway), and
-is counted under ``service_jobs_finished_total{state="lease_lost"}``.
+stealing).  Each worker captures its claim attempt's
+:class:`~repro.service.jobs.JobLease` when it picks the job up; all
+per-attempt bookkeeping (the in-flight registry the keeper renews, the
+abort checks in the progress hooks, the terminal commit's CAS token)
+goes through that captured lease, never through mutable fields of the
+shared job object — so when a reaped job is re-claimed by another
+thread of the same pool while the old attempt is still unwinding, the
+two attempts cannot interfere.  A worker whose lease was reclaimed
+observes ``lease.lost`` in its progress hooks, unwinds without
+committing (the store's terminal commit is CAS-guarded on the lease
+token anyway), and is counted under
+``service_jobs_finished_total{state="lease_lost"}``.
 
 Populations are cached per worker pool (small LRU keyed on the exact
 build arguments) so repeated jobs against the same circuit skip the
@@ -87,7 +95,12 @@ class WorkerPool:
         self._populations: "OrderedDict[tuple, object]" = OrderedDict()
         self._busy_lock = threading.Lock()
         self._busy = 0
-        #: In-flight jobs by id — what the lease keeper renews.
+        #: In-flight claim attempts, keyed by (job id, lease token) and
+        #: holding (job, lease) — what the lease keeper renews.  Keyed
+        #: per *attempt*, not per job: when a reaped job is re-claimed
+        #: by another thread of this pool while the old attempt is
+        #: still unwinding, the old attempt's cleanup must pop its own
+        #: entry, never the live re-run's.
         self._active: dict = {}
 
     def busy_count(self) -> int:
@@ -126,8 +139,8 @@ class WorkerPool:
         while not self._stop.wait(interval):
             with self._busy_lock:
                 active = list(self._active.values())
-            for job in active:
-                renewed = self.store.renew_lease(job)
+            for job, lease in active:
+                renewed = self.store.renew_lease(job, lease)
                 _METRICS.counter(
                     "service_lease_renewals_total",
                     outcome="ok" if renewed else "lost",
@@ -180,11 +193,16 @@ class WorkerPool:
         return population
 
     def _execute(self, job: Job) -> None:
+        # Capture this attempt's lease before anything else: the shared
+        # job object's `lease` is swapped by a steal-back re-claim, and
+        # every check/commit below must be against *this* attempt's.
+        lease = job.lease
+        active_key = (job.id, lease.token if lease is not None else None)
         if _TRACER.enabled:
             _TRACER.emit("job_start", job_id=job.id, circuit=job.spec.circuit)
         with self._busy_lock:
             self._busy += 1
-            self._active[job.id] = job
+            self._active[active_key] = (job, lease)
         # Re-attach the trace context the job carried through the queue so
         # estimator/fit/population spans nest under this job's trace even
         # though a different thread than the HTTP handler runs it.
@@ -217,46 +235,60 @@ class WorkerPool:
         try:
             try:
                 with _JOB_TIMER.time():
-                    results = self._run(job)
+                    results = self._run(job, lease)
             except JobCancelledError:
-                self._settle(job, run_span, "cancelled", self.store.mark_cancelled)
+                self._settle(
+                    job,
+                    lease,
+                    run_span,
+                    "cancelled",
+                    lambda j: self.store.mark_cancelled(j, lease=lease),
+                )
             except Exception as exc:  # noqa: BLE001 — job isolation boundary
                 message = f"{type(exc).__name__}: {exc}"
                 self._settle(
                     job,
+                    lease,
                     run_span,
                     "failed",
-                    lambda j: self.store.mark_failed(j, message),
+                    lambda j: self.store.mark_failed(j, message, lease=lease),
                     error=message,
                 )
             else:
                 self._settle(
                     job,
+                    lease,
                     run_span,
                     "completed",
-                    lambda j: self.store.mark_completed(j, results),
+                    lambda j: self.store.mark_completed(j, results, lease=lease),
                 )
         finally:
             if token is not None:
                 _SPANS.detach(token)
             with self._busy_lock:
                 self._busy -= 1
-                self._active.pop(job.id, None)
+                self._active.pop(active_key, None)
 
-    def _settle(self, job: Job, run_span, state: str, commit, error=None) -> None:
+    def _settle(
+        self, job: Job, lease, run_span, state: str, commit, error=None
+    ) -> None:
         """Finish the job's run span, commit its terminal state, and
         persist the trace so it survives a server restart.
 
-        A job whose lease was lost mid-run (expired and reclaimed by the
-        reaper — this replica no longer owns it) is never committed: the
-        store's CAS would reject the write anyway, the re-run owns the
-        lifecycle now, and the abandoned attempt is counted as
-        ``state="lease_lost"``.
+        An attempt whose lease was lost mid-run (expired and reclaimed
+        by the reaper — this attempt no longer owns the job) is never
+        committed: the store's token CAS would reject the write anyway,
+        the re-run owns the lifecycle now, and the abandoned attempt is
+        counted as ``state="lease_lost"``.  All checks are against the
+        *captured* lease, never ``job.lease`` — a same-pool re-claim
+        swaps the latter.
         """
-        if not job.lease_lost:
+        lost = lease is not None and lease.lost
+        if not lost:
             with _SPANS.span("job.commit", job_id=job.id, state=state):
                 commit(job)
-        if job.lease_lost:
+            lost = lease is not None and lease.lost
+        if lost:
             # Either detected before the commit or discovered by the
             # commit's own lease CAS: nothing was written.
             state = "lease_lost"
@@ -281,9 +313,10 @@ class WorkerPool:
             if records:
                 self.store.save_spans(job.id, records)
 
-    def _run(self, job: Job) -> List[object]:
+    def _run(self, job: Job, lease) -> List[object]:
         spec = job.spec
         population = self._population_for(job)
+        lost = (lambda: lease.lost) if lease is not None else (lambda: False)
         if spec.num_runs == 1:
             estimator = MaxPowerEstimator.from_config(population, spec.config)
             # Capture this attempt's buffer: a steal-back re-run swaps in
@@ -292,7 +325,7 @@ class WorkerPool:
             trajectory = job.trajectory
 
             def progress(hs, interval, cumulative_units):
-                if job.cancel_event.is_set() or job.lease_lost:
+                if job.cancel_event.is_set() or lost():
                     raise JobCancelledError(f"job {job.id} cancelled")
                 trajectory.append(
                     _trajectory_entry(hs, interval, cumulative_units)
@@ -301,13 +334,23 @@ class WorkerPool:
             result = estimator.run(
                 rng=np.random.default_rng(spec.seed + 1), progress=progress
             )
-            job.completed_runs = 1
+            if job.lease is lease:
+                job.completed_runs = 1
             return [result]
 
+        # Per-attempt run counter, published to the shared job only
+        # while this attempt still owns it: an orphaned old attempt
+        # bumping job.completed_runs would make status/SSE over-report
+        # the live re-run's progress (and emit spurious run events).
+        completed = 0
+
         def on_result(index: int, result) -> None:
-            if job.cancel_event.is_set() or job.lease_lost:
+            nonlocal completed
+            if job.cancel_event.is_set() or lost():
                 raise JobCancelledError(f"job {job.id} cancelled")
-            job.completed_runs += 1
+            completed += 1
+            if job.lease is lease:
+                job.completed_runs = completed
 
         return run_many(
             population,

@@ -9,6 +9,7 @@ which transport :meth:`Client.stream` actually used.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 
@@ -76,6 +77,46 @@ class TestAdmissionControl:
         assert health["tenant_quota"] == 3
         assert health["lease_ttl_seconds"] == 12.0
         assert health["replica_id"] == "edge-1"
+
+    def test_job_payloads_never_echo_api_key(self, fabric, quick_spec):
+        # The tenant is a credential (the raw X-API-Key header) and the
+        # status endpoints are unauthenticated: no job payload may ever
+        # carry it back out.
+        server = fabric(workers=1, memo=False)
+        server.pool.stop()  # keep the job queued and inspectable
+        client = Client(server.url, timeout=10.0, api_key="sk-secret")
+        submitted = client.submit(spec_dict(quick_spec, seed=1))
+        status = client.status(submitted["id"])
+        for payload in (submitted, status):
+            assert "tenant" not in payload
+            assert "sk-secret" not in json.dumps(payload)
+
+    def test_rate_buckets_stay_bounded_under_key_cycling(
+        self, fabric, monkeypatch
+    ):
+        # The bucket map is keyed by the raw X-API-Key header: a client
+        # cycling random keys must not grow server memory without bound.
+        import repro.service.server as server_mod
+
+        monkeypatch.setattr(server_mod, "MAX_RATE_BUCKETS", 8)
+        server = fabric(workers=1, rate_limit=1000.0, rate_burst=1000)
+        for i in range(50):
+            server.admit(f"attacker-key-{i}")
+        assert len(server._buckets) <= 8
+        # The hottest key survives the prune with its spend intact.
+        assert "attacker-key-49" in server._buckets
+
+    def test_rate_bucket_prune_drops_refilled_entries_first(self, fabric):
+        server = fabric(workers=1, rate_limit=10.0, rate_burst=5)
+        server.admit("old-tenant")
+        # Rewind the idle bucket past its refill horizon (burst/rate =
+        # 0.5 s): it is indistinguishable from a fresh one, so pruning
+        # it is semantically free.
+        tokens, last = server._buckets["old-tenant"]
+        server._buckets["old-tenant"] = (tokens, last - 1.0)
+        with server._admission_lock:
+            server._prune_buckets_locked(time.monotonic())
+        assert "old-tenant" not in server._buckets
 
     def test_unlimited_by_default(self, fabric, quick_spec):
         server = fabric(workers=1, memo=False)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 
 import pytest
@@ -25,6 +26,7 @@ from repro.obs.metrics import get_registry
 from repro.service import Client
 from repro.service.jobs import JobState
 from repro.service.store import SQLiteJobStore
+from repro.service.worker import WorkerPool
 
 from .test_jobs import fake_result, make_spec
 
@@ -162,6 +164,121 @@ class TestLeaseLifecycle:
         info = store.lease_info()
         assert info["active_leases"] == 1
         assert info["oldest_lease_age_seconds"] == 0.0
+
+    def test_same_process_steal_back_cannot_double_commit(
+        self, tmp_path, metrics
+    ):
+        # The intra-replica race: one store, one shared Job object.  The
+        # job's lease expires mid-run, the reaper reclaims it, and the
+        # SAME store re-claims it while the old attempt is still
+        # unwinding.  The old attempt must stay poisoned (the re-claim
+        # used to reset job.lease_lost) and its commit must lose the
+        # token CAS (it used to compare against the live lease fields
+        # the re-claim had just overwritten).
+        store = SQLiteJobStore(tmp_path, replica_id="r1", lease_ttl=0.15)
+        submitted = store.submit(make_spec())
+        job = store.claim_next(timeout=0.01, owner="w0")
+        lease_a = job.lease
+        time.sleep(0.2)
+        assert store.reap_expired() == [submitted.id]
+        assert lease_a.lost  # the reap poisons the expired attempt
+
+        rejob = store.claim_next(timeout=0.01, owner="w1")
+        assert rejob is job  # same shared object, by construction
+        lease_b = job.lease
+        assert lease_b is not lease_a
+        assert lease_a.lost  # re-claiming must not un-poison attempt A
+        assert not job.lease_lost  # ...while the live attempt is clean
+
+        # Old attempt finishes its orphaned run and tries to commit:
+        # the token CAS rejects it even though job.lease_owner and
+        # job.lease_replica now describe attempt B on this replica.
+        store.mark_completed(job, [fake_result(99.0)], lease=lease_a)
+        assert committed_results(tmp_path, submitted.id) is None
+        assert store.renew_lease(job, lease_a) is False
+        assert store.renew_lease(job, lease_b) is True
+
+        store.mark_completed(job, [fake_result(2.0)], lease=lease_b)
+        payload = committed_results(tmp_path, submitted.id)
+        assert len(payload) == 1  # exactly one committed execution
+        assert payload[0]["estimate"] == 2.0  # ...the live attempt's
+
+    def test_steal_back_resets_progress_counters(self, tmp_path, metrics):
+        # A re-claim swaps in a fresh trajectory AND a zeroed run count:
+        # status/SSE must report the re-run's progress from scratch, not
+        # inherit the orphaned attempt's.
+        store = SQLiteJobStore(tmp_path, replica_id="r1", lease_ttl=0.15)
+        store.submit(make_spec(num_runs=3))
+        job = store.claim_next(timeout=0.01, owner="w0")
+        job.completed_runs = 2  # the doomed attempt made progress
+        old_trajectory = job.trajectory
+        old_trajectory.append({"k": 1})
+        time.sleep(0.2)
+        store.reap_expired()
+        rejob = store.claim_next(timeout=0.01, owner="w1")
+        assert rejob is job
+        assert job.completed_runs == 0
+        assert job.trajectory == [] and job.trajectory is not old_trajectory
+
+    def test_stale_attempt_unwind_keeps_live_attempt_registered(
+        self, tmp_path, metrics, monkeypatch
+    ):
+        # WorkerPool._active bookkeeping: a reaped job re-claimed by
+        # another thread of the same pool gets its own registry entry,
+        # and the old attempt's cleanup pops only its own — keyed by
+        # job id alone, the old unwind used to evict the live entry and
+        # starve the re-run of heartbeats.
+        store = SQLiteJobStore(tmp_path, replica_id="r1", lease_ttl=0.2)
+        pool = WorkerPool(store, num_workers=2)  # not started: driven by hand
+        store.submit(make_spec())
+
+        gates = [threading.Event(), threading.Event()]
+        started = [threading.Event(), threading.Event()]
+        attempt = {"n": 0}
+
+        def fake_run(self, job, lease):
+            index = attempt["n"]
+            attempt["n"] += 1
+            started[index].set()
+            assert gates[index].wait(10)
+            return [fake_result(float(index))]
+
+        monkeypatch.setattr(WorkerPool, "_run", fake_run)
+
+        def drive(owner):
+            job = store.claim_next(timeout=0.5, owner=owner)
+            assert job is not None
+            pool._execute(job)
+
+        first = threading.Thread(target=drive, args=("w0",), daemon=True)
+        first.start()
+        assert started[0].wait(10)
+        lease_a = next(iter(pool._active.values()))[1]
+        time.sleep(0.3)  # the first attempt misses its lease
+        store.reap_expired()
+
+        second = threading.Thread(target=drive, args=("w1",), daemon=True)
+        second.start()
+        assert started[1].wait(10)
+        assert len(pool._active) == 2  # both attempts registered
+
+        gates[0].set()  # old attempt unwinds while the re-run is live
+        first.join(10)
+        leases = [lease for _job, lease in pool._active.values()]
+        assert len(leases) == 1 and leases[0] is not lease_a
+        assert not leases[0].lost  # the live lease keeps its heartbeats
+
+        gates[1].set()
+        second.join(10)
+        assert pool._active == {}
+        job_id = store.list()[0].id
+        payload = committed_results(tmp_path, job_id)
+        assert len(payload) == 1
+        assert payload[0]["estimate"] == 1.0  # the re-run's commit won
+        finished = metrics.counter(
+            "service_jobs_finished_total", state="lease_lost"
+        )
+        assert finished.value == 1
 
     def test_cross_replica_cancel_via_heartbeat(self, tmp_path):
         a = SQLiteJobStore(tmp_path, replica_id="a", lease_ttl=30.0)

@@ -102,6 +102,17 @@ class TestJobStore:
         assert payload["spec"]["circuit"] == "c432"
         assert payload["state"] == JobState.QUEUED
 
+    def test_status_dict_never_echoes_tenant_credential(self, tmp_path):
+        # The tenant is the raw X-API-Key header, and status/list/SSE
+        # are unauthenticated: the credential must never appear in any
+        # serialized job payload.
+        store = JobStore(tmp_path)
+        job = store.submit(make_spec(), tenant="sk-super-secret")
+        assert job.tenant == "sk-super-secret"  # kept for quota checks
+        payload = json.dumps(job.status_dict())
+        assert "tenant" not in json.loads(payload)
+        assert "sk-super-secret" not in payload
+
 
 class TestReplay:
     def test_completed_jobs_survive_restart_with_results(self, tmp_path):
