@@ -1,0 +1,99 @@
+"""Adaptive-controller ablation — the artifact behind ``BENCH_9.json``.
+
+Head-to-head at the paper's convergence target: for each suite circuit,
+``method="auto"`` (pilot-tuned n/m + Weibull-vs-POT cross-validation)
+against ``method="fixed"`` at the paper's n = 30, m = 10 schedule.  The
+cost axis is *units simulated to ε* — the paper's "# of units" columns —
+with the controller's pilot/CV overhead charged to its own total, so the
+comparison is end-to-end honest.
+
+Pass criteria: every run converges at equal ε/confidence, every auto run
+records its :class:`~repro.estimation.result.AdaptiveDecision`, both
+methods land within the same accuracy envelope of the pool's true
+maximum, and the controller's overhead stays a bounded multiple of the
+fixed schedule's spend.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.api import EstimatorConfig, run_many
+from repro.experiments.populations import build_population
+
+#: Convergence target shared by both arms (the paper's defaults).
+ERROR, CONFIDENCE = 0.05, 0.90
+#: Runs per (circuit, method) arm; seeds are the run indices.
+NUM_RUNS = 5
+#: Suite circuits under test (>= 2 per the ablation contract).
+NUM_CIRCUITS = 2
+
+FIXED = EstimatorConfig(error=ERROR, confidence=CONFIDENCE)
+AUTO = EstimatorConfig(method="auto", error=ERROR, confidence=CONFIDENCE)
+
+
+def _arm(population, config):
+    results = run_many(population, NUM_RUNS, config, base_seed=0)
+    truth = population.actual_max_power
+    return results, {
+        "runs": NUM_RUNS,
+        "converged": sum(r.converged for r in results),
+        "mean_units_to_eps": sum(r.units_used for r in results) / NUM_RUNS,
+        "mean_abs_rel_error": sum(
+            abs(r.relative_error(truth)) for r in results
+        ) / NUM_RUNS,
+    }
+
+
+def test_adaptive_vs_fixed_units_to_eps(config, results_dir):
+    start = time.perf_counter()
+    circuits = config.circuits[:NUM_CIRCUITS]
+    per_circuit = {}
+    for name in circuits:
+        population = build_population(config, name, "unconstrained")
+        fixed_results, fixed = _arm(population, FIXED)
+        auto_results, auto = _arm(population, AUTO)
+        decisions = [r.decision for r in auto_results]
+        assert all(d is not None for d in decisions)
+        auto["decisions"] = [d.to_dict() for d in decisions]
+        auto["families"] = sorted(
+            {d.family for d in decisions}
+        )
+        auto["mean_pilot_units"] = sum(
+            d.pilot_units for d in decisions
+        ) / NUM_RUNS
+        per_circuit[name] = {"fixed_n30_m10": fixed, "auto": auto}
+    elapsed = time.perf_counter() - start
+
+    payload = {
+        "benchmark": "adaptive_ablation",
+        "scale": config.scale,
+        "error": ERROR,
+        "confidence": CONFIDENCE,
+        "runs_per_arm": NUM_RUNS,
+        "circuits": per_circuit,
+        "wall_time_s": elapsed,
+    }
+    (results_dir / "BENCH_9.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    for name, arms in per_circuit.items():
+        print(
+            f"\n{name}: fixed {arms['fixed_n30_m10']['mean_units_to_eps']:.0f} "
+            f"units/run vs auto {arms['auto']['mean_units_to_eps']:.0f} "
+            f"(families {arms['auto']['families']}, "
+            f"pilot {arms['auto']['mean_pilot_units']:.0f})"
+        )
+
+    for name, arms in per_circuit.items():
+        fixed, auto = arms["fixed_n30_m10"], arms["auto"]
+        # Both arms meet the stopping rule on every run...
+        assert fixed["converged"] == NUM_RUNS, name
+        assert auto["converged"] == NUM_RUNS, name
+        # ...and land in the same accuracy envelope of the true max.
+        assert fixed["mean_abs_rel_error"] < 0.15, name
+        assert auto["mean_abs_rel_error"] < 0.15, name
+        # The controller's overhead is bounded: its end-to-end spend
+        # stays within 3x the fixed schedule's (usually well under).
+        assert auto["mean_units_to_eps"] < 3 * fixed["mean_units_to_eps"], name

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, List, Optional, Union
 
 from .errors import ConfigError
+from .estimation.adaptive import build_estimator
 from .estimation.mc_estimator import MaxPowerEstimator
 from .estimation.parallel import (
     SeedLike,
@@ -53,6 +54,7 @@ from .vectors.population import (
 
 __all__ = [
     "EstimatorConfig",
+    "build_estimator",
     "build_population",
     "estimate",
     "run_many",
@@ -72,6 +74,20 @@ class EstimatorConfig:
 
     Attributes
     ----------
+    method:
+        Estimator selection — the one switch that used to be four
+        disconnected entry points (``MaxPowerEstimator``, the tuner,
+        the POT estimator, ad-hoc experiment code):
+
+        * ``"fixed"`` (default) — the paper's block-maxima Weibull MLE
+          with this config's explicit ``n``/``m``.
+        * ``"pot"`` — peaks-over-threshold/GPD endpoint estimation;
+          requires a threshold policy (``pot_threshold_quantile``).
+        * ``"auto"`` — the adaptive controller
+          (:class:`~repro.estimation.adaptive.AdaptiveMaxPowerEstimator`):
+          a seed-deterministic pilot chooses n, m, and the family, then
+          hands off to the chosen engine.  Explicit ``n``/``m``
+          overrides are rejected — the controller owns them.
     n, m:
         Block size and blocks per hyper-sample (paper: 30 and 10).
     error, confidence:
@@ -83,6 +99,14 @@ class EstimatorConfig:
         the population reports a finite size.
     upper_bound:
         Optional physical ceiling on the metric; estimates are clipped.
+    pot_threshold_quantile:
+        POT threshold policy: exceedances above this empirical batch
+        quantile feed the GPD fit.  Required for ``method="pot"``;
+        optional override of the ``"auto"`` controller's 0.90 default;
+        rejected for ``"fixed"`` (it would silently do nothing).
+    pot_batch_size:
+        Units per POT round (defaults to n·m worth of units).  Same
+        method gating as ``pot_threshold_quantile``.
     workers:
         Worker processes for repeated-run drivers and population builds.
     retries:
@@ -102,8 +126,16 @@ class EstimatorConfig:
     workers: int = 1
     retries: int = 0
     task_timeout: Optional[float] = None
+    method: str = "fixed"
+    pot_threshold_quantile: Optional[float] = None
+    pot_batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.method not in ("fixed", "auto", "pot"):
+            raise ConfigError(
+                f"unknown method {self.method!r}: expected 'fixed', "
+                "'auto', or 'pot'"
+            )
         if self.n < 2:
             raise ConfigError("sample size n must be >= 2")
         if self.m < 3:
@@ -124,6 +156,37 @@ class EstimatorConfig:
             raise ConfigError("retries must be >= 0")
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ConfigError("task_timeout must be positive (or None)")
+        # Cross-field constraints for the method switch: fail loudly at
+        # construction, not deep inside a worker mid-run.
+        if self.method == "auto" and (
+            self.n != DEFAULT_SAMPLE_SIZE or self.m != DEFAULT_NUM_SAMPLES
+        ):
+            raise ConfigError(
+                "method='auto' chooses the block size n and hyper-sample "
+                "size m itself; drop the n/m overrides, or use "
+                "method='fixed' to pin them"
+            )
+        if self.method == "pot" and self.pot_threshold_quantile is None:
+            raise ConfigError(
+                "method='pot' requires a threshold policy: set "
+                "pot_threshold_quantile (e.g. 0.90 keeps the top 10% of "
+                "each batch as exceedances)"
+            )
+        if self.method == "fixed" and (
+            self.pot_threshold_quantile is not None
+            or self.pot_batch_size is not None
+        ):
+            raise ConfigError(
+                "pot_threshold_quantile/pot_batch_size have no effect "
+                "with method='fixed'; use method='pot' (or 'auto', where "
+                "they override the controller's POT defaults)"
+            )
+        if self.pot_threshold_quantile is not None and not (
+            0.5 <= self.pot_threshold_quantile < 1.0
+        ):
+            raise ConfigError("pot_threshold_quantile must be in [0.5, 1)")
+        if self.pot_batch_size is not None and self.pot_batch_size < 20:
+            raise ConfigError("pot_batch_size must be >= 20")
 
     def with_overrides(self, **kwargs) -> "EstimatorConfig":
         """Functional update (frozen dataclass)."""
@@ -266,7 +329,7 @@ def estimate(
             workers=config.workers,
         )
         run_seed = seed + 1
-    estimator = MaxPowerEstimator.from_config(population, config)
+    estimator = build_estimator(population, config)
     return estimator.run(rng=np.random.default_rng(run_seed), progress=progress)
 
 
@@ -287,10 +350,13 @@ def run_many(
     (``workers``/``retries``/``task_timeout``), so callers hold one
     object instead of two kwarg lists.  All the scheduler's guarantees
     (bit-identical results for any worker count and failure history,
-    JSONL checkpointing, resume) apply unchanged.
+    JSONL checkpointing, resume) apply unchanged — for every
+    ``config.method``, including ``"auto"`` (each run performs its own
+    pilot from its spawned seed stream, so the adaptive decision is as
+    deterministic as the estimates).
     """
     config = config if config is not None else EstimatorConfig()
-    estimator = MaxPowerEstimator.from_config(population, config)
+    estimator = build_estimator(population, config)
     return _run_many(
         estimator,
         num_runs,
@@ -315,8 +381,18 @@ def hyper_sample_many(
     on_result: Optional[Callable[[int, HyperSample], None]] = None,
 ) -> List[HyperSample]:
     """Draw ``count`` independent hyper-samples under one config
-    (facade over :func:`repro.estimation.parallel.hyper_sample_many`)."""
+    (facade over :func:`repro.estimation.parallel.hyper_sample_many`).
+
+    Hyper-samples are a block-maxima concept, so this driver requires
+    ``config.method == "fixed"``; the adaptive and POT methods have no
+    standalone hyper-sample primitive to repeat.
+    """
     config = config if config is not None else EstimatorConfig()
+    if config.method != "fixed":
+        raise ConfigError(
+            "hyper_sample_many requires method='fixed' (a hyper-sample "
+            f"is a block-maxima primitive); got method={config.method!r}"
+        )
     estimator = MaxPowerEstimator.from_config(population, config)
     return _hyper_sample_many(
         estimator,

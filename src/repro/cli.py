@@ -69,6 +69,47 @@ def _load_circuit(spec: str) -> Circuit:
     return build_circuit(spec)
 
 
+def _add_method_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--method",
+        choices=("fixed", "auto", "pot"),
+        default="fixed",
+        help=(
+            "estimator selection: the paper's fixed block-maxima "
+            "schedule (default), peaks-over-threshold, or the adaptive "
+            "controller (pilot-tuned n/m + family cross-validation)"
+        ),
+    )
+    parser.add_argument(
+        "--pot-threshold",
+        type=float,
+        default=None,
+        help=(
+            "POT exceedance threshold quantile in [0.5, 1); required "
+            "with --method pot, optional override with --method auto"
+        ),
+    )
+    parser.add_argument(
+        "--pot-batch",
+        type=int,
+        default=None,
+        help="units per POT round (default: n*m worth of units)",
+    )
+
+
+def _method_config_kwargs(args: argparse.Namespace) -> dict:
+    """EstimatorConfig kwargs for the method flags (omitted = defaults,
+    so 'fixed' configs stay identical to pre-method ones)."""
+    kwargs = {}
+    if args.method != "fixed":
+        kwargs["method"] = args.method
+    if args.pot_threshold is not None:
+        kwargs["pot_threshold_quantile"] = args.pot_threshold
+    if args.pot_batch is not None:
+        kwargs["pot_batch_size"] = args.pot_batch
+    return kwargs
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -175,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument(
         "--confidence", type=float, default=0.90, help="confidence level l"
     )
+    _add_method_flags(est)
     est.add_argument("--seed", type=int, default=0, help="random seed")
     est.add_argument(
         "--frequency-mhz", type=float, default=50.0, help="clock frequency"
@@ -344,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument(
         "--confidence", type=float, default=0.90, help="confidence level l"
     )
+    _add_method_flags(sb)
     sb.add_argument("--seed", type=int, default=0, help="random seed")
     sb.add_argument(
         "--runs", type=int, default=1, help="independent repetitions"
@@ -504,10 +547,13 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     import numpy as np
 
     from .api import EstimatorConfig, build_population
-    from .estimation.mc_estimator import MaxPowerEstimator
+    from .estimation.adaptive import build_estimator
 
     config = EstimatorConfig(
-        error=args.error, confidence=args.confidence, workers=args.workers
+        error=args.error,
+        confidence=args.confidence,
+        workers=args.workers,
+        **_method_config_kwargs(args),
     )
     pop = build_population(
         args.circuit,
@@ -523,8 +569,15 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             f"pool of {pop.size} pairs simulated; actual max = "
             f"{pop.actual_max_power * 1e3:.4f} mW"
         )
-    estimator = MaxPowerEstimator.from_config(pop, config)
+    estimator = build_estimator(pop, config)
     result = estimator.run(rng=np.random.default_rng(args.seed + 1))
+    if result.decision is not None:
+        d = result.decision
+        print(
+            f"adaptive: n={d.chosen_n} m={d.chosen_m} family={d.family} "
+            f"(cv weibull={d.cv_score_weibull:.4f} pot={d.cv_score_pot:.4f}, "
+            f"pilot {d.pilot_units} units)"
+        )
     print(result.summary())
     if args.population > 0:
         rel = result.relative_error(pop.actual_max_power)
@@ -564,7 +617,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     spec = JobSpec(
         circuit=args.circuit,
-        config=EstimatorConfig(error=args.error, confidence=args.confidence),
+        config=EstimatorConfig(
+            error=args.error,
+            confidence=args.confidence,
+            **_method_config_kwargs(args),
+        ),
         seed=args.seed,
         num_runs=args.runs,
         population_size=args.population,

@@ -1,5 +1,6 @@
 """Estimators: the paper's method, its baselines, and extensions."""
 
+from .adaptive import AdaptiveMaxPowerEstimator, build_estimator
 from .average_power import AveragePowerEstimator, AveragePowerResult
 from .bounds import UncertaintyBound
 from .delay_estimator import MaxDelayEstimator
@@ -11,11 +12,14 @@ from .parallel import hyper_sample_many, run_many, spawn_run_seeds
 from .pot import PeaksOverThresholdEstimator
 from .tuner import BlockSizeTuner, TunerReport
 from .quantile_est import HighQuantileEstimator, QuantileEstimate
-from .result import EstimationResult, HyperSample
+from .result import AdaptiveDecision, EstimationResult, HyperSample
 from .srs import SimpleRandomSampling, SRSStudy, srs_required_units
 
 __all__ = [
     "MaxPowerEstimator",
+    "AdaptiveMaxPowerEstimator",
+    "AdaptiveDecision",
+    "build_estimator",
     "run_many",
     "hyper_sample_many",
     "spawn_run_seeds",

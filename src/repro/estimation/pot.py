@@ -12,24 +12,40 @@ estimator at equal unit budgets.
 The iteration mirrors the paper's Figure-4 loop: each *round* draws a
 fresh batch, produces one endpoint estimate, and rounds accumulate until
 the Student-t interval of their mean meets the error/confidence target.
+
+The estimator follows the same config pattern as
+:class:`~repro.estimation.mc_estimator.MaxPowerEstimator`: build it
+from an :class:`~repro.api.EstimatorConfig` with :meth:`from_config`
+(``method="pot"``), or directly with the iteration bounds named
+``min_hyper_samples``/``max_hyper_samples``.  The pre-redesign
+``min_rounds``/``max_rounds`` keyword names still work behind a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 from typing import Optional
 
 import numpy as np
 
 from ..errors import ConfigError, FitError
 from ..evt.confidence import t_mean_interval
-from ..evt.gpd import fit_gpd_mle
+from ..evt.gpd import fit_gpd
 from ..vectors.generators import RngLike, as_rng
 from ..vectors.population import PowerPopulation
 from .finite_population import finite_population_quantile
 from .result import EstimationResult, HyperSample
 
-__all__ = ["PeaksOverThresholdEstimator"]
+__all__ = ["DEFAULT_POT_THRESHOLD_QUANTILE", "PeaksOverThresholdEstimator"]
+
+#: Default exceedance threshold (keep the top 10 % of each batch) —
+#: what ``method="auto"`` uses when the config names no POT policy.
+DEFAULT_POT_THRESHOLD_QUANTILE = 0.90
+
+#: Sentinel distinguishing "not passed" from an explicit value, so the
+#: deprecated alias kwargs can be detected without shadowing real ones.
+_UNSET = object()
 
 
 class PeaksOverThresholdEstimator:
@@ -46,8 +62,10 @@ class PeaksOverThresholdEstimator:
         (0.9 keeps the top 10 %).
     error, confidence:
         Convergence target, as in the paper.
-    min_rounds, max_rounds:
-        Iteration bounds.
+    min_hyper_samples, max_hyper_samples:
+        Iteration bounds (a POT round is this estimator's
+        hyper-sample); formerly ``min_rounds``/``max_rounds``, which
+        still work behind a :class:`DeprecationWarning`.
     finite_correction:
         Report the (1 − 1/|V|) quantile instead of the raw endpoint for
         finite populations (as §3.4 does for the Weibull route).
@@ -57,13 +75,37 @@ class PeaksOverThresholdEstimator:
         self,
         population: PowerPopulation,
         batch_size: int = 300,
-        threshold_quantile: float = 0.90,
+        threshold_quantile: float = DEFAULT_POT_THRESHOLD_QUANTILE,
         error: float = 0.05,
         confidence: float = 0.90,
-        min_rounds: int = 2,
-        max_rounds: int = 200,
+        min_hyper_samples: int = 2,
+        max_hyper_samples: int = 200,
         finite_correction: Optional[bool] = None,
+        min_rounds=_UNSET,
+        max_rounds=_UNSET,
     ):
+        if min_rounds is not _UNSET or max_rounds is not _UNSET:
+            warnings.warn(
+                "PeaksOverThresholdEstimator(min_rounds=, max_rounds=) "
+                "is deprecated; use min_hyper_samples=/max_hyper_samples= "
+                "(the EstimatorConfig field names)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if min_rounds is not _UNSET:
+                if min_hyper_samples != 2:
+                    raise ConfigError(
+                        "pass min_hyper_samples or the deprecated "
+                        "min_rounds, not both"
+                    )
+                min_hyper_samples = min_rounds
+            if max_rounds is not _UNSET:
+                if max_hyper_samples != 200:
+                    raise ConfigError(
+                        "pass max_hyper_samples or the deprecated "
+                        "max_rounds, not both"
+                    )
+                max_hyper_samples = max_rounds
         if batch_size < 20:
             raise ConfigError("batch_size must be >= 20")
         if not 0.5 <= threshold_quantile < 1.0:
@@ -72,17 +114,17 @@ class PeaksOverThresholdEstimator:
             raise ConfigError("error must be in (0, 1)")
         if not 0.0 < confidence < 1.0:
             raise ConfigError("confidence must be in (0, 1)")
-        if min_rounds < 2:
+        if min_hyper_samples < 2:
             raise ConfigError("min_rounds must be >= 2")
-        if max_rounds < min_rounds:
+        if max_hyper_samples < min_hyper_samples:
             raise ConfigError("max_rounds < min_rounds")
         self.population = population
         self.batch_size = batch_size
         self.threshold_quantile = threshold_quantile
         self.error = error
         self.confidence = confidence
-        self.min_rounds = min_rounds
-        self.max_rounds = max_rounds
+        self.min_hyper_samples = min_hyper_samples
+        self.max_hyper_samples = max_hyper_samples
         if finite_correction is None:
             finite_correction = population.size is not None
         if finite_correction and population.size is None:
@@ -90,6 +132,58 @@ class PeaksOverThresholdEstimator:
                 "finite_correction requires a population with known size"
             )
         self.finite_correction = finite_correction
+
+    @property
+    def min_rounds(self) -> int:
+        """Deprecated alias of :attr:`min_hyper_samples`."""
+        warnings.warn(
+            "PeaksOverThresholdEstimator.min_rounds is deprecated; use "
+            "min_hyper_samples",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.min_hyper_samples
+
+    @property
+    def max_rounds(self) -> int:
+        """Deprecated alias of :attr:`max_hyper_samples`."""
+        warnings.warn(
+            "PeaksOverThresholdEstimator.max_rounds is deprecated; use "
+            "max_hyper_samples",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.max_hyper_samples
+
+    @classmethod
+    def from_config(
+        cls, population: PowerPopulation, config
+    ) -> "PeaksOverThresholdEstimator":
+        """Build a POT estimator from a :class:`repro.api.EstimatorConfig`.
+
+        Duck-typed like :meth:`MaxPowerEstimator.from_config` so the
+        estimation layer never imports the API layer.  ``batch_size``
+        defaults to the config's n·m (one Weibull hyper-sample's worth
+        of units per round, so the two families compare at equal
+        budget); the threshold comes from ``pot_threshold_quantile``
+        (falling back to :data:`DEFAULT_POT_THRESHOLD_QUANTILE`).
+        """
+        batch = config.pot_batch_size
+        if batch is None:
+            batch = config.n * config.m
+        threshold = config.pot_threshold_quantile
+        if threshold is None:
+            threshold = DEFAULT_POT_THRESHOLD_QUANTILE
+        return cls(
+            population,
+            batch_size=batch,
+            threshold_quantile=threshold,
+            error=config.error,
+            confidence=config.confidence,
+            min_hyper_samples=config.min_hyper_samples,
+            max_hyper_samples=config.max_hyper_samples,
+            finite_correction=config.finite_correction,
+        )
 
     # ------------------------------------------------------------------
     def round_estimate(self, index: int, rng: RngLike = None) -> HyperSample:
@@ -100,7 +194,7 @@ class PeaksOverThresholdEstimator:
         exceedances = batch[batch > threshold] - threshold
         best_seen = float(batch.max())
         try:
-            gpd = fit_gpd_mle(exceedances)
+            gpd = fit_gpd(exceedances)
         except FitError:
             gpd = None
         if gpd is None or gpd.xi >= 0:
@@ -138,8 +232,14 @@ class PeaksOverThresholdEstimator:
         )
 
     # ------------------------------------------------------------------
-    def run(self, rng: RngLike = None) -> EstimationResult:
-        """Iterate rounds until the t-interval meets the target."""
+    def run(self, rng: RngLike = None, progress=None) -> EstimationResult:
+        """Iterate rounds until the t-interval meets the target.
+
+        ``progress`` follows the :meth:`MaxPowerEstimator.run` contract:
+        called as ``progress(hs, interval, cumulative_units)`` after
+        every round, may abort the run by raising, and never touches the
+        RNG stream — a run's result is bit-identical with or without it.
+        """
         gen = as_rng(rng)
         result = EstimationResult(
             estimate=float("nan"),
@@ -149,19 +249,23 @@ class PeaksOverThresholdEstimator:
             confidence=self.confidence,
             population_name=f"{self.population.name} [POT]",
             population_size=self.population.size,
+            method="pot",
         )
         estimates = []
-        for k in range(1, self.max_rounds + 1):
+        for k in range(1, self.max_hyper_samples + 1):
             hs = self.round_estimate(k, gen)
             result.hyper_samples.append(hs)
             result.units_used += hs.units_used
             estimates.append(hs.estimate)
-            if k < self.min_rounds:
-                continue
-            interval = t_mean_interval(estimates, self.confidence)
-            result.interval = interval
-            result.estimate = interval.mean
-            if interval.rel_half_width <= self.error:
+            interval = None
+            if k >= self.min_hyper_samples:
+                interval = t_mean_interval(estimates, self.confidence)
+                result.interval = interval
+                result.estimate = interval.mean
+                result.ci_trajectory.append(interval.rel_half_width)
+            if progress is not None:
+                progress(hs, interval, result.units_used)
+            if interval is not None and interval.rel_half_width <= self.error:
                 result.converged = True
                 return result
         result.estimate = float(np.mean(estimates))

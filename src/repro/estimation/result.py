@@ -24,7 +24,7 @@ from ..errors import EstimationError
 from ..evt.confidence import MeanInterval
 from ..evt.mle import WeibullFit
 
-__all__ = ["HyperSample", "EstimationResult"]
+__all__ = ["AdaptiveDecision", "HyperSample", "EstimationResult"]
 
 
 def __getattr__(name: str):
@@ -41,6 +41,58 @@ def __getattr__(name: str):
         )
         return RESULT_SCHEMA
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+@dataclass(frozen=True)
+class AdaptiveDecision:
+    """What the adaptive controller chose, and why (a result record).
+
+    Attached to :attr:`EstimationResult.decision` by runs with
+    ``method="auto"`` (see :mod:`repro.estimation.adaptive`); plain data
+    so it serializes with the result and survives checkpoints, the job
+    service, and trace exports unchanged.
+
+    Attributes
+    ----------
+    chosen_n, chosen_m:
+        The block size and blocks-per-hyper-sample the production run
+        used (the paper fixes 30 and 10; the pilot may not).
+    family:
+        Selected estimator family: ``"weibull"`` (block-maxima MLE) or
+        ``"pot"`` (peaks-over-threshold/GPD).
+    cv_score_weibull, cv_score_pot:
+        Cross-validation scores (mean relative prediction error of
+        held-out pilot block maxima; lower is better).
+    pilot_units:
+        Vector pairs the pilot + cross-validation phases simulated
+        (already included in :attr:`EstimationResult.units_used`).
+    candidate_ns:
+        Block sizes the pilot measured.
+    pilot_fallback_rate:
+        Fraction of pilot hyper-samples at ``chosen_n`` whose Weibull
+        fit fell back to the sample maximum (drives the m policy).
+    """
+
+    chosen_n: int
+    chosen_m: int
+    family: str
+    cv_score_weibull: float
+    cv_score_pot: float
+    pilot_units: int
+    candidate_ns: List[int] = field(default_factory=list)
+    pilot_fallback_rate: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-able form (see :mod:`repro.schemas`)."""
+        from ..schemas import dump_adaptive_decision
+
+        return dump_adaptive_decision(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdaptiveDecision":
+        from ..schemas import load_adaptive_decision
+
+        return load_adaptive_decision(data)
 
 
 @dataclass(frozen=True)
@@ -118,6 +170,12 @@ class EstimationResult:
         Relative CI half-width after each hyper-sample from
         ``min_hyper_samples`` on — the convergence trajectory the
         iterative procedure walked (one entry per evaluated interval).
+    method:
+        How the estimator was selected: ``"fixed"`` (the paper's
+        block-maxima estimator with explicit n/m), ``"pot"``
+        (peaks-over-threshold), or ``"auto"`` (the adaptive controller).
+    decision:
+        The adaptive controller's choices (``method="auto"`` only).
     """
 
     estimate: float
@@ -130,6 +188,8 @@ class EstimationResult:
     population_name: str = ""
     population_size: Optional[int] = None
     ci_trajectory: List[float] = field(default_factory=list)
+    method: str = "fixed"
+    decision: Optional[AdaptiveDecision] = None
 
     @property
     def k(self) -> int:

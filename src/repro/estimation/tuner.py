@@ -44,6 +44,10 @@ class PilotResult:
     units_per_hyper_sample: int
     predicted_k: float
     predicted_units: float
+    #: Fraction of pilot hyper-samples whose Weibull MLE fell back to
+    #: the plain sample maximum (degenerate maxima / fit failure) — the
+    #: adaptive controller's signal that m needs growing at this n.
+    fallback_rate: float = 0.0
 
 
 @dataclass
@@ -116,12 +120,14 @@ class BlockSizeTuner:
             error=self.error,
             confidence=self.confidence,
         )
-        estimates = np.array(
-            [
-                estimator.hyper_sample(i, rng).estimate
-                for i in range(self.pilot_hyper_samples)
-            ]
-        )
+        pilots = [
+            estimator.hyper_sample(i, rng)
+            for i in range(self.pilot_hyper_samples)
+        ]
+        estimates = np.array([hs.estimate for hs in pilots])
+        fallback_rate = sum(
+            hs.fit is None for hs in pilots
+        ) / self.pilot_hyper_samples
         units = self.pilot_hyper_samples * n * self.m
         center = float(np.median(estimates))
         if center <= 0:
@@ -140,6 +146,7 @@ class BlockSizeTuner:
                 units_per_hyper_sample=n * self.m,
                 predicted_k=k,
                 predicted_units=k * n * self.m,
+                fallback_rate=fallback_rate,
             ),
             units,
         )

@@ -46,7 +46,7 @@ from .fitting import (
     ks_statistic,
 )
 from .gev import GEV, fit_gev_pwm, probability_weighted_moments
-from .gpd import GPD, fit_gpd_mle, fit_gpd_pwm
+from .gpd import GPD, fit_gpd, fit_gpd_mle, fit_gpd_pwm
 from .mle import WeibullFit, fisher_covariance, fit_weibull_mle, fit_weibull_mle_scipy
 from .order_stats import (
     empirical_cdf,
@@ -64,6 +64,7 @@ __all__ = [
     "fit_gev_pwm",
     "probability_weighted_moments",
     "GPD",
+    "fit_gpd",
     "fit_gpd_pwm",
     "fit_gpd_mle",
     "block_maxima",

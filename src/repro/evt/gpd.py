@@ -10,7 +10,11 @@ the underlying distribution has the finite right endpoint
 power, used by :mod:`repro.estimation.pot`.
 
 Fits: Hosking–Wallis PWM (closed form, robust) and maximum likelihood
-(2-parameter optimization started from the PWM point).
+(2-parameter optimization started from the PWM point).  The canonical
+entry point is :func:`fit_gpd`, which selects the method by name the
+same way the estimator layer selects families through
+``EstimatorConfig.method``; the per-method functions remain public for
+direct use.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from scipy import optimize
 from ..errors import EstimationError, FitError
 from .distributions import _as_array, _scalar_aware
 
-__all__ = ["GPD", "fit_gpd_pwm", "fit_gpd_mle"]
+__all__ = ["GPD", "fit_gpd", "fit_gpd_pwm", "fit_gpd_mle"]
 
 _EXP_EPS = 1e-9
 
@@ -193,3 +197,22 @@ def fit_gpd_mle(
         xi, log_sigma = result.x
         return GPD(xi=float(xi), sigma=float(math.exp(log_sigma)))
     return start
+
+
+def fit_gpd(
+    y: np.ndarray, method: str = "mle", start: Optional[GPD] = None
+) -> GPD:
+    """Fit the GPD to exceedances by the named method.
+
+    The single front door the estimator layer calls: ``method`` is
+    ``"mle"`` (default; PWM-started maximum likelihood) or ``"pwm"``
+    (closed-form Hosking–Wallis).  ``start`` seeds the MLE and is
+    rejected for the closed-form PWM fit.
+    """
+    if method == "mle":
+        return fit_gpd_mle(y, start=start)
+    if method == "pwm":
+        if start is not None:
+            raise FitError("the closed-form PWM fit takes no start point")
+        return fit_gpd_pwm(y)
+    raise FitError(f"unknown GPD fit method {method!r} (use 'mle' or 'pwm')")

@@ -55,6 +55,8 @@ __all__ = [
     "load_mean_interval",
     "dump_hyper_sample",
     "load_hyper_sample",
+    "dump_adaptive_decision",
+    "load_adaptive_decision",
     "dump_estimation_result",
     "load_estimation_result",
     "dump_estimator_config",
@@ -66,7 +68,10 @@ __all__ = [
 ]
 
 #: Version stamped into every payload this build writes.
-SCHEMA_VERSION = "1.0"
+#: 1.1 added the estimator-selection fields: ``method``/``pot_*`` on
+#: configs, ``method``/``decision`` on results (minor bump — 1.0
+#: readers ignore them, 1.0 payloads load with ``method="fixed"``).
+SCHEMA_VERSION = "1.1"
 
 #: Major version this build can read.
 SCHEMA_MAJOR = 1
@@ -241,6 +246,43 @@ def load_hyper_sample(data: dict):
 
 
 # ----------------------------------------------------------------------
+# AdaptiveDecision
+# ----------------------------------------------------------------------
+
+def dump_adaptive_decision(decision) -> dict:
+    """JSON-able form of an
+    :class:`~repro.estimation.result.AdaptiveDecision`."""
+    return stamp(
+        {
+            "chosen_n": decision.chosen_n,
+            "chosen_m": decision.chosen_m,
+            "family": decision.family,
+            "cv_score_weibull": decision.cv_score_weibull,
+            "cv_score_pot": decision.cv_score_pot,
+            "pilot_units": decision.pilot_units,
+            "candidate_ns": [int(n) for n in decision.candidate_ns],
+            "pilot_fallback_rate": decision.pilot_fallback_rate,
+        }
+    )
+
+
+def load_adaptive_decision(data: dict):
+    check_schema_version(data, "AdaptiveDecision payload")
+    from .estimation.result import AdaptiveDecision
+
+    return AdaptiveDecision(
+        chosen_n=int(data["chosen_n"]),
+        chosen_m=int(data["chosen_m"]),
+        family=str(data["family"]),
+        cv_score_weibull=float(data["cv_score_weibull"]),
+        cv_score_pot=float(data["cv_score_pot"]),
+        pilot_units=int(data["pilot_units"]),
+        candidate_ns=[int(n) for n in data.get("candidate_ns", ())],
+        pilot_fallback_rate=float(data.get("pilot_fallback_rate", 0.0)),
+    )
+
+
+# ----------------------------------------------------------------------
 # EstimationResult
 # ----------------------------------------------------------------------
 
@@ -263,6 +305,12 @@ def dump_estimation_result(result) -> dict:
             "k": result.k,
             "ci_trajectory": [float(w) for w in result.ci_trajectory],
             "hyper_samples": [dump_hyper_sample(hs) for hs in result.hyper_samples],
+            "method": result.method,
+            "decision": (
+                dump_adaptive_decision(result.decision)
+                if result.decision is not None
+                else None
+            ),
         }
     )
 
@@ -291,6 +339,14 @@ def load_estimation_result(data: dict):
             else None
         ),
         ci_trajectory=[float(w) for w in data.get("ci_trajectory", ())],
+        # Pre-1.1 payloads carry neither field: every result then was
+        # the paper's fixed block-maxima estimator.
+        method=str(data.get("method", "fixed")),
+        decision=(
+            load_adaptive_decision(data["decision"])
+            if data.get("decision") is not None
+            else None
+        ),
     )
 
 
@@ -313,6 +369,9 @@ def dump_estimator_config(config) -> dict:
             "workers": config.workers,
             "retries": config.retries,
             "task_timeout": config.task_timeout,
+            "method": config.method,
+            "pot_threshold_quantile": config.pot_threshold_quantile,
+            "pot_batch_size": config.pot_batch_size,
         }
     )
 
@@ -340,6 +399,14 @@ def load_estimator_config(data: dict):
         kwargs["upper_bound"] = float(data["upper_bound"])
     if data.get("task_timeout") is not None:
         kwargs["task_timeout"] = float(data["task_timeout"])
+    # Pre-1.1 payloads have no "method": they all meant the paper's
+    # fixed block-maxima estimator (the dataclass default).
+    if data.get("method") is not None:
+        kwargs["method"] = str(data["method"])
+    if data.get("pot_threshold_quantile") is not None:
+        kwargs["pot_threshold_quantile"] = float(data["pot_threshold_quantile"])
+    if data.get("pot_batch_size") is not None:
+        kwargs["pot_batch_size"] = int(data["pot_batch_size"])
     return EstimatorConfig(**kwargs)
 
 
@@ -375,9 +442,13 @@ def fingerprint_job_spec(spec) -> str:
     Two specs share a fingerprint iff the paper's deterministic seed
     contract guarantees them bit-identical results: the canonical
     :func:`dump_job_spec` payload is hashed with ``schema_version``
-    stamps and :data:`NON_SEMANTIC_CONFIG_KNOBS` stripped, so changing
-    ``workers`` (or a future estimator-selection knob changing anything
-    semantic) keys exactly as the determinism contract demands.
+    stamps and :data:`NON_SEMANTIC_CONFIG_KNOBS` stripped.  The 1.1
+    estimator-selection fields are *semantic* — a different ``method``
+    (or POT policy) is a different result — and key the hash whenever
+    they deviate from their defaults; at their defaults
+    (``method="fixed"``, no POT policy) they are dropped from the
+    canonical form, so every fingerprint a 1.0 build wrote — and the
+    memoized results stored under it — stays valid.
     """
     payload = dump_job_spec(spec)
     payload.pop("schema_version", None)
@@ -385,6 +456,11 @@ def fingerprint_job_spec(spec) -> str:
     config.pop("schema_version", None)
     for knob in NON_SEMANTIC_CONFIG_KNOBS:
         config.pop(knob, None)
+    if config.get("method") == "fixed":
+        config.pop("method", None)
+    for knob in ("pot_threshold_quantile", "pot_batch_size"):
+        if config.get(knob) is None:
+            config.pop(knob, None)
     payload["config"] = config
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

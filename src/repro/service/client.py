@@ -159,7 +159,11 @@ class Client:
 
         Accepts a circuit name/path plus :class:`~repro.service.jobs.JobSpec`
         keyword fields, a ready :class:`~repro.service.jobs.JobSpec`, or a
-        raw spec dict (for language-agnostic callers).
+        raw spec dict (for language-agnostic callers).  With a circuit
+        argument, the estimator-selection knobs may be passed directly —
+        ``submit("c432", method="auto")`` is shorthand for building an
+        :class:`~repro.api.EstimatorConfig` with that ``method`` (plus
+        ``pot_threshold_quantile``/``pot_batch_size`` if given).
 
         A memoizing server may return the job already ``completed`` with
         ``memo_hit: true`` — the spec matched an earlier completed job,
@@ -173,6 +177,20 @@ class Client:
         elif isinstance(circuit_or_spec, dict):
             payload = dict(circuit_or_spec)
         else:
+            method_kwargs = {
+                key: spec_kwargs.pop(key)
+                for key in ("method", "pot_threshold_quantile", "pot_batch_size")
+                if key in spec_kwargs
+            }
+            if method_kwargs:
+                if config is not None:
+                    raise ValueError(
+                        "pass estimator-selection knobs either inside config= "
+                        "or as bare keywords, not both"
+                    )
+                from ..api import EstimatorConfig  # lazy: keep client import-light
+
+                config = EstimatorConfig(**method_kwargs)
             if config is not None:
                 spec_kwargs["config"] = config
             payload = JobSpec(circuit=str(circuit_or_spec), **spec_kwargs).to_dict()

@@ -48,7 +48,7 @@ import numpy as np
 
 from ..api import build_population, run_many
 from ..errors import JobCancelledError
-from ..estimation.mc_estimator import MaxPowerEstimator
+from ..estimation.adaptive import build_estimator
 from ..obs.metrics import get_registry
 from ..obs.spans import get_span_recorder
 from ..obs.trace import get_tracer
@@ -318,7 +318,11 @@ class WorkerPool:
         population = self._population_for(job)
         lost = (lambda: lease.lost) if lease is not None else (lambda: False)
         if spec.num_runs == 1:
-            estimator = MaxPowerEstimator.from_config(population, spec.config)
+            # The config's method field picks the engine (fixed block
+            # maxima, POT, or the adaptive controller) — all share the
+            # run(rng, progress) contract, so cancellation and the live
+            # trajectory work identically.
+            estimator = build_estimator(population, spec.config)
             # Capture this attempt's buffer: a steal-back re-run swaps in
             # a fresh list on job.trajectory, and a still-unwinding old
             # attempt must keep writing to its own orphaned one.

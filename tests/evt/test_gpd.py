@@ -102,3 +102,41 @@ class TestFits:
             fit = fit_gpd_mle(true.rvs(30, rng))
             assert math.isfinite(fit.xi)
             assert fit.sigma > 0
+
+
+class TestFitDispatcher:
+    """``fit_gpd`` — the single front door over the MLE/PWM fitters."""
+
+    def test_default_is_mle(self):
+        from repro.evt.gpd import fit_gpd
+
+        rng = np.random.default_rng(2)
+        y = GPD(xi=-0.2, sigma=1.0).rvs(500, rng)
+        via_front = fit_gpd(y)
+        direct = fit_gpd_mle(y)
+        assert via_front.xi == direct.xi
+        assert via_front.sigma == direct.sigma
+
+    def test_pwm_route(self):
+        from repro.evt.gpd import fit_gpd
+
+        rng = np.random.default_rng(2)
+        y = GPD(xi=-0.2, sigma=1.0).rvs(500, rng)
+        via_front = fit_gpd(y, method="pwm")
+        direct = fit_gpd_pwm(y)
+        assert via_front.xi == direct.xi
+        assert via_front.sigma == direct.sigma
+
+    def test_pwm_rejects_start_point(self):
+        from repro.evt.gpd import fit_gpd
+
+        rng = np.random.default_rng(2)
+        y = GPD(xi=-0.2, sigma=1.0).rvs(100, rng)
+        with pytest.raises(FitError, match="start"):
+            fit_gpd(y, method="pwm", start=(-0.1, 1.0))
+
+    def test_unknown_method_rejected(self):
+        from repro.evt.gpd import fit_gpd
+
+        with pytest.raises(FitError, match="unknown GPD fit method"):
+            fit_gpd(np.ones(50), method="bogus")

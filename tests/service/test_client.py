@@ -38,6 +38,33 @@ class TestSubmitForms:
         )
         assert client.wait(job["id"], timeout=30)["state"] == JobState.COMPLETED
 
+    def test_submit_method_shorthand(self, service, bench_path):
+        # method= (and POT knobs) as bare keywords build the config.
+        _server, client = service
+        job = client.submit(
+            str(bench_path),
+            method="pot",
+            pot_threshold_quantile=0.9,
+            seed=3,
+            population_size=300,
+        )
+        assert client.wait(job["id"], timeout=30)["state"] == JobState.COMPLETED
+        result = client.result(job["id"])
+        assert result.method == "pot"
+
+    def test_submit_method_shorthand_conflicts_with_config(
+        self, service, bench_path
+    ):
+        from repro.api import EstimatorConfig
+
+        _server, client = service
+        with pytest.raises(ValueError, match="not both"):
+            client.submit(
+                str(bench_path),
+                EstimatorConfig(max_hyper_samples=10),
+                method="auto",
+            )
+
     def test_result_payload_is_versioned(self, service, quick_spec):
         _server, client = service
         job = client.submit(quick_spec)

@@ -338,3 +338,43 @@ class TestTwoReplicaService:
         got = client.result(submitted.id)
         assert got.estimate == expected.estimate
         assert got.to_dict() == expected.to_dict()
+
+
+class TestAdaptiveOnFabric:
+    """``method="auto"`` under the replica-safety contract: the adaptive
+    controller's pilot/CV draws live on the same seeded stream as the
+    production run, so a steal-and-re-run lands on identical bits."""
+
+    def test_stolen_auto_job_bit_identical(self, fabric, tmp_path, bench_path):
+        from repro.api import EstimatorConfig
+        from repro.service.jobs import JobSpec
+
+        spec = JobSpec(
+            circuit=str(bench_path),
+            config=EstimatorConfig(method="auto", max_hyper_samples=10),
+            seed=3,
+            population_size=400,
+        )
+        dead = SQLiteJobStore(
+            tmp_path / "shared", replica_id="dead", lease_ttl=0.3
+        )
+        submitted = dead.submit(spec)
+        assert dead.claim_next(timeout=0.01, owner="wd") is not None
+        dead.close()
+
+        survivor = fabric("shared", workers=1, lease_ttl=0.3)
+        client = Client(survivor.url, timeout=10.0)
+        status = client.wait(submitted.id, timeout=60)
+        assert status["state"] == "completed"
+        assert len(committed_results(tmp_path / "shared", submitted.id)) == 1
+
+        expected = estimate(
+            spec.circuit,
+            spec.config,
+            seed=spec.seed,
+            population_size=spec.population_size,
+        )
+        got = client.result(submitted.id)
+        assert got.method == "auto"
+        assert got.decision is not None
+        assert got.to_dict() == expected.to_dict()

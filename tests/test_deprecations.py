@@ -37,3 +37,45 @@ class TestMovedSchemaConstants:
 
         assert "RESULT_SCHEMA" not in result_mod.__all__
         assert "CHECKPOINT_SCHEMA" not in checkpoint_mod.__all__
+
+
+class TestPotRoundsAliases:
+    """``min_rounds``/``max_rounds`` became ``min/max_hyper_samples``."""
+
+    @pytest.fixture
+    def pool(self):
+        import numpy as np
+
+        from repro.vectors.population import FinitePopulation
+
+        rng = np.random.default_rng(0)
+        return FinitePopulation(rng.weibull(2.0, size=500) + 0.1)
+
+    def test_constructor_aliases_warn_and_map(self, pool):
+        from repro.estimation.pot import PeaksOverThresholdEstimator
+
+        with pytest.warns(DeprecationWarning, match="min_hyper_samples"):
+            est = PeaksOverThresholdEstimator(pool, min_rounds=3)
+        assert est.min_hyper_samples == 3
+        with pytest.warns(DeprecationWarning, match="max_hyper_samples"):
+            est = PeaksOverThresholdEstimator(pool, max_rounds=50)
+        assert est.max_hyper_samples == 50
+
+    def test_property_aliases_warn_and_match(self, pool):
+        from repro.estimation.pot import PeaksOverThresholdEstimator
+
+        est = PeaksOverThresholdEstimator(pool)
+        with pytest.warns(DeprecationWarning, match="min_hyper_samples"):
+            assert est.min_rounds == est.min_hyper_samples
+        with pytest.warns(DeprecationWarning, match="max_hyper_samples"):
+            assert est.max_rounds == est.max_hyper_samples
+
+    def test_alias_and_new_name_together_rejected(self, pool):
+        from repro.errors import ConfigError
+        from repro.estimation.pot import PeaksOverThresholdEstimator
+
+        with pytest.raises(ConfigError):
+            with pytest.warns(DeprecationWarning):
+                PeaksOverThresholdEstimator(
+                    pool, min_rounds=3, min_hyper_samples=4
+                )

@@ -142,3 +142,78 @@ class TestJobSpecSchema:
     def test_missing_circuit_rejected(self):
         with pytest.raises(SchemaError, match="circuit"):
             load_job_spec({"seed": 1})
+
+
+class TestEstimatorSelectionSchema:
+    """The 1.1 estimator-selection fields: method + POT policy + decision."""
+
+    def test_method_round_trips(self):
+        config = EstimatorConfig(
+            method="pot", pot_threshold_quantile=0.92, pot_batch_size=400
+        )
+        assert load_estimator_config(dump_estimator_config(config)) == config
+
+    def test_legacy_config_without_method_loads_as_fixed(self):
+        config = load_estimator_config({"error": 0.1})
+        assert config.method == "fixed"
+        assert config.pot_threshold_quantile is None
+        assert config.pot_batch_size is None
+
+    def test_decision_round_trips(self, result):
+        from repro.estimation.result import AdaptiveDecision
+
+        result.method = "auto"
+        result.decision = AdaptiveDecision(
+            chosen_n=60,
+            chosen_m=10,
+            family="pot",
+            cv_score_weibull=0.12,
+            cv_score_pot=0.08,
+            pilot_units=2400,
+            candidate_ns=[10, 30, 60],
+            pilot_fallback_rate=0.25,
+        )
+        data = dump_estimation_result(result)
+        assert data["method"] == "auto"
+        assert data["decision"]["schema_version"] == SCHEMA_VERSION
+        again = load_estimation_result(data)
+        assert again.decision == result.decision
+        assert again.to_dict() == result.to_dict()
+
+    def test_legacy_result_without_method_loads_as_fixed(self, result):
+        data = dump_estimation_result(result)
+        data.pop("method", None)
+        data.pop("decision", None)
+        again = load_estimation_result(data)
+        assert again.method == "fixed"
+        assert again.decision is None
+
+    def test_fingerprint_stable_for_legacy_default_specs(self):
+        from repro.schemas import fingerprint_job_spec
+
+        spec = JobSpec(circuit="c432", config=EstimatorConfig(), seed=1)
+        payload = dump_job_spec(spec)
+        # What a 1.0 build would have sent: no estimator-selection keys.
+        for key in ("method", "pot_threshold_quantile", "pot_batch_size"):
+            payload["config"].pop(key, None)
+        legacy = load_job_spec(payload)
+        assert fingerprint_job_spec(legacy) == fingerprint_job_spec(spec)
+
+    def test_fingerprint_keys_on_non_default_method(self):
+        from repro.schemas import fingerprint_job_spec
+
+        fixed = JobSpec(circuit="c432", config=EstimatorConfig(), seed=1)
+        auto = JobSpec(
+            circuit="c432", config=EstimatorConfig(method="auto"), seed=1
+        )
+        pot = JobSpec(
+            circuit="c432",
+            config=EstimatorConfig(method="pot", pot_threshold_quantile=0.9),
+            seed=1,
+        )
+        prints = {
+            fingerprint_job_spec(fixed),
+            fingerprint_job_spec(auto),
+            fingerprint_job_spec(pot),
+        }
+        assert len(prints) == 3
