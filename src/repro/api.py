@@ -230,6 +230,7 @@ def build_population(
     frequency_mhz: float = 50.0,
     seed: int = 0,
     workers: int = 1,
+    batcher=None,
 ) -> PowerPopulation:
     """Build the vector-pair power population the paper estimates over.
 
@@ -241,7 +242,10 @@ def build_population(
 
     This is the exact construction ``repro estimate`` performs, factored
     out so the CLI, the :func:`estimate` facade, and the job service
-    produce bit-identical populations for the same arguments.
+    produce bit-identical populations for the same arguments.  The
+    optional ``batcher`` (a :class:`~repro.sim.batch.SimBatcher`) lets
+    the service fuse concurrent jobs' unit-delay simulation into shared
+    kernel invocations — powers are bit-identical with or without it.
     """
     import numpy as np
 
@@ -261,7 +265,10 @@ def build_population(
         raise ConfigError("activity must be in (0, 1)")
     circuit = _load_circuit(circuit)
     analyzer = PowerAnalyzer(
-        circuit, frequency_hz=frequency_mhz * 1e6, mode=sim_mode
+        circuit,
+        frequency_hz=frequency_mhz * 1e6,
+        mode=sim_mode,
+        batcher=batcher,
     )
     if activity is None:
         def generate(count: int, rng: np.random.Generator):

@@ -41,6 +41,7 @@ from ..errors import ConfigError, ReproError, SchemaError
 from ..obs.export import render_prometheus
 from ..obs.metrics import get_registry
 from ..obs.spans import get_span_recorder, parse_traceparent
+from ..sim.compiled import kernel_info
 from ..schemas import (
     SCHEMA_VERSION,
     SERVICE_EVENTS_SCHEMA,
@@ -549,6 +550,7 @@ class JobServer:
             "tenant_quota": self.tenant_quota,
             "memo_hit_ratio": memo["ratio"],
             "store_backend": self.store.backend,
+            "sim_kernel": kernel_info(),
             "uptime_seconds": (
                 time.time() - self._started_at if self._started_at else 0.0
             ),
@@ -622,13 +624,20 @@ class JobServer:
         finished = sum(
             counts.get(state, 0) for state in ("completed", "failed", "cancelled")
         )
+        info = kernel_info()
+        kernel = info["active"]
+        if info["backend"]:
+            kernel += f"/{info['backend']}"
+        if info["fallback"]:
+            kernel += " (native requested, no accelerator)"
         return (
             f"served {sum(counts.values())} job(s) in {uptime:.1f}s "
             f"({finished} finished: "
             f"{counts.get('completed', 0)} completed, "
             f"{counts.get('failed', 0)} failed, "
             f"{counts.get('cancelled', 0)} cancelled; "
-            f"memo hit ratio {memo['ratio']:.2f})"
+            f"memo hit ratio {memo['ratio']:.2f}; "
+            f"sim kernel {kernel})"
         )
 
     # -- lifecycle ------------------------------------------------------

@@ -11,8 +11,9 @@
 * :class:`~repro.sim.sta.StaticTimingAnalyzer` — longest-path timing.
 """
 
+from .batch import SimBatcher, get_batcher, reset_batcher
 from .bitsim import BitParallelSimulator, pack_vectors, unpack_vectors
-from .compiled import CompiledPlan, compile_plan
+from .compiled import CompiledPlan, compile_plan, kernel_info, resolve_kernel
 from .delay import DelayModel, LibraryDelay, UnitDelay, ZeroDelay
 from .event_sim import EventDrivenSimulator, PairSimResult
 from .power import PowerAnalyzer, PowerBreakdown, SIM_MODES
@@ -23,7 +24,12 @@ from .vcd import VcdData, dump_vcd, parse_vcd, write_vcd
 __all__ = [
     "BitParallelSimulator",
     "CompiledPlan",
+    "SimBatcher",
     "compile_plan",
+    "get_batcher",
+    "reset_batcher",
+    "kernel_info",
+    "resolve_kernel",
     "pack_vectors",
     "unpack_vectors",
     "DelayModel",

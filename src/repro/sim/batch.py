@@ -1,0 +1,402 @@
+"""Cross-job batched simulation: one kernel invocation, many jobs' lanes.
+
+The service runs one estimation job per worker thread, and each job's
+hyper-samples arrive at the simulator as modest lane blocks (hundreds to
+a few thousand vector pairs).  Per kernel invocation the wavefront loop
+pays a fixed cost — plan/table lookups, settling, the per-step
+scheduling sweep — that is independent of the word count, so eight jobs
+each simulating 512 lanes cost far more than one invocation over the
+same 4096 lanes.  :class:`SimBatcher` is the rendezvous point that
+recovers that difference: concurrent callers targeting the same
+compiled plan are fused into one kernel invocation over their
+concatenated packed words, and each caller's energies are scattered
+back from its own word slice.
+
+Bit-identity
+------------
+Batching is invisible in the results, by construction:
+
+* Lanes are independent in every kernel tier (all per-word bitwise
+  operations; active-gate scheduling may evaluate *more* gates in a
+  fused run, but re-evaluating an unchanged gate changes no bits), so
+  the per-lane toggle planes of a fused run equal the per-job ones.
+* Each caller's block is split at the same ``_UNIT_LANE_BLOCK``
+  boundaries the unbatched path uses, every segment starts at a word
+  boundary in the fused array, and its tail lanes are masked exactly as
+  the unbatched partial block masks them.
+* Each segment is charged separately — its own word slice, its own
+  capacitance vector, its own lane count — through the one shared
+  :func:`~repro.sim.compiled.charge_planes`.  The fused run's
+  ``planes_used`` may exceed a segment's own, but the extra planes are
+  all-zero in that segment's lanes and contribute exactly zero to the
+  integer group totals, so the final float contraction is unchanged.
+
+Seed streams and per-job accounting never enter this module: callers
+hand in already-generated packed words and get energies back, so *what*
+is simulated is untouched — only *when* the kernel runs changes.
+
+Fusion policy
+-------------
+Leader/follower handoff: the first caller to find no leader becomes
+one, waits a short window for stragglers while other in-flight callers
+are still outside the queue, then fuses every pending request that
+shares its fusion key ``(plan, kernel, max_steps)`` and executes.
+Followers park on a condition variable until their energies are filled
+in.  Requests with different keys (different circuits) simply wait one
+execution and are fused by the next leader.  The interpreted tier and
+zero-lane calls pass through unbatched.
+
+``REPRO_SIM_BATCH=0`` disables service-side batching entirely (the
+worker pool then calls the simulator directly);
+``REPRO_SIM_BATCH_LANES`` caps the lanes fused into one invocation and
+``REPRO_SIM_BATCH_WINDOW_MS`` tunes the straggler window.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..obs.metrics import get_registry
+from ..obs.spans import get_span_recorder
+from .compiled import _UNIT_LANE_BLOCK, charge_planes, lane_mask
+
+__all__ = [
+    "SimBatcher",
+    "get_batcher",
+    "reset_batcher",
+    "batching_enabled",
+    "DEFAULT_BATCH_LANES",
+    "DEFAULT_BATCH_WINDOW_S",
+]
+
+_METRICS = get_registry()
+_SPANS = get_span_recorder()
+_BATCH_JOBS = _METRICS.histogram(
+    "sim_batch_jobs", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+)
+_BATCH_LANES = _METRICS.histogram(
+    "sim_batch_lanes",
+    buckets=(256.0, 1024.0, 4096.0, 16384.0, 65536.0),
+)
+
+#: Lanes fused into a single kernel invocation, at most.  One plane
+#: block at 65536 lanes is ~tens of MB for the suite circuits — the
+#: same peak the unbatched analyzer already reaches per block.
+DEFAULT_BATCH_LANES = 1 << 16
+
+#: How long a lone leader waits for straggler requests before running.
+#: Only paid when other callers are demonstrably mid-flight; a
+#: single-threaded caller never waits.
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be a number, got {raw!r}") from None
+
+
+class _Request:
+    """One caller's block, queued for fusion."""
+
+    __slots__ = (
+        "plan", "kernel", "v1", "v2", "num_lanes", "caps", "max_steps",
+        "key", "energy", "error", "done",
+    )
+
+    def __init__(self, plan, kernel, v1, v2, num_lanes, caps, max_steps):
+        self.plan = plan
+        self.kernel = kernel
+        self.v1 = v1
+        self.v2 = v2
+        self.num_lanes = num_lanes
+        self.caps = caps
+        self.max_steps = max_steps
+        # id(plan) is stable while the request holds the plan alive;
+        # different max_steps values would change planes_used semantics,
+        # so they never fuse.
+        self.key = (id(plan), kernel, max_steps)
+        self.energy: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class SimBatcher:
+    """Thread-safe fusion point for unit-delay energy evaluation.
+
+    One instance is shared by all worker threads of a process (see
+    :func:`get_batcher`); population builders and service workers route
+    their unit-delay blocks through
+    :meth:`toggle_energy_unit_delay` instead of calling the simulator
+    directly.  Single-threaded use degrades to a thin wrapper (batch of
+    one, no window wait), so the same code path serves the CLI and the
+    service.
+    """
+
+    def __init__(
+        self,
+        max_lanes: int = DEFAULT_BATCH_LANES,
+        window_s: float = DEFAULT_BATCH_WINDOW_S,
+    ):
+        if max_lanes < _UNIT_LANE_BLOCK:
+            raise ConfigError(
+                f"max_lanes must be >= {_UNIT_LANE_BLOCK} (one charge block)"
+            )
+        if window_s < 0:
+            raise ConfigError("window_s must be >= 0")
+        self.max_lanes = int(max_lanes)
+        self.window_s = float(window_s)
+        self._max_words = self.max_lanes // 64
+        self._cv = threading.Condition()
+        self._pending: List[_Request] = []
+        self._leader_active = False
+        self._inflight = 0
+
+    # Pickling (populations captured by process pools hold analyzers
+    # which hold the batcher): ship the configuration only; the child
+    # rebuilds fresh synchronization state.
+    def __getstate__(self) -> dict:
+        return {"max_lanes": self.max_lanes, "window_s": self.window_s}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
+
+    # ------------------------------------------------------------------
+    def toggle_energy_unit_delay(
+        self,
+        sim,
+        v1_words: np.ndarray,
+        v2_words: np.ndarray,
+        num_lanes: int,
+        net_caps: np.ndarray,
+        max_steps: Optional[int] = None,
+    ) -> np.ndarray:
+        """Batched twin of
+        :meth:`~repro.sim.bitsim.BitParallelSimulator.toggle_energy_unit_delay`.
+
+        Blocks until this caller's energies are computed — either by
+        this thread (as batch leader) or by a concurrent leader that
+        fused the request into its own invocation.  Results are
+        bit-identical to the unbatched method.
+        """
+        plan = getattr(sim, "_plan", None)
+        if plan is None or num_lanes <= 0:
+            # Interpreted tier (or empty call): nothing to fuse.
+            if num_lanes > 0:
+                _METRICS.counter(
+                    "sim_kernel_invocations_total", tier=sim.kernel
+                ).inc()
+            return sim.toggle_energy_unit_delay(
+                v1_words, v2_words, num_lanes, net_caps, max_steps
+            )
+        eff_steps = (
+            int(max_steps) if max_steps is not None else plan.depth + 4
+        )
+        req = _Request(
+            plan,
+            sim.kernel,
+            np.ascontiguousarray(v1_words, dtype=np.uint64),
+            np.ascontiguousarray(v2_words, dtype=np.uint64),
+            int(num_lanes),
+            np.asarray(net_caps, dtype=np.float64),
+            eff_steps,
+        )
+        with self._cv:
+            self._inflight += 1
+            self._pending.append(req)
+            while True:
+                if req.done:
+                    # A concurrent leader ran this request.
+                    self._inflight -= 1
+                    self._cv.notify_all()
+                    if req.error is not None:
+                        raise req.error
+                    return req.energy
+                if not self._leader_active:
+                    self._leader_active = True
+                    break
+                self._cv.wait()
+        # Leader from here on; the finally block below is the only exit.
+        batch: List[_Request] = [req]
+        try:
+            with self._cv:
+                if self.window_s > 0.0:
+                    # Wait for stragglers only while some caller is
+                    # mid-flight but not yet queued (between a previous
+                    # batch completing and its followers returning, or
+                    # approaching the queue).  Once everyone in the
+                    # call is parked, waiting longer gains nothing.
+                    deadline = time.monotonic() + self.window_s
+                    while self._inflight > len(self._pending):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cv.wait(remaining)
+                batch = self._take_batch_locked(req)
+            self._execute(batch)
+        except BaseException as exc:
+            for r in batch:
+                if r.error is None:
+                    r.error = exc
+        finally:
+            with self._cv:
+                for r in batch:
+                    r.done = True
+                self._leader_active = False
+                self._inflight -= 1
+                self._cv.notify_all()
+        if req.error is not None:
+            raise req.error
+        return req.energy
+
+    # ------------------------------------------------------------------
+    def _take_batch_locked(self, leader: _Request) -> List[_Request]:
+        """Remove and return every pending request fusable with the
+        leader's (same plan, kernel and step budget), FIFO order."""
+        batch = [r for r in self._pending if r.key == leader.key]
+        self._pending = [r for r in self._pending if r.key != leader.key]
+        return batch
+
+    def _execute(self, batch: List[_Request]) -> None:
+        plan = batch[0].plan
+        kernel = batch[0].kernel
+        max_steps = batch[0].max_steps
+        # Split each request at the unbatched path's charge-block
+        # boundaries, so every segment is charged over exactly the lane
+        # grouping the per-job path would have used.
+        segments: List[Tuple[_Request, int, int, int]] = []
+        for req in batch:
+            req.energy = np.empty(req.num_lanes, dtype=np.float64)
+            for lo in range(0, req.num_lanes, _UNIT_LANE_BLOCK):
+                hi = min(lo + _UNIT_LANE_BLOCK, req.num_lanes)
+                words = (hi + 63) // 64 - lo // 64
+                segments.append((req, lo, hi, words))
+        # Greedy word-budget packing; a segment is never split across
+        # invocations (each is at most _UNIT_LANE_BLOCK lanes, and the
+        # budget is at least that).
+        group: List[Tuple[_Request, int, int, int]] = []
+        group_words = 0
+        for seg in segments:
+            if group and group_words + seg[3] > self._max_words:
+                self._run_fused(plan, kernel, max_steps, group)
+                group, group_words = [], 0
+            group.append(seg)
+            group_words += seg[3]
+        if group:
+            self._run_fused(plan, kernel, max_steps, group)
+
+    def _run_fused(
+        self,
+        plan,
+        kernel: str,
+        max_steps: int,
+        group: List[Tuple[_Request, int, int, int]],
+    ) -> None:
+        """One kernel invocation over the group's concatenated words,
+        charged back segment by segment."""
+        total_words = sum(words for _, _, _, words in group)
+        num_inputs = plan.num_inputs
+        v1f = np.empty((num_inputs, total_words), dtype=np.uint64)
+        v2f = np.empty((num_inputs, total_words), dtype=np.uint64)
+        maskf = np.empty(total_words, dtype=np.uint64)
+        offsets: List[int] = []
+        off = 0
+        for req, lo, hi, words in group:
+            ws = slice(lo // 64, lo // 64 + words)
+            v1f[:, off:off + words] = req.v1[:, ws]
+            v2f[:, off:off + words] = req.v2[:, ws]
+            maskf[off:off + words] = lane_mask(hi - lo, words)
+            offsets.append(off)
+            off += words
+        jobs = len({id(req) for req, _, _, _ in group})
+        lanes = sum(hi - lo for _, lo, hi, _ in group)
+        with _SPANS.span(
+            "sim.batch", tier=kernel, jobs=jobs, lanes=lanes,
+            words=total_words,
+        ):
+            if kernel == "native":
+                from .native import unit_delay_planes_native
+
+                planes, used = unit_delay_planes_native(
+                    plan, v1f, v2f, maskf, max_steps
+                )
+            else:
+                planes, used = plan.unit_delay_planes(
+                    v1f, v2f, maskf, max_steps
+                )
+            for (req, lo, hi, words), seg_off in zip(group, offsets):
+                seg_planes = [
+                    p[:, seg_off:seg_off + words] for p in planes
+                ]
+                req.energy[lo:hi] = charge_planes(
+                    seg_planes, req.caps, hi - lo, used
+                )
+        # Drop the plane views before the next invocation so the native
+        # tier's thread-local plane block can be reused rather than
+        # reallocated.
+        del planes
+        _METRICS.counter("sim_kernel_invocations_total", tier=kernel).inc()
+        _BATCH_JOBS.observe(float(jobs))
+        _BATCH_LANES.observe(float(lanes))
+
+
+# ----------------------------------------------------------------------
+# Process-wide default instance
+# ----------------------------------------------------------------------
+
+_GLOBAL: Optional[SimBatcher] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def batching_enabled() -> bool:
+    """Whether service-side batching is on (``REPRO_SIM_BATCH`` != 0)."""
+    return os.environ.get("REPRO_SIM_BATCH", "1") != "0"
+
+
+def get_batcher() -> SimBatcher:
+    """The process-wide batcher, built lazily from the environment."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is None:
+            _GLOBAL = SimBatcher(
+                max_lanes=int(
+                    _env_float("REPRO_SIM_BATCH_LANES", DEFAULT_BATCH_LANES)
+                ),
+                window_s=_env_float(
+                    "REPRO_SIM_BATCH_WINDOW_MS",
+                    DEFAULT_BATCH_WINDOW_S * 1e3,
+                ) / 1e3,
+            )
+        return _GLOBAL
+
+
+def reset_batcher() -> None:
+    """Discard the process-wide batcher (tests; forked children, whose
+    inherited condition variable may be held by a phantom thread)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        _GLOBAL = None
+
+
+def _after_fork_in_child() -> None:
+    # The parent may have been holding _GLOBAL_LOCK (or the batcher's
+    # condition variable) at fork time; the child replaces both rather
+    # than trying to acquire a lock owned by a thread that no longer
+    # exists here.
+    global _GLOBAL, _GLOBAL_LOCK
+    _GLOBAL_LOCK = threading.Lock()
+    _GLOBAL = None
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_after_fork_in_child)

@@ -120,7 +120,11 @@ class BitParallelSimulator:
     def __init__(self, circuit: Circuit, kernel: Optional[str] = None):
         circuit.validate()
         self.circuit = circuit
-        self._kernel = resolve_kernel(kernel)
+        # probe=True: a "native" request degrades to "compiled" here
+        # (once, logged + metric-counted) when no accelerator backend
+        # is available, so construction never fails on a capable-but-
+        # unaccelerated host.
+        self._kernel = resolve_kernel(kernel, probe=True)
         self._net_index: Dict[str, int] = {
             net: i for i, net in enumerate(circuit.nets)
         }
@@ -128,7 +132,7 @@ class BitParallelSimulator:
         self.num_inputs = circuit.num_inputs
         self._plan: Optional[CompiledPlan] = None
         self._ops: List[Tuple[int, GateType, Tuple[int, ...]]] = []
-        if self._kernel == "compiled":
+        if self._kernel in ("compiled", "native"):
             self._plan = compile_plan(circuit)
         else:
             for name in circuit.topological_order():
@@ -144,7 +148,9 @@ class BitParallelSimulator:
     # ------------------------------------------------------------------
     @property
     def kernel(self) -> str:
-        """Active simulation kernel: ``"compiled"`` or ``"interp"``."""
+        """Active simulation kernel: ``"native"``, ``"compiled"`` or
+        ``"interp"`` (a ``"native"`` request with no accelerator
+        backend reports the ``"compiled"`` tier it degraded to)."""
         return self._kernel
 
     def __getstate__(self) -> Dict[str, object]:
@@ -271,6 +277,10 @@ class BitParallelSimulator:
             to circuit depth + 4) — impossible for an acyclic circuit,
             so it guards against internal errors.
         """
+        if self._kernel == "native":
+            return self._toggle_energy_unit_delay_native(
+                v1_words, v2_words, num_lanes, net_caps, max_steps
+            )
         if self._plan is not None:
             return self._plan.toggle_energy_unit_delay(
                 v1_words, v2_words, num_lanes, net_caps, max_steps
@@ -328,6 +338,39 @@ class BitParallelSimulator:
                     "unit-delay simulation did not stabilize — "
                     "invariant broken"
                 )
+            energy[lo:hi] = charge_planes(planes, caps, lanes, planes_used)
+        return energy
+
+    def _toggle_energy_unit_delay_native(
+        self,
+        v1_words: np.ndarray,
+        v2_words: np.ndarray,
+        num_lanes: int,
+        net_caps: np.ndarray,
+        max_steps: Optional[int],
+    ) -> np.ndarray:
+        """Native-tier unit-delay energy: same lane blocking and the
+        same shared :func:`charge_planes` as the compiled tier, with
+        only the integer wavefront loop replaced by the accelerator
+        (:func:`repro.sim.native.unit_delay_planes_native`) — so the
+        energies are float-identical to the other tiers."""
+        from .native import unit_delay_planes_native
+
+        if max_steps is None:
+            max_steps = self._plan.depth + 4
+        caps = np.asarray(net_caps, dtype=np.float64)
+        v1_words = np.ascontiguousarray(v1_words, dtype=np.uint64)
+        v2_words = np.ascontiguousarray(v2_words, dtype=np.uint64)
+        energy = np.empty(num_lanes, dtype=np.float64)
+        for lo in range(0, num_lanes, _UNIT_LANE_BLOCK):
+            hi = min(lo + _UNIT_LANE_BLOCK, num_lanes)
+            lanes = hi - lo
+            ws = slice(lo // 64, (hi + 63) // 64)
+            num_words = (hi + 63) // 64 - lo // 64
+            mask = lane_mask(lanes, num_words)
+            planes, planes_used = unit_delay_planes_native(
+                self._plan, v1_words[:, ws], v2_words[:, ws], mask, max_steps
+            )
             energy[lo:hi] = charge_planes(planes, caps, lanes, planes_used)
         return energy
 

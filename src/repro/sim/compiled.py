@@ -56,13 +56,16 @@ differential testing).
 from __future__ import annotations
 
 import os
+import threading
 import time
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..netlist.circuit import Circuit
 from ..netlist.gates import GateType, eval_gate_words
 from ..obs.metrics import get_registry
@@ -73,6 +76,8 @@ __all__ = [
     "CompiledPlan",
     "compile_plan",
     "resolve_kernel",
+    "kernel_info",
+    "plan_cache_capacity",
     "charge_rows",
     "charge_planes",
     "accumulate_planes",
@@ -81,15 +86,23 @@ __all__ = [
     "lane_mask",
     "KERNELS",
     "DEFAULT_KERNEL",
+    "DEFAULT_PLAN_CACHE_CAPACITY",
     "MAX_BATCH_ARITY",
 ]
 
 #: Recognized simulation kernels (``REPRO_SIM_KERNEL`` values).
-KERNELS = ("compiled", "interp")
+KERNELS = ("compiled", "interp", "native")
 
 #: Kernel used when neither the constructor argument nor the
 #: environment variable selects one.
 DEFAULT_KERNEL = "compiled"
+
+#: Compiled plans kept hot across distinct circuit objects before the
+#: least-recently-used one is dropped (``REPRO_SIM_PLAN_CACHE``
+#: overrides; ``0`` disables the bound).  A long-lived service replica
+#: sees an unbounded stream of distinct uploaded circuits — without a
+#: cap every one would pin its plan arrays in memory forever.
+DEFAULT_PLAN_CACHE_CAPACITY = 256
 
 #: Largest fanin arity evaluated through the batched gather+reduce
 #: path; wider (rare, variadic) gates fall back to per-gate evaluation.
@@ -117,6 +130,7 @@ _SPANS = get_span_recorder()
 _COMPILE_TIMER = _METRICS.timer("sim_compile_seconds")
 _COMPILE_TOTAL = _METRICS.counter("sim_compile_total")
 _PLAN_CACHE_HITS = _METRICS.counter("sim_plan_cache_hits_total")
+_PLAN_EVICTIONS = _METRICS.counter("sim_plan_cache_evictions_total")
 _BATCH_EVALS = _METRICS.counter("sim_batch_eval_total")
 _STEPS_TOTAL = _METRICS.counter("sim_steps_total")
 _ACTIVE_LEVELS = _METRICS.histogram(
@@ -124,16 +138,66 @@ _ACTIVE_LEVELS = _METRICS.histogram(
 )
 
 
-def resolve_kernel(kernel: Optional[str] = None) -> str:
-    """Resolve the kernel choice: explicit argument, else env, else default."""
+def resolve_kernel(kernel: Optional[str] = None, probe: bool = False) -> str:
+    """Resolve the kernel choice: explicit argument, else env, else default.
+
+    An unknown kernel name — typically a ``REPRO_SIM_KERNEL`` typo —
+    raises :class:`~repro.errors.ConfigError` naming the valid tiers, so
+    a misconfigured deployment fails loudly at startup instead of
+    silently simulating on an unintended kernel.
+
+    With ``probe=True`` the choice is also resolved against what this
+    process can actually run: ``"native"`` degrades to ``"compiled"``
+    when no accelerator backend (Numba or the ctypes C extension) is
+    available — logged once and counted in
+    ``sim_native_fallback_total`` — never an error.
+    """
+    requested = kernel
     if kernel is None:
         kernel = os.environ.get("REPRO_SIM_KERNEL", DEFAULT_KERNEL)
     if kernel not in KERNELS:
-        raise SimulationError(
-            f"simulation kernel must be one of {KERNELS}, got {kernel!r} "
-            "(check the REPRO_SIM_KERNEL environment variable)"
+        source = (
+            "the REPRO_SIM_KERNEL environment variable"
+            if requested is None
+            else "the kernel argument"
         )
+        raise ConfigError(
+            f"unknown simulation kernel {kernel!r} (from {source}); "
+            f"valid kernels are {', '.join(KERNELS)}"
+        )
+    if probe and kernel == "native":
+        from .native import native_available, record_fallback
+
+        if not native_available():
+            record_fallback()
+            return "compiled"
     return kernel
+
+
+def kernel_info() -> dict:
+    """The process-wide kernel configuration, for health/telemetry.
+
+    Returns the requested tier (argument/env resolution without
+    availability probing), the active tier this process will actually
+    run, and — for the native tier — which accelerator backend serves
+    it.  ``fallback`` is true when ``native`` was requested but no
+    accelerator is available.
+    """
+    requested = resolve_kernel()
+    active = requested
+    backend = None
+    if requested == "native":
+        from .native import backend_name, native_available
+
+        backend = backend_name()
+        if not native_available():
+            active = "compiled"
+    return {
+        "requested": requested,
+        "active": active,
+        "backend": backend,
+        "fallback": requested == "native" and active != "native",
+    }
 
 
 def lane_mask(num_lanes: int, num_words: int) -> np.ndarray:
@@ -265,27 +329,98 @@ def charge_planes(
 ) -> np.ndarray:
     """Per-lane energy from bit-plane toggle counters.
 
-    ``energy = sum_k 2^k * (caps @ bits(plane_k))`` over the first
-    ``num_planes`` planes, restricted to nonzero-capacitance nets whose
-    plane row has any bit set; each plane charges through
-    :func:`charge_rows`.  The power-of-two scaling is exact in float64,
-    and both unit-delay kernels route every charge through this one
-    helper with identically ordered rows, so their energies are
-    bit-for-bit equal.
+    ``energy = sum_g caps_g * count_g`` where ``count_g`` is the exact
+    per-lane toggle total over all nets sharing capacitance value
+    ``caps_g``.  Real libraries map thousands of nets onto a few dozen
+    distinct capacitance values, so grouping turns almost the whole
+    charge into integer work: per plane, the live rows of each group
+    are unpacked in <=255-row chunks and column-summed eight lanes at a
+    time through a uint64 view (byte sums cannot overflow at <=255
+    rows), scaled by the exact power-of-two plane weight into a uint32
+    per-group total, and only the final ``(G, lanes)`` contraction with
+    the distinct capacitance values runs in float64.
+
+    The integer totals are exact and the float contraction has one
+    fixed (value-sorted) order, so energies are deterministic — and
+    every simulation tier routes each charge through this one helper,
+    so energies are bit-for-bit equal across tiers.
     """
     energy = np.zeros(num_lanes, dtype=np.float64)
     nz = np.flatnonzero(caps != 0.0)
-    if nz.size == 0:
+    if nz.size == 0 or num_lanes == 0:
         return energy
-    caps_nz = np.ascontiguousarray(caps[nz], dtype=np.float64)
+    # Group nets by distinct capacitance value; ``perm`` lists the
+    # nonzero-cap nets sorted by group, ``gid`` their (sorted) group
+    # ids.  np.unique sorts, so group order — and therefore the float
+    # summation order below — depends only on the capacitance values.
+    vals, inv = np.unique(caps[nz], return_inverse=True)
+    order = np.argsort(inv, kind="stable")
+    perm = np.ascontiguousarray(nz[order], dtype=np.int64)
+    gid = inv[order].astype(np.int64)
+    num_groups = vals.shape[0]
+    group_bounds = np.arange(num_groups + 1)
+
+    # The C accelerator (when built) computes the same exact integer
+    # group totals straight from the packed plane rows — no unpack, no
+    # gather.  It is bounded to 64-word rows by its on-stack
+    # accumulator, which every per-block charge satisfies.
+    num_words = planes[0].shape[1] if num_planes > 0 else 0
+    if num_words and num_words <= 64:
+        from .native import charge_accelerator
+
+        accel = charge_accelerator()
+        if accel is not None:
+            cuts = np.ascontiguousarray(
+                np.searchsorted(gid, group_bounds), dtype=np.int64
+            )
+            gtot_pad = np.zeros(
+                (num_groups, num_words * 64), dtype=np.uint32
+            )
+            for k in range(num_planes):
+                accel(planes[k], perm, cuts, 1 << k, gtot_pad)
+            energy += np.einsum(
+                "g,gj->j",
+                vals,
+                gtot_pad[:, :num_lanes].astype(np.float64),
+            )
+            return energy
+
+    gtot = np.zeros((num_groups, num_lanes), dtype=np.uint32)
     for k in range(num_planes):
-        rows = planes[k][nz]
+        rows = planes[k][perm]
         live = np.flatnonzero(rows.any(axis=1))
         if live.size == 0:
             continue
-        energy += float(1 << k) * charge_rows(
-            rows[live], caps_nz[live], num_lanes
-        )
+        live_rows = np.ascontiguousarray(rows[live])
+        live_gid = gid[live]
+        cuts = np.searchsorted(live_gid, group_bounds)
+        weight = np.uint32(1) << np.uint32(k)
+        for g in range(num_groups):
+            start, stop = int(cuts[g]), int(cuts[g + 1])
+            if start == stop:
+                continue
+            while stop - start > 255:
+                bits64 = np.unpackbits(
+                    live_rows[start : start + 255].view(np.uint8),
+                    axis=1,
+                    bitorder="little",
+                ).view(np.uint64)
+                gtot[g] += weight * np.add.reduce(bits64, axis=0).view(
+                    np.uint8
+                )[:num_lanes].astype(np.uint32)
+                start += 255
+            bits = np.unpackbits(
+                live_rows[start:stop].view(np.uint8),
+                axis=1,
+                bitorder="little",
+            )
+            if stop - start == 1:
+                gtot[g] += weight * bits[0, :num_lanes].astype(np.uint32)
+            else:
+                gtot[g] += weight * np.add.reduce(
+                    bits.view(np.uint64), axis=0
+                ).view(np.uint8)[:num_lanes].astype(np.uint32)
+    energy += np.einsum("g,gj->j", vals, gtot.astype(np.float64))
     return energy
 
 
@@ -636,12 +771,21 @@ class CompiledPlan:
 
     # ------------------------------------------------------------------
     def steady_state(
-        self, input_words: np.ndarray, num_lanes: int
+        self,
+        input_words: np.ndarray,
+        num_lanes: int,
+        mask: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Zero-delay settled values of every net, per lane.
 
         Identical contract (and bit-identical output) to
         :meth:`repro.sim.bitsim.BitParallelSimulator.steady_state`.
+
+        An explicit per-word ``mask`` (ones in valid lane bits) replaces
+        the contiguous ``lane_mask(num_lanes, ...)`` — the batched
+        execution layer packs several jobs' lane segments into one word
+        array, so its valid-lane pattern is the concatenation of the
+        segments' masks rather than a single prefix.
         """
         input_words = np.ascontiguousarray(input_words, dtype=np.uint64)
         if input_words.shape[0] != self.num_inputs:
@@ -652,7 +796,8 @@ class CompiledPlan:
         num_words = input_words.shape[1]
         if num_lanes > num_words * 64:
             raise SimulationError("num_lanes exceeds word capacity")
-        mask = lane_mask(num_lanes, num_words)
+        if mask is None:
+            mask = lane_mask(num_lanes, num_words)
         state = np.empty((self.num_nets, num_words), dtype=np.uint64)
         state[: self.num_inputs] = input_words & mask
         if self.const0_idx.size:
@@ -716,109 +861,138 @@ class CompiledPlan:
         caps = np.asarray(net_caps, dtype=np.float64)
         v1_words = np.ascontiguousarray(v1_words, dtype=np.uint64)
         v2_words = np.ascontiguousarray(v2_words, dtype=np.uint64)
-        record = _METRICS.enabled
         energy = np.empty(num_lanes, dtype=np.float64)
         for lo in range(0, num_lanes, _UNIT_LANE_BLOCK):
             hi = min(lo + _UNIT_LANE_BLOCK, num_lanes)
             lanes = hi - lo
             ws = slice(lo // 64, (hi + 63) // 64)
-            settled = self.steady_state(v1_words[:, ws], lanes)
-            num_words = settled.shape[1]
+            num_words = (hi + 63) // 64 - lo // 64
             mask = lane_mask(lanes, num_words)
-            # Two extra virtual rows feed the identity-padded fanin
-            # columns of the merged step groups: all-zeros at
-            # ``zeros_row``, all-ones (in valid lanes) at ``ones_row``.
-            state = np.empty((self.num_nets + 2, num_words), dtype=np.uint64)
-            state[: self.num_nets] = settled
-            state[self.zeros_row] = np.uint64(0)
-            state[self.ones_row] = mask
-            planes = make_planes(self.num_nets, num_words, max_steps + 1)
-            planes_used = 0
-
-            # Input transitions.
-            v2_masked = v2_words[:, ws] & mask
-            in_diff = state[: self.num_inputs] ^ v2_masked
-            dirty = np.flatnonzero(in_diff.any(axis=1))
-            planes_used = max(
-                planes_used, accumulate_planes(planes, dirty, in_diff[dirty])
+            planes, planes_used = self.unit_delay_planes(
+                v1_words[:, ws], v2_words[:, ws], mask, max_steps
             )
-            state[: self.num_inputs] = v2_masked
-
-            steps = 0
-            stabilized = False
-            for _step in range(max_steps):
-                if dirty.size == 0:
-                    stabilized = True
-                    break
-                flags = self._consumer_flags(dirty)
-                steps += 1
-                # One pass over the flags, then split the sorted active
-                # ids at the group boundaries — cheaper than scanning
-                # each group's slice separately.
-                active = np.flatnonzero(flags)
-                cuts = np.searchsorted(active, self._group_ends)
-                # Evaluate every active gate before writing anything
-                # back, so all reads see the previous step (synchronous
-                # semantics).
-                evals: List[Tuple[np.ndarray, np.ndarray]] = []
-                start = 0
-                for gi, group in enumerate(self.step_groups):
-                    end = cuts[gi]
-                    if end == start:
-                        continue
-                    local = active[start:end] - group.offset
-                    start = end
-                    evals.append(
-                        (
-                            group.out_idx[local],
-                            self._eval_group_rows(group, local, state, mask),
-                        )
-                    )
-                if record:
-                    _BATCH_EVALS.inc(len(evals))
-                    if active.size:
-                        lvls = self._step_gate_levels[active]
-                        _ACTIVE_LEVELS.observe(int(np.unique(lvls).size))
-                if not evals:
-                    # The dirty nets feed no gates (primary outputs,
-                    # dangling nets): the next pass can change nothing.
-                    # Consume one step, like the interpreter's final
-                    # quiescent pass.
-                    dirty = np.empty(0, dtype=np.intp)
-                    continue
-                # Write back and account per group — the toggle planes
-                # are order-independent XOR accumulators and the groups
-                # write disjoint nets, so this equals the one-shot
-                # concatenated update without its large temporaries.
-                changed_parts: List[np.ndarray] = []
-                for out_sub, new in evals:
-                    diff = state[out_sub] ^ new
-                    row_changed = diff.any(axis=1)
-                    state[out_sub] = new
-                    changed_idx = out_sub[row_changed]
-                    if changed_idx.size:
-                        planes_used = max(
-                            planes_used,
-                            accumulate_planes(
-                                planes, changed_idx, diff[row_changed]
-                            ),
-                        )
-                        changed_parts.append(changed_idx)
-                if not changed_parts:
-                    dirty = np.empty(0, dtype=np.intp)
-                elif len(changed_parts) == 1:
-                    dirty = changed_parts[0]
-                else:
-                    dirty = np.concatenate(changed_parts)
-            if record:
-                _STEPS_TOTAL.inc(steps)
-            if not stabilized:
-                raise SimulationError(
-                    "unit-delay simulation did not stabilize — "
-                    "invariant broken"
-                )
             energy[lo:hi] = charge_planes(planes, caps, lanes, planes_used)
         return energy
+
+    def unit_delay_planes(
+        self,
+        v1_words: np.ndarray,
+        v2_words: np.ndarray,
+        mask: np.ndarray,
+        max_steps: Optional[int] = None,
+    ) -> Tuple[List[np.ndarray], int]:
+        """Integer phase of one unit-delay block: the wavefront loop.
+
+        Runs the synchronous relaxation over the *whole* given word
+        array (the caller controls lane blocking) and returns the
+        packed bit-plane toggle counters plus the number of planes
+        touched — everything :func:`charge_planes` needs.  Splitting
+        the integer phase from the charge lets the batch layer run one
+        relaxation over many jobs' packed lane segments and still
+        charge each segment's word slice independently (bit-exact
+        per-lane counters make the fused counters identical to the
+        per-job ones).
+        """
+        if max_steps is None:
+            max_steps = self.depth + 4
+        record = _METRICS.enabled
+        v1_words = np.ascontiguousarray(v1_words, dtype=np.uint64)
+        v2_words = np.ascontiguousarray(v2_words, dtype=np.uint64)
+        num_words = v1_words.shape[1]
+        settled = self.steady_state(v1_words, num_words * 64, mask=mask)
+        # Two extra virtual rows feed the identity-padded fanin
+        # columns of the merged step groups: all-zeros at
+        # ``zeros_row``, all-ones (in valid lanes) at ``ones_row``.
+        state = np.empty((self.num_nets + 2, num_words), dtype=np.uint64)
+        state[: self.num_nets] = settled
+        state[self.zeros_row] = np.uint64(0)
+        state[self.ones_row] = mask
+        planes = make_planes(self.num_nets, num_words, max_steps + 1)
+        planes_used = 0
+
+        # Input transitions.
+        v2_masked = v2_words & mask
+        in_diff = state[: self.num_inputs] ^ v2_masked
+        dirty = np.flatnonzero(in_diff.any(axis=1))
+        planes_used = max(
+            planes_used, accumulate_planes(planes, dirty, in_diff[dirty])
+        )
+        state[: self.num_inputs] = v2_masked
+
+        steps = 0
+        stabilized = False
+        for _step in range(max_steps):
+            if dirty.size == 0:
+                stabilized = True
+                break
+            flags = self._consumer_flags(dirty)
+            steps += 1
+            # One pass over the flags, then split the sorted active
+            # ids at the group boundaries — cheaper than scanning
+            # each group's slice separately.
+            active = np.flatnonzero(flags)
+            cuts = np.searchsorted(active, self._group_ends)
+            # Evaluate every active gate before writing anything
+            # back, so all reads see the previous step (synchronous
+            # semantics).
+            evals: List[Tuple[np.ndarray, np.ndarray]] = []
+            start = 0
+            for gi, group in enumerate(self.step_groups):
+                end = cuts[gi]
+                if end == start:
+                    continue
+                local = active[start:end] - group.offset
+                start = end
+                evals.append(
+                    (
+                        group.out_idx[local],
+                        self._eval_group_rows(group, local, state, mask),
+                    )
+                )
+            if record:
+                _BATCH_EVALS.inc(len(evals))
+                if active.size:
+                    lvls = self._step_gate_levels[active]
+                    _ACTIVE_LEVELS.observe(int(np.unique(lvls).size))
+            if not evals:
+                # The dirty nets feed no gates (primary outputs,
+                # dangling nets): the next pass can change nothing.
+                # Consume one step, like the interpreter's final
+                # quiescent pass.
+                dirty = np.empty(0, dtype=np.intp)
+                continue
+            # Write back and account per group — the toggle planes
+            # are order-independent XOR accumulators and the groups
+            # write disjoint nets, so this equals the one-shot
+            # concatenated update without its large temporaries.
+            changed_parts: List[np.ndarray] = []
+            for out_sub, new in evals:
+                diff = state[out_sub] ^ new
+                row_changed = diff.any(axis=1)
+                state[out_sub] = new
+                changed_idx = out_sub[row_changed]
+                if changed_idx.size:
+                    planes_used = max(
+                        planes_used,
+                        accumulate_planes(
+                            planes, changed_idx, diff[row_changed]
+                        ),
+                    )
+                    changed_parts.append(changed_idx)
+            if not changed_parts:
+                dirty = np.empty(0, dtype=np.intp)
+            elif len(changed_parts) == 1:
+                dirty = changed_parts[0]
+            else:
+                dirty = np.concatenate(changed_parts)
+        if record:
+            _STEPS_TOTAL.inc(steps)
+        if not stabilized:
+            raise SimulationError(
+                "unit-delay simulation did not stabilize — "
+                "invariant broken"
+            )
+        return planes, planes_used
 
 
 def compile_plan(circuit: Circuit) -> CompiledPlan:
@@ -859,4 +1033,68 @@ def compile_plan(circuit: Circuit) -> CompiledPlan:
     plan = circuit.memo("compiled_plan", build)
     if not built:
         _PLAN_CACHE_HITS.inc()
+    _plan_cache_touch(circuit)
     return plan
+
+
+def plan_cache_capacity() -> int:
+    """Live plan-LRU capacity (``REPRO_SIM_PLAN_CACHE`` or the default).
+
+    ``0`` disables the bound entirely (plans then live exactly as long
+    as their circuit objects, the pre-LRU behaviour).
+    """
+    raw = os.environ.get("REPRO_SIM_PLAN_CACHE")
+    if raw is None:
+        return DEFAULT_PLAN_CACHE_CAPACITY
+    try:
+        cap = int(raw)
+    except ValueError:
+        cap = -1
+    if cap < 0:
+        raise ConfigError(
+            f"invalid REPRO_SIM_PLAN_CACHE value {raw!r}: "
+            "expected a non-negative integer (0 disables the bound)"
+        )
+    return cap
+
+
+_PLAN_LRU_LOCK = threading.Lock()
+#: id(circuit) -> weakref.  Ordered oldest-touched first; holding only
+#: weak references means the LRU never extends a circuit's lifetime, it
+#: only decides which *live* circuits keep their plan memo.
+_PLAN_LRU: "OrderedDict[int, weakref.ref]" = OrderedDict()
+
+
+def _plan_cache_forget(key: int) -> None:
+    with _PLAN_LRU_LOCK:
+        _PLAN_LRU.pop(key, None)
+
+
+def _plan_cache_touch(circuit: Circuit) -> None:
+    """Mark ``circuit``'s plan most-recently-used; evict over capacity.
+
+    Eviction drops the ``compiled_plan`` memo entry on the
+    least-recently-used circuit (freeing the plan arrays, by far the
+    dominant memory) — the circuit itself stays valid and simply
+    recompiles on next use.
+    """
+    cap = plan_cache_capacity()
+    if cap == 0:
+        return
+    key = id(circuit)
+    with _PLAN_LRU_LOCK:
+        ref = _PLAN_LRU.pop(key, None)
+        if ref is None or ref() is not circuit:
+            # New entry, or the id was recycled after the old circuit
+            # died before its weakref callback ran.
+            ref = weakref.ref(circuit, lambda _r, _k=key: _plan_cache_forget(_k))
+        _PLAN_LRU[key] = ref
+        victims: List[Circuit] = []
+        while len(_PLAN_LRU) > cap:
+            _old_key, old_ref = _PLAN_LRU.popitem(last=False)
+            victim = old_ref()
+            if victim is not None:
+                victims.append(victim)
+    for victim in victims:
+        victim.memo_discard("compiled_plan")
+        _PLAN_EVICTIONS.inc()

@@ -1,0 +1,264 @@
+"""Batch layer: fused kernel invocations must be invisible in results.
+
+Every test here asserts *bit* identity (``np.array_equal`` on float64
+energies), not closeness: the batcher's contract is that fusing many
+callers' lanes into one kernel invocation changes when the kernel runs,
+never what it computes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.netlist.generators.iscas_like import build_circuit
+from repro.netlist.generators.random_dag import random_layered_circuit
+from repro.obs.metrics import get_registry
+from repro.sim.batch import (
+    DEFAULT_BATCH_LANES,
+    SimBatcher,
+    batching_enabled,
+    get_batcher,
+    reset_batcher,
+)
+from repro.sim.bitsim import BitParallelSimulator, pack_vectors
+from repro.sim.native import native_available
+from repro.sim.power import PowerAnalyzer
+
+requires_native = pytest.mark.skipif(
+    not native_available(), reason="no native backend"
+)
+
+# Lane counts chosen to straddle word (64) and charge-block (4096)
+# boundaries, plus the degenerate single pair.
+JOB_SIZES = (513, 100, 4096, 1, 64, 5000, 63, 4097)
+
+
+def _jobs(circuit, sizes, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            rng.integers(0, 2, size=(n, circuit.num_inputs), dtype=np.uint8),
+            rng.integers(0, 2, size=(n, circuit.num_inputs), dtype=np.uint8),
+        )
+        for n in sizes
+    ]
+
+
+def _run_threaded(analyzers, jobs):
+    results = [None] * len(jobs)
+    errors = []
+
+    def run(i):
+        try:
+            results[i] = analyzers[i].powers_for_pairs(*jobs[i])
+        except BaseException as exc:  # propagate to the assertion below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(len(jobs))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    return results
+
+
+class TestBatchedBitIdentity:
+    @pytest.mark.parametrize("kernel", ["compiled"])
+    def test_threaded_jobs_match_unbatched(self, kernel):
+        circuit = build_circuit("c880")
+        base = PowerAnalyzer(circuit, mode="unit", kernel=kernel)
+        jobs = _jobs(circuit, JOB_SIZES, 7)
+        expected = [base.powers_for_pairs(v1, v2) for v1, v2 in jobs]
+
+        batcher = SimBatcher()
+        analyzers = [
+            PowerAnalyzer(circuit, mode="unit", kernel=kernel, batcher=batcher)
+            for _ in jobs
+        ]
+        results = _run_threaded(analyzers, jobs)
+        for i, (exp, got) in enumerate(zip(expected, results)):
+            assert np.array_equal(exp, got), f"job {i}"
+
+    @requires_native
+    def test_threaded_native_jobs_match_unbatched_compiled(self):
+        circuit = build_circuit("c1908")
+        base = PowerAnalyzer(circuit, mode="unit", kernel="compiled")
+        jobs = _jobs(circuit, (700, 1, 4095, 8192, 64, 129), 3)
+        expected = [base.powers_for_pairs(v1, v2) for v1, v2 in jobs]
+
+        batcher = SimBatcher()
+        analyzers = [
+            PowerAnalyzer(
+                circuit, mode="unit", kernel="native", batcher=batcher
+            )
+            for _ in jobs
+        ]
+        results = _run_threaded(analyzers, jobs)
+        for i, (exp, got) in enumerate(zip(expected, results)):
+            assert np.array_equal(exp, got), f"job {i}"
+
+    def test_mixed_circuits_never_cross_fuse(self):
+        circuits = [
+            random_layered_circuit(f"bx{s}", 10, 5, 60, 6, seed=s)
+            for s in (81, 82, 83)
+        ]
+        batcher = SimBatcher()
+        jobs, analyzers, expected = [], [], []
+        for circuit in circuits:
+            (pair,) = _jobs(circuit, (300,), 9)
+            jobs.append(pair)
+            analyzers.append(
+                PowerAnalyzer(circuit, mode="unit", batcher=batcher)
+            )
+            expected.append(
+                PowerAnalyzer(circuit, mode="unit").powers_for_pairs(*pair)
+            )
+        results = _run_threaded(analyzers, jobs)
+        for exp, got in zip(expected, results):
+            assert np.array_equal(exp, got)
+
+    def test_single_caller_passthrough_identical(self):
+        circuit = build_circuit("c432")
+        (pair,) = _jobs(circuit, (777,), 11)
+        expected = PowerAnalyzer(circuit, mode="unit").powers_for_pairs(*pair)
+        batched = PowerAnalyzer(
+            circuit, mode="unit", batcher=SimBatcher()
+        ).powers_for_pairs(*pair)
+        assert np.array_equal(expected, batched)
+
+    def test_interp_tier_passes_through(self):
+        circuit = random_layered_circuit("bint", 8, 4, 30, 5, seed=91)
+        (pair,) = _jobs(circuit, (70,), 12)
+        expected = PowerAnalyzer(
+            circuit, mode="unit", kernel="interp"
+        ).powers_for_pairs(*pair)
+        batched = PowerAnalyzer(
+            circuit, mode="unit", kernel="interp", batcher=SimBatcher()
+        ).powers_for_pairs(*pair)
+        assert np.array_equal(expected, batched)
+
+    def test_direct_call_matches_simulator(self):
+        circuit = build_circuit("c432")
+        sim = BitParallelSimulator(circuit, kernel="compiled")
+        rng = np.random.default_rng(13)
+        v1 = rng.integers(0, 2, size=(150, circuit.num_inputs), dtype=np.uint8)
+        v2 = rng.integers(0, 2, size=(150, circuit.num_inputs), dtype=np.uint8)
+        w1, lanes = pack_vectors(v1)
+        w2, _ = pack_vectors(v2)
+        caps = rng.uniform(0.5, 5.0, size=sim.num_nets)
+        batcher = SimBatcher()
+        assert np.array_equal(
+            batcher.toggle_energy_unit_delay(sim, w1, w2, lanes, caps),
+            sim.toggle_energy_unit_delay(w1, w2, lanes, caps),
+        )
+
+
+class TestBatchFailureAndConfig:
+    def test_simulation_error_propagates_to_caller(self):
+        circuit = build_circuit("c880")  # depth >> 1
+        sim = BitParallelSimulator(circuit, kernel="compiled")
+        rng = np.random.default_rng(14)
+        v1 = rng.integers(0, 2, size=(10, circuit.num_inputs), dtype=np.uint8)
+        v2 = rng.integers(0, 2, size=(10, circuit.num_inputs), dtype=np.uint8)
+        w1, lanes = pack_vectors(v1)
+        w2, _ = pack_vectors(v2)
+        caps = np.ones(sim.num_nets)
+        batcher = SimBatcher()
+        with pytest.raises(SimulationError):
+            batcher.toggle_energy_unit_delay(
+                sim, w1, w2, lanes, caps, max_steps=1
+            )
+        # The batcher recovers: the next call on the same instance works.
+        assert np.array_equal(
+            batcher.toggle_energy_unit_delay(sim, w1, w2, lanes, caps),
+            sim.toggle_energy_unit_delay(w1, w2, lanes, caps),
+        )
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigError):
+            SimBatcher(max_lanes=100)
+        with pytest.raises(ConfigError):
+            SimBatcher(window_s=-0.1)
+
+    def test_pickle_ships_config_only(self):
+        batcher = SimBatcher(max_lanes=8192, window_s=0.0)
+        clone = pickle.loads(pickle.dumps(batcher))
+        assert clone.max_lanes == 8192
+        assert clone.window_s == 0.0
+        circuit = build_circuit("c432")
+        (pair,) = _jobs(circuit, (90,), 15)
+        expected = PowerAnalyzer(circuit, mode="unit").powers_for_pairs(*pair)
+        got = PowerAnalyzer(
+            circuit, mode="unit", batcher=clone
+        ).powers_for_pairs(*pair)
+        assert np.array_equal(expected, got)
+
+    def test_global_batcher_env_config(self, monkeypatch):
+        reset_batcher()
+        monkeypatch.setenv("REPRO_SIM_BATCH_LANES", "8192")
+        monkeypatch.setenv("REPRO_SIM_BATCH_WINDOW_MS", "0")
+        try:
+            batcher = get_batcher()
+            assert batcher.max_lanes == 8192
+            assert batcher.window_s == 0.0
+            assert get_batcher() is batcher  # singleton
+        finally:
+            reset_batcher()
+
+    def test_global_batcher_bad_env_rejected(self, monkeypatch):
+        reset_batcher()
+        monkeypatch.setenv("REPRO_SIM_BATCH_LANES", "many")
+        try:
+            with pytest.raises(ConfigError, match="REPRO_SIM_BATCH_LANES"):
+                get_batcher()
+        finally:
+            reset_batcher()
+
+    def test_batching_enabled_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BATCH", raising=False)
+        assert batching_enabled()
+        monkeypatch.setenv("REPRO_SIM_BATCH", "0")
+        assert not batching_enabled()
+
+    def test_default_budget_covers_one_charge_block(self):
+        assert DEFAULT_BATCH_LANES >= 4096
+
+
+class TestBatchMetrics:
+    def test_fused_invocations_recorded(self):
+        registry = get_registry()
+        was_enabled = registry.enabled
+        registry.enable()
+        jobs_before = registry.histogram(
+            "sim_batch_jobs", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+        ).count
+        circuit = build_circuit("c880")
+        batcher = SimBatcher()
+        jobs = _jobs(circuit, (200, 300, 150, 250), 16)
+        analyzers = [
+            PowerAnalyzer(circuit, mode="unit", batcher=batcher) for _ in jobs
+        ]
+        _run_threaded(analyzers, jobs)
+        hist = registry.histogram(
+            "sim_batch_jobs", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+        )
+        assert hist.count > jobs_before
+        tiers = {
+            m.labels
+            for m in registry.metrics()
+            if m.name == "sim_kernel_invocations_total"
+        }
+        assert any(("tier", "compiled") in labels for labels in tiers) or any(
+            ("tier", "native") in labels for labels in tiers
+        )
+        if not was_enabled:
+            registry.disable()
+            registry.reset()

@@ -29,7 +29,7 @@ from repro.sim.compiled import (
 )
 from repro.sim.delay import UnitDelay
 from repro.sim.event_sim import EventDrivenSimulator
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 
 # Lane counts straddling the word boundary: single lane, partial word,
 # exactly one word, and spill into a second word.
@@ -108,8 +108,13 @@ class TestKernelSelection:
         assert sim.kernel == "compiled"
 
     def test_unknown_kernel_rejected(self):
-        with pytest.raises(SimulationError, match="kernel"):
+        with pytest.raises(ConfigError, match="turbo"):
             resolve_kernel("turbo")
+
+    def test_unknown_kernel_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "turbo")
+        with pytest.raises(ConfigError, match="REPRO_SIM_KERNEL"):
+            resolve_kernel()
 
 
 class TestDifferentialParity:
